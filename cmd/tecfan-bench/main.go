@@ -1,0 +1,199 @@
+// Command tecfan-bench regenerates every table and figure of the paper's
+// evaluation section and writes them to stdout (or a file):
+//
+//	tecfan-bench                  # everything at a reduced scale
+//	tecfan-bench -exp table1      # one experiment
+//	tecfan-bench -scale 1 -trace 600   # full paper-scale run
+//
+// Experiments: table1, fig4, fig5, fig6, fig7, hw, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"tecfan"
+)
+
+func main() {
+	which := flag.String("exp", "all", "experiment: table1, fig4, fig5, fig6, fig7, hw, ablate, mapping, timescales, scaling, mix, oraclegap, report, all")
+	scale := flag.Float64("scale", 0.25, "16-core instruction-budget scale (1 = paper length)")
+	traceSec := flag.Int("trace", 600, "Fig. 7 per-core trace seconds (600 = paper's 10 min)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	sys, err := tecfan.New(tecfan.WithScale(*scale))
+	if err != nil {
+		fatal(err)
+	}
+
+	run := func(name string, f func() error) {
+		if *which != "all" && *which != name {
+			return
+		}
+		start := time.Now()
+		fmt.Fprintf(w, "==== %s ====\n", strings.ToUpper(name))
+		if err := f(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Fprintf(w, "(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table1", func() error {
+		rows, err := sys.Table1()
+		if err != nil {
+			return err
+		}
+		tecfan.WriteTable1(w, rows)
+		return nil
+	})
+	run("fig4", func() error {
+		cases, err := sys.Fig4()
+		if err != nil {
+			return err
+		}
+		tecfan.WriteFig4(w, cases)
+		return nil
+	})
+	// Fig. 5 and Fig. 6 share the same runs.
+	fig56 := func(writeBoth bool) func() error {
+		return func() error {
+			r, err := sys.Fig56()
+			if err != nil {
+				return err
+			}
+			if *which == "all" || writeBoth {
+				tecfan.WriteFig5(w, r)
+				tecfan.WriteFig6(w, r)
+				return nil
+			}
+			return nil
+		}
+	}
+	switch *which {
+	case "fig5", "fig6":
+		run(*which, fig56(true))
+	default:
+		run("fig56", func() error {
+			r, err := sys.Fig56()
+			if err != nil {
+				return err
+			}
+			tecfan.WriteFig5(w, r)
+			tecfan.WriteFig6(w, r)
+			return nil
+		})
+	}
+	run("fig7", func() error {
+		rows, err := tecfan.Fig7(*traceSec)
+		if err != nil {
+			return err
+		}
+		tecfan.WriteFig7(w, rows)
+		return nil
+	})
+	run("hw", func() error {
+		r, err := sys.HardwareCost()
+		if err != nil {
+			return err
+		}
+		tecfan.WriteHardwareCost(w, r)
+		return nil
+	})
+	// The report duplicates every experiment, so it only runs when asked
+	// for explicitly (never as part of "all").
+	if *which == "report" {
+		start := time.Now()
+		if err := sys.WriteReport(w, tecfan.ReportOptions{TraceSeconds: *traceSec}); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "(report in %v)\n", time.Since(start).Round(time.Millisecond))
+	}
+	run("oraclegap", func() error {
+		for _, sev := range []float64{2, 6, 10} {
+			r, err := tecfan.OracleGap(sev)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "severity %.0f °C:\n", sev)
+			tecfan.WriteOracleGap(w, r)
+		}
+		return nil
+	})
+	run("mix", func() error {
+		r, err := sys.MixStudy()
+		if err != nil {
+			return err
+		}
+		tecfan.WriteMixStudy(w, r)
+		return nil
+	})
+	run("scaling", func() error {
+		rows, err := tecfan.ControllerScaling([]int{1, 2, 3, 4, 6})
+		if err != nil {
+			return err
+		}
+		tecfan.WriteScaling(w, rows)
+		return nil
+	})
+	run("timescales", func() error {
+		rows, err := sys.Timescales()
+		if err != nil {
+			return err
+		}
+		tecfan.WriteTimescales(w, rows)
+		return nil
+	})
+	run("mapping", func() error {
+		rows, err := sys.MappingStudy("cholesky", "TECfan")
+		if err != nil {
+			return err
+		}
+		tecfan.WriteMappingStudy(w, "cholesky", rows)
+		return nil
+	})
+	run("ablate", func() error {
+		rows, err := sys.KnobAblation("cholesky")
+		if err != nil {
+			return err
+		}
+		tecfan.WriteAblation(w, "knob ablation (cholesky/16, normalized to base)", rows)
+		prows, err := sys.PeriodAblation("cholesky", []float64{1e-3, 2e-3, 4e-3, 8e-3})
+		if err != nil {
+			return err
+		}
+		tecfan.WriteAblation(w, "\ncontrol-period ablation (cholesky/16)", prows)
+		crows, err := sys.CurrentAblation([]float64{2, 4, 6, 8})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		tecfan.WriteCurrentAblation(w, crows)
+		aligned, uniform, err := sys.PlacementAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nTEC placement: hot-row aligned relief %.2f °C vs uniform grid %.2f °C\n",
+			aligned, uniform)
+		return nil
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tecfan-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Command tecfan runs one benchmark under one thermal-management policy and
+// prints the §V-D metrics, raw and normalized to the base scenario.
+//
+// Usage:
+//
+//	tecfan -bench cholesky -threads 16 -policy TECfan [-scale 0.2]
+//	tecfan -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tecfan"
+)
+
+func main() {
+	bench := flag.String("bench", "cholesky", "benchmark name (cholesky, fmm, volrend, water, lu)")
+	threads := flag.Int("threads", 16, "thread count (16 or 4, per Table I)")
+	policy := flag.String("policy", "TECfan", "policy: Fan-only, Fan+TEC, Fan+DVFS, DVFS+TEC, TECfan")
+	scale := flag.Float64("scale", 1.0, "instruction-budget scale (1 = paper length)")
+	list := flag.Bool("list", false, "list benchmarks and policies, then exit")
+	flag.Parse()
+
+	sys, err := tecfan.New(tecfan.WithScale(*scale))
+	if err != nil {
+		fatal(err)
+	}
+	if *list {
+		fmt.Println("benchmarks:")
+		for _, b := range sys.Benchmarks() {
+			fmt.Printf("  %s\n", b)
+		}
+		fmt.Println("policies:")
+		for _, p := range sys.Policies() {
+			fmt.Printf("  %s\n", p)
+		}
+		return
+	}
+
+	rep, err := sys.Run(*bench, *threads, *policy)
+	if err != nil {
+		fatal(err)
+	}
+	m := rep.Metrics
+	fmt.Printf("%s/%d under %s (T_th = %.2f °C, fan level %d)\n",
+		rep.Benchmark, rep.Threads, rep.Policy, rep.Threshold, rep.FanLevel+1)
+	fmt.Printf("  time       %10.3f ms\n", m.Time*1000)
+	fmt.Printf("  energy     %10.3f J\n", m.Energy)
+	fmt.Printf("  avg power  %10.2f W\n", m.AvgPower)
+	fmt.Printf("  peak temp  %10.2f °C\n", m.PeakTemp)
+	fmt.Printf("  violations %10.3f %%\n", 100*m.ViolationRatio)
+	fmt.Printf("  EPI        %10.4g J/inst\n", m.EPI)
+	fmt.Printf("  EDP        %10.4g J·s\n", m.EDP)
+	n := rep.Normalized
+	fmt.Printf("normalized to base: delay %.3f  power %.3f  energy %.3f  EDP %.3f\n",
+		n.Delay, n.Power, n.Energy, n.EDP)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tecfan:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,32 @@
+// Package tecfan reproduces "TECfan: Coordinating Thermoelectric Cooler,
+// Fan, and DVFS for CMP Energy Optimization" (Zheng, Ma, Wang; IPDPS 2016)
+// as a self-contained Go library.
+//
+// TECfan is a hierarchical runtime controller for chip multiprocessors that
+// coordinates three actuators to minimize per-instruction energy under a
+// peak-temperature constraint:
+//
+//   - per-core thin-film thermoelectric coolers (local cooling, ~20 µs),
+//   - a speed-adjustable fan (global cooling, seconds),
+//   - per-core DVFS (computing power and performance, ~100 ns).
+//
+// The library implements the complete stack the paper builds on: an
+// SCC-style 16-core floorplan, a HotSpot-like RC thermal network with
+// embedded Peltier devices, Wattch-calibrated power models with a
+// temperature–leakage loop, synthetic SPLASH-2 workload traces calibrated
+// to the paper's Table I, the TECfan controller with its multi-step
+// down-hill heuristic, the §V-A baseline policies, the §V-E 4-core server
+// setup with OFTEC/Oracle exhaustive searches, and one experiment driver
+// per table and figure of the evaluation.
+//
+// # Quick start
+//
+//	sys, err := tecfan.New()
+//	if err != nil { ... }
+//	rep, err := sys.Run("cholesky", 16, "TECfan")
+//	fmt.Printf("energy %.1f J at fan level %d\n", rep.Metrics.Energy, rep.FanLevel)
+//
+// The cmd/tecfan binary runs single experiments; cmd/tecfan-bench
+// regenerates every table and figure; runnable examples live under
+// examples/.
+package tecfan

@@ -1,0 +1,34 @@
+package tecfan_test
+
+import (
+	"fmt"
+	"log"
+
+	"tecfan"
+)
+
+// Build a system at a reduced scale and run one benchmark under TECfan.
+func ExampleSystem_Run() {
+	sys, err := tecfan.New(tecfan.WithScale(0.15))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sys.Run("lu", 16, "TECfan")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("policy=%s benchmark=%s/%d\n", rep.Policy, rep.Benchmark, rep.Threads)
+	fmt.Printf("saves energy: %v, degrades delay: %v\n",
+		rep.Normalized.Energy < 1, rep.Normalized.Delay > 1.1)
+	// Output:
+	// policy=TECfan benchmark=lu/16
+	// saves energy: true, degrades delay: false
+}
+
+// List the Table I workloads and §V-A policies the system reproduces.
+func ExampleSystem_Benchmarks() {
+	sys, _ := tecfan.New()
+	fmt.Println(len(sys.Benchmarks()), "benchmarks,", len(sys.Policies()), "policies")
+	// Output:
+	// 8 benchmarks, 5 policies
+}

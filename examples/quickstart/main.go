@@ -1,0 +1,33 @@
+// Quickstart: run one SPLASH-2 benchmark under TECfan and a naive baseline,
+// and compare energy, delay, and EDP.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tecfan"
+)
+
+func main() {
+	// Scale 0.2 keeps the run under a second; use 1.0 for paper-length runs.
+	sys, err := tecfan.New(tecfan.WithScale(0.2))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Running cholesky/16 under two policies...")
+	for _, policy := range []string{"Fan-only", "TECfan"} {
+		rep, err := sys.Run("cholesky", 16, policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s fan level %d: %7.2f W avg, %6.3f J, peak %.2f °C, EDP ratio %.3f\n",
+			policy, rep.FanLevel+1, rep.Metrics.AvgPower, rep.Metrics.Energy,
+			rep.Metrics.PeakTemp, rep.Normalized.EDP)
+	}
+	fmt.Println()
+	fmt.Println("TECfan coordinates TEC (local cooling), fan (global cooling), and")
+	fmt.Println("per-core DVFS: it runs the fan slower, spot-cools with TECs, and")
+	fmt.Println("keeps the cores near full speed — lower energy at the same cooling.")
+}

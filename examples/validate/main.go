@@ -1,0 +1,118 @@
+// Validate: cross-check the modeling stack against its reference
+// implementations — the compact thermal network against a fine-grid
+// discretization (HotSpot's grid-vs-block comparison), and the float
+// estimator against the 8-bit systolic hardware of §III-E. Writes two SVG
+// heatmaps alongside the numeric comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"tecfan/internal/core"
+	"tecfan/internal/fan"
+	"tecfan/internal/floorplan"
+	"tecfan/internal/systolic"
+	"tecfan/internal/thermal"
+	"tecfan/internal/viz"
+)
+
+func main() {
+	chip := floorplan.NewSCC16()
+	fm := fan.DynatronR16()
+	nw := thermal.NewNetwork(chip, fm, thermal.DefaultParams())
+
+	// lu-style power map: hot FPMuls everywhere.
+	p := make([]float64, len(chip.Components))
+	for core := 0; core < 16; core++ {
+		for _, i := range chip.CoreComponents(core) {
+			c := chip.Components[i]
+			p[i] = 6.5 * c.Area() / 9.36
+			if c.Name == "FPMul" {
+				p[i] *= 4
+			}
+		}
+	}
+
+	compact, err := nw.Steady(p, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := thermal.NewGrid(chip, fm, thermal.DefaultParams(), 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gridT, err := g.Steady(p, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	_, cPeak := nw.PeakDie(compact)
+	_, gPeak := g.PeakCell(gridT)
+	fmt.Printf("compact model peak: %.2f °C (%d nodes)\n", cPeak, nw.NumNodes())
+	fmt.Printf("grid model peak:    %.2f °C (%d cells)\n", gPeak, g.NumCells())
+	var worst float64
+	for i := range chip.Components {
+		if d := g.ComponentMean(gridT, i) - compact[i]; d > worst || -d > worst {
+			if d < 0 {
+				d = -d
+			}
+			worst = d
+		}
+	}
+	fmt.Printf("worst component-mean disagreement: %.2f °C\n\n", worst)
+
+	// §III-E hardware check: one core's band evaluation in 8-bit fixed point.
+	band, err := core.NewCoreBandModel(nw, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := band.Engine(systolic.Q8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comps := chip.CoreComponents(5)
+	tRel := make([]float64, len(comps))
+	for i, ci := range comps {
+		tRel[i] = compact[ci] - 75 // bias to fit the 8-bit range
+	}
+	qFloat := make([]float64, len(comps))
+	band.EvalTemp(tRel, qFloat)
+	qFix := make([]float64, len(comps))
+	st, err := eng.Eval(tRel, qFix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var qWorst float64
+	for i := range qFloat {
+		if d := qFix[i] - qFloat[i]; d > qWorst || -d > qWorst {
+			if d < 0 {
+				d = -d
+			}
+			qWorst = d
+		}
+	}
+	fmt.Printf("systolic array: %d PEs, %d MACs, %d cycles per core evaluation\n",
+		st.PEs, st.MACs, st.Cycles)
+	fmt.Printf("8-bit vs float worst error: %.4f W (bound %.4f W)\n\n",
+		qWorst, eng.Arr.QuantizationError(20, systolic.Q8.Max())/eng.Scale)
+
+	for _, out := range []struct {
+		name string
+		f    func(*os.File) error
+	}{
+		{"compact_heatmap.svg", func(f *os.File) error { return viz.ComponentHeatmap(f, chip, compact) }},
+		{"grid_heatmap.svg", func(f *os.File) error { return viz.GridHeatmap(f, g, gridT) }},
+	} {
+		f, err := os.Create(out.name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := out.f(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", out.name)
+	}
+}

@@ -1,0 +1,3 @@
+module tecfan
+
+go 1.22

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"tecfan/internal/linalg"
+	"tecfan/internal/thermal"
+)
+
+// BandEstimator is the hardware-feasible temperature predictor of §III-E:
+// instead of solving the full-chip system, it evaluates one core at a time
+// against its banded conductance sub-matrix, treating everything outside
+// the core (neighbour components, the spreader) as a frozen boundary read
+// from the temperature sensors — "since the inter-core thermal impact is
+// limited in tile-structured many-core architectures, we only evaluate the
+// temperature of one core each time". Each evaluation is one band solve,
+// O(M·w²), the workload the priced systolic/band hardware performs.
+type BandEstimator struct {
+	nw *thermal.Network
+	// Per-core factorizations of the banded sub-system.
+	factors []*linalg.BandLU
+	comps   [][]int // global component indices per core
+	// boundary[core][i] lists couplings from local component i to nodes
+	// outside the core (global node index, conductance).
+	boundary [][][]coupling
+}
+
+type coupling struct {
+	node int
+	g    float64
+}
+
+// NewBandEstimator builds per-core band factorizations from the network.
+func NewBandEstimator(nw *thermal.Network) (*BandEstimator, error) {
+	chip := nw.Chip
+	full := nw.AssembleG(0) // boundary handling makes the fan level irrelevant here
+	e := &BandEstimator{
+		nw:       nw,
+		factors:  make([]*linalg.BandLU, chip.NumCores()),
+		comps:    make([][]int, chip.NumCores()),
+		boundary: make([][][]coupling, chip.NumCores()),
+	}
+	for core := 0; core < chip.NumCores(); core++ {
+		comps := chip.CoreComponents(core)
+		m := len(comps)
+		local := make(map[int]int, m)
+		for li, gi := range comps {
+			local[gi] = li
+		}
+		sub := linalg.NewDense(m, m)
+		bounds := make([][]coupling, m)
+		for li, gi := range comps {
+			for gj := 0; gj < nw.NumNodes(); gj++ {
+				v := full.At(gi, gj)
+				if v == 0 {
+					continue
+				}
+				if lj, in := local[gj]; in {
+					sub.Set(li, lj, v)
+				} else {
+					// Off-core coupling: conductance g = −G[i][j].
+					bounds[li] = append(bounds[li], coupling{node: gj, g: -v})
+				}
+			}
+		}
+		kl, ku := linalg.Bandwidth(sub, 0)
+		band, err := linalg.BandedFromDense(sub, kl, ku, 0)
+		if err != nil {
+			return nil, fmt.Errorf("core: band extraction for core %d: %w", core, err)
+		}
+		f, err := linalg.NewBandLU(band)
+		if err != nil {
+			return nil, fmt.Errorf("core: band factorization for core %d: %w", core, err)
+		}
+		e.factors[core] = f
+		e.comps[core] = comps
+		e.boundary[core] = bounds
+	}
+	return e, nil
+}
+
+// EvalCore predicts core's steady component temperatures given the die
+// power vector (global indexing) and the full sensor temperature field used
+// as the frozen boundary. out receives the M local temperatures in
+// floorplan order; the returned slice aliases out.
+func (e *BandEstimator) EvalCore(core int, power, sensorTemps, out []float64) ([]float64, error) {
+	comps := e.comps[core]
+	if len(out) != len(comps) {
+		return nil, fmt.Errorf("core: out length %d, want %d", len(out), len(comps))
+	}
+	rhs := make([]float64, len(comps))
+	for li, gi := range comps {
+		rhs[li] = power[gi]
+		for _, c := range e.boundary[core][li] {
+			rhs[li] += c.g * sensorTemps[c.node]
+		}
+	}
+	if err := e.factors[core].Solve(rhs, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PeakCore returns the hottest predicted component of a core.
+func (e *BandEstimator) PeakCore(core int, power, sensorTemps []float64) (comp int, tC float64, err error) {
+	out := make([]float64, len(e.comps[core]))
+	if _, err := e.EvalCore(core, power, sensorTemps, out); err != nil {
+		return -1, 0, err
+	}
+	comp, tC = -1, out[0]
+	for li, t := range out {
+		if comp < 0 || t > tC {
+			comp, tC = e.comps[core][li], t
+		}
+	}
+	return comp, tC, nil
+}

@@ -1,0 +1,72 @@
+package core
+
+// Variable-current TEC support (§III's alternative actuator design: "it is
+// feasible to adjust the efficacy of a TEC by manipulating its current,
+// [but] this method requires dedicated on-chip voltage regulators"). When a
+// Controller is given CurrentLevels, the TEC knob of the down-hill walk
+// moves a device one current level up or down instead of switching it
+// on/off at the fixed 6 A — the ablation in internal/exp quantifies what
+// that extra actuation resolution buys.
+
+// DefaultCurrentLevels are the graded drive points of the variable-current
+// mode (A). Level 0 is off; the top level is the paper's 6 A drive.
+var DefaultCurrentLevels = []float64{0, 2, 4, 6}
+
+// usingCurrents reports whether the controller runs in graded mode.
+func (c *Controller) usingCurrents() bool { return len(c.CurrentLevels) > 0 }
+
+// levelIndex returns the index of the closest configured current level.
+func (c *Controller) levelIndex(amps float64) int {
+	best, bestD := 0, -1.0
+	for i, l := range c.CurrentLevels {
+		d := l - amps
+		if d < 0 {
+			d = -d
+		}
+		if bestD < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// tecMaxed reports whether device l has no headroom left (binary: on;
+// graded: at the top current level).
+func (c *Controller) tecMaxed(cand Candidate, l int) bool {
+	if c.usingCurrents() {
+		return c.levelIndex(cand.TECAmps[l]) >= len(c.CurrentLevels)-1
+	}
+	return cand.TECOn[l]
+}
+
+// tecActive reports whether device l is drawing any power.
+func (c *Controller) tecActive(cand Candidate, l int) bool {
+	if c.usingCurrents() {
+		return cand.TECAmps[l] > 0
+	}
+	return cand.TECOn[l]
+}
+
+// raiseTEC moves device l one step toward maximum cooling.
+func (c *Controller) raiseTEC(cand *Candidate, l int) {
+	if c.usingCurrents() {
+		i := c.levelIndex(cand.TECAmps[l])
+		if i < len(c.CurrentLevels)-1 {
+			cand.TECAmps[l] = c.CurrentLevels[i+1]
+		}
+		return
+	}
+	cand.TECOn[l] = true
+}
+
+// lowerTEC moves device l one step toward off.
+func (c *Controller) lowerTEC(cand *Candidate, l int) {
+	if c.usingCurrents() {
+		i := c.levelIndex(cand.TECAmps[l])
+		if i > 0 {
+			cand.TECAmps[l] = c.CurrentLevels[i-1]
+		}
+		return
+	}
+	cand.TECOn[l] = false
+}

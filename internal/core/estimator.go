@@ -1,0 +1,202 @@
+// Package core implements TECfan itself: the paper's hierarchical runtime
+// optimization framework (§III). The lower level runs the multi-step
+// down-hill heuristic every 2 ms control period — hot iterations engage TECs
+// first and throttle DVFS only as a last resort; cool iterations restore
+// DVFS toward maximum and then shed TEC power — always selecting the
+// single-step adjustment with the least estimated per-instruction energy.
+// The higher level adjusts the fan speed on a seconds time scale from
+// average power and TEC duty. Predictions use the paper's own model stack:
+// Eq. (1) steady state, Eq. (5) RC interpolation, Eq. (6) linear leakage,
+// Eq. (7) dynamic scaling, and Eq. (9)–(11) for the EPI objective.
+package core
+
+import (
+	"math"
+
+	"tecfan/internal/fan"
+	"tecfan/internal/floorplan"
+	"tecfan/internal/perf"
+	"tecfan/internal/power"
+	"tecfan/internal/sim"
+	"tecfan/internal/tec"
+	"tecfan/internal/thermal"
+)
+
+// Candidate is one actuator configuration under evaluation. TECAmps, when
+// non-nil, supersedes TECOn and drives each device at the given current —
+// the variable-current extension of §III.
+type Candidate struct {
+	DVFS     []int
+	TECOn    []bool
+	TECAmps  []float64
+	FanLevel int
+}
+
+// clone deep-copies the candidate.
+func (c Candidate) clone() Candidate {
+	return Candidate{
+		DVFS:     append([]int(nil), c.DVFS...),
+		TECOn:    append([]bool(nil), c.TECOn...),
+		TECAmps:  append([]float64(nil), c.TECAmps...),
+		FanLevel: c.FanLevel,
+	}
+}
+
+// Estimate is the model-predicted outcome of applying a candidate for one
+// control period.
+type Estimate struct {
+	Temps     []float64 // predicted die temperatures at the end of the period
+	SteadyT   []float64 // predicted steady-state temperatures (all nodes)
+	PeakTemp  float64
+	PeakComp  int
+	ChipPower float64
+	ChipIPS   float64
+	EPI       float64
+	Feasible  bool
+}
+
+// Estimator evaluates candidates with the §III-A/B models. It is the
+// software stand-in for the systolic temperature-evaluation hardware priced
+// in §III-E.
+type Estimator struct {
+	Network    *thermal.Network
+	Chip       *floorplan.Chip
+	DVFS       *power.DVFSTable
+	Leak       power.Leakage
+	Fan        *fan.Model
+	Placements []tec.Placement
+	// Period is the lower-level control period Δk of Eq. (5).
+	Period float64
+
+	taus    []float64 // per-node RC constants for Eq. (5)
+	scratch struct {
+		pow, leak, steady []float64
+	}
+	// Evaluations counts Estimate calls — the complexity metric backing
+	// the O(NL + N²M) claim.
+	Evaluations int
+}
+
+// NewEstimator builds an estimator over the given models.
+func NewEstimator(nw *thermal.Network, table *power.DVFSTable, leak power.Leakage, fm *fan.Model, placements []tec.Placement, period float64) *Estimator {
+	e := &Estimator{
+		Network:    nw,
+		Chip:       nw.Chip,
+		DVFS:       table,
+		Leak:       leak,
+		Fan:        fm,
+		Placements: placements,
+		Period:     period,
+	}
+	n := nw.NumNodes()
+	e.taus = make([]float64, n)
+	g := nw.AssembleG(0)
+	for i := 0; i < n; i++ {
+		gi := g.At(i, i)
+		if gi <= 0 {
+			gi = 1
+		}
+		tau := nw.Capacity(i) / gi
+		if tau <= 0 {
+			tau = 1e-4
+		}
+		e.taus[i] = tau
+	}
+	e.scratch.pow = make([]float64, nw.NumDie())
+	e.scratch.leak = make([]float64, nw.NumDie())
+	e.scratch.steady = make([]float64, n)
+	return e
+}
+
+// tecState materializes a TEC state from a candidate's currents (preferred)
+// or on/off mask, with every driven device treated as engaged (20 µs ≪ the
+// 2 ms period).
+func (e *Estimator) tecState(cand Candidate) *tec.State {
+	if cand.TECAmps == nil && cand.TECOn == nil {
+		return nil
+	}
+	st := tec.NewState(e.Placements)
+	if cand.TECAmps != nil {
+		for l, amps := range cand.TECAmps {
+			st.SetCurrent(l, amps)
+		}
+	} else {
+		st.SetMask(cand.TECOn)
+	}
+	st.Advance(1) // past any engagement delay
+	return st
+}
+
+// Estimate predicts the next control period under cand, given the
+// previous-interval measurements in obs.
+func (e *Estimator) Estimate(obs *sim.Observation, cand Candidate) Estimate {
+	e.Evaluations++
+	nw := e.Network
+	nDie := nw.NumDie()
+
+	// Eq. (7): scale measured dynamic power to the candidate levels.
+	for i := 0; i < nDie; i++ {
+		core := e.Chip.CoreOf(i)
+		e.scratch.pow[i] = obs.DynPower[i] * e.DVFS.DynScale(obs.DVFS[core], cand.DVFS[core])
+	}
+	// Eq. (6): linear leakage at the previous-interval temperatures.
+	e.Leak.PerComponent(e.Chip, obs.Temps, power.ModelLinear, e.scratch.leak)
+	var chipPower float64
+	for i := 0; i < nDie; i++ {
+		e.scratch.pow[i] += e.scratch.leak[i]
+		chipPower += e.scratch.pow[i]
+	}
+
+	// Eq. (1): steady state under the candidate, warm-started from the
+	// current temperatures for fast Peltier convergence.
+	st := e.tecState(cand)
+	copy(e.scratch.steady, obs.Temps)
+	if err := nw.SteadyInto(e.scratch.steady, e.scratch.pow, cand.FanLevel, st); err != nil {
+		// A solver failure marks the candidate infeasible rather than
+		// crashing the control loop.
+		return Estimate{Feasible: false, PeakTemp: math.Inf(1), EPI: math.Inf(1)}
+	}
+
+	// Eq. (5): interpolate one period toward the steady state.
+	est := Estimate{
+		Temps:   make([]float64, nDie),
+		SteadyT: append([]float64(nil), e.scratch.steady...),
+	}
+	est.PeakComp, est.PeakTemp = -1, math.Inf(-1)
+	for i := 0; i < nDie; i++ {
+		t := thermal.RCInterp(e.scratch.steady[i], obs.Temps[i], e.taus[i], e.Period)
+		est.Temps[i] = t
+		if t > est.PeakTemp {
+			est.PeakComp, est.PeakTemp = i, t
+		}
+	}
+
+	// Eq. (8)+(9): chip power including TEC and fan.
+	chipPower += nw.TECPower(est.SteadyT, st)
+	chipPower += e.Fan.Power(cand.FanLevel)
+	est.ChipPower = chipPower
+
+	// Eq. (10)+(11): IPS prediction from the previous interval.
+	var ips float64
+	for core, prev := range obs.CoreIPS {
+		ips += perf.ScaleIPS(prev, e.DVFS.FreqRatio(obs.DVFS[core], cand.DVFS[core]))
+	}
+	est.ChipIPS = ips
+	est.EPI = perf.EPI(chipPower, ips)
+	est.Feasible = est.PeakTemp <= obs.Threshold
+	return est
+}
+
+// SteadyPeak predicts the eventual steady-state peak die temperature of a
+// candidate — what the higher-level fan loop cares about, since fan effects
+// outlive any single control period.
+func (e *Estimator) SteadyPeak(obs *sim.Observation, cand Candidate) float64 {
+	est := e.Estimate(obs, cand)
+	peak := math.Inf(-1)
+	for i := 0; i < e.Network.NumDie(); i++ {
+		if est.SteadyT[i] > peak {
+			peak = est.SteadyT[i]
+		}
+	}
+	return peak
+}

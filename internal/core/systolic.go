@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tecfan/internal/linalg"
+	"tecfan/internal/systolic"
+	"tecfan/internal/thermal"
+)
+
+// §III-E hardware-cost model: the temperature estimation of Eq. (1)/(5) is
+// realized as a band-matrix systolic array of fixed-point multipliers that
+// evaluates one core per cycle. This file reproduces the paper's cost
+// arithmetic and verifies its structural premise — that the per-core thermal
+// conductance matrix is a band matrix.
+
+// Published reference numbers used by the paper's estimate.
+const (
+	// Mult16Area65nm is the area of a 16-bit fixed-point multiplier in
+	// 65 nm, from Bitirgen et al. [26], mm².
+	Mult16Area65nm = 0.057
+	// FPUPowerDensity is the IBM POWER6 FPU power density at nominal
+	// voltage/frequency [27], W/mm².
+	FPUPowerDensity = 0.56
+)
+
+// SystolicCost is the area/power bill of the temperature-evaluation array.
+type SystolicCost struct {
+	M, K        int     // components per core, thermal-impact neighbours
+	Bits        int     // multiplier width
+	Multipliers int     // M × K
+	AreaMM2     float64 // total multiplier area
+	PowerW      float64 // at 100 % utilization
+	// Overheads relative to the chip.
+	AreaOverhead  float64
+	PowerOverhead float64
+}
+
+// EstimateSystolic prices an M×K array of `bits`-wide fixed-point
+// multipliers against a chip of the given area (mm²) and power (W),
+// following §III-E: multiplier area scales quadratically with word width
+// from the published 16-bit datapoint.
+func EstimateSystolic(m, k, bits int, chipAreaMM2, chipPowerW float64) SystolicCost {
+	if m <= 0 || k <= 0 || bits <= 0 {
+		panic(fmt.Sprintf("core: invalid systolic shape M=%d K=%d bits=%d", m, k, bits))
+	}
+	scale := float64(bits) / 16.0
+	area := Mult16Area65nm * scale * scale * float64(m*k)
+	powerW := area * FPUPowerDensity
+	c := SystolicCost{
+		M: m, K: k, Bits: bits,
+		Multipliers: m * k,
+		AreaMM2:     area,
+		PowerW:      powerW,
+	}
+	if chipAreaMM2 > 0 {
+		c.AreaOverhead = area / chipAreaMM2
+	}
+	if chipPowerW > 0 {
+		c.PowerOverhead = powerW / chipPowerW
+	}
+	return c
+}
+
+// PaperSystolic returns the paper's own configuration: M=18 components, K=3
+// thermal-impact neighbours, 8-bit encoding — 54 multipliers, which §III-E
+// bounds at "less than 1.7% extra area and power".
+func PaperSystolic(chipAreaMM2, chipPowerW float64) SystolicCost {
+	return EstimateSystolic(18, 3, 8, chipAreaMM2, chipPowerW)
+}
+
+// CoreBandModel extracts one core's die-only conductance sub-matrix from the
+// thermal network and reports its band structure — the paper's premise that
+// "thermal impact only takes place on adjacent components, so Ĝ is by
+// nature a band matrix" once components are laid out in floorplan order.
+type CoreBandModel struct {
+	Core        int
+	G           *linalg.Dense  // M×M sub-matrix (die nodes of the core)
+	Band        *linalg.Banded // band view after bandwidth detection
+	KL, KU      int
+	MACsPerEval int // multiply-accumulates per temperature evaluation
+}
+
+// NewCoreBandModel builds the per-core band model from a thermal network.
+// Couplings to other layers (spreader) and other cores appear only on the
+// diagonal (as ground legs), so the sub-matrix retains the full vertical
+// path while staying banded laterally.
+func NewCoreBandModel(nw *thermal.Network, coreIdx int) (*CoreBandModel, error) {
+	comps := nw.Chip.CoreComponents(coreIdx)
+	m := len(comps)
+	full := nw.AssembleG(0)
+	sub := linalg.NewDense(m, m)
+	for li, gi := range comps {
+		for lj, gj := range comps {
+			sub.Set(li, lj, full.At(gi, gj))
+		}
+	}
+	kl, ku := linalg.Bandwidth(sub, 0)
+	band, err := linalg.BandedFromDense(sub, kl, ku, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: extracting band model: %w", err)
+	}
+	return &CoreBandModel{
+		Core:        coreIdx,
+		G:           sub,
+		Band:        band,
+		KL:          kl,
+		KU:          ku,
+		MACsPerEval: band.MACCount(),
+	}, nil
+}
+
+// EvalTemp performs the band mat-vec q = G·T the systolic array computes; it
+// exists so tests can check the band view agrees with the dense sub-matrix.
+func (m *CoreBandModel) EvalTemp(t, q []float64) {
+	m.Band.MulVec(t, q)
+}
+
+// ScaledEngine wraps a fixed-point systolic array over a core's conductance
+// matrix. Conductances (tens of mW/K) are far below the integer range of
+// the paper's 8-bit encoding, so the hardware stores them pre-scaled; the
+// engine records the factor and undoes it on the way out. Temperatures are
+// evaluated relative to a caller-chosen bias (e.g. ambient) so they too fit
+// the narrow format — §III-E's "8-bit encoding is sufficient for
+// temperature and energy comparison" relies on exactly these two
+// normalizations.
+type ScaledEngine struct {
+	Arr   *systolic.Array
+	Scale float64 // factor applied to the stored conductances
+}
+
+// Engine builds the fixed-point evaluation engine for this core's band
+// model in the given format.
+func (m *CoreBandModel) Engine(q systolic.Q) (*ScaledEngine, error) {
+	var maxAbs float64
+	for i := 0; i < m.G.Rows; i++ {
+		for j := 0; j < m.G.Cols; j++ {
+			if v := math.Abs(m.G.At(i, j)); v > maxAbs {
+				maxAbs = v
+			}
+		}
+	}
+	if maxAbs == 0 {
+		return nil, fmt.Errorf("core: zero conductance matrix")
+	}
+	scale := q.Max() / (2 * maxAbs)
+	scaled := linalg.NewBanded(m.Band.N, m.Band.KL, m.Band.KU)
+	for i := 0; i < m.Band.N; i++ {
+		for j := 0; j < m.Band.N; j++ {
+			if scaled.InBand(i, j) {
+				scaled.Set(i, j, m.Band.At(i, j)*scale)
+			}
+		}
+	}
+	arr, err := systolic.New(scaled, q)
+	if err != nil {
+		return nil, err
+	}
+	return &ScaledEngine{Arr: arr, Scale: scale}, nil
+}
+
+// Eval computes q = G·t on the array, where t holds temperatures relative
+// to the caller's bias point (must fit the format range). The result is
+// de-scaled back to watts.
+func (e *ScaledEngine) Eval(t, q []float64) (systolic.Stats, error) {
+	st, err := e.Arr.MulVec(t, q)
+	if err != nil {
+		return st, err
+	}
+	for i := range q {
+		q[i] /= e.Scale
+	}
+	return st, nil
+}

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"math"
+
+	"tecfan/internal/sim"
+)
+
+// Controller is the TECfan hierarchical controller (§III-D, Fig. 2). It
+// implements sim.Controller for the lower level and sim.FanController for
+// the higher level.
+type Controller struct {
+	Est *Estimator
+	// FanGuard is the margin (°C) below threshold required before the fan
+	// loop probes a slower level, preventing level flapping.
+	FanGuard float64
+	// Margin is the safety band (°C) subtracted from the threshold in the
+	// controller's own feasibility checks: predictions carry model error
+	// (linear vs quadratic leakage, last-interval power under activity
+	// jitter), and the paper's <0.5 % violation ratio implies conservatism.
+	Margin float64
+	// MaxIterations bounds one control period's down-hill walk; the default
+	// is the paper's NL + NM (all TECs plus all DVFS steps).
+	MaxIterations int
+	// ChipLevelDVFS restricts DVFS to a single chip-wide level (§III-E:
+	// "TECfan does not rely on per-core DVFS ... can be integrated with
+	// chip-level DVFS seamlessly"). Hot iterations lower and cool
+	// iterations raise every core together.
+	ChipLevelDVFS bool
+	// CurrentLevels, when non-empty, switches the TEC knob to graded
+	// per-device current control over these drive points (see current.go).
+	CurrentLevels []float64
+	// NoTEC removes the TEC knob (ablation: fan+DVFS coordination only).
+	NoTEC bool
+	// NoDVFS removes the DVFS knob (ablation: cooling coordination only).
+	NoDVFS bool
+
+	lastObs *sim.Observation // cached lower-level observation for fan control
+}
+
+// NewController builds a TECfan controller over an estimator.
+func NewController(est *Estimator) *Controller {
+	n := est.Chip.NumCores()
+	return &Controller{
+		Est:           est,
+		FanGuard:      1.0,
+		Margin:        1.0,
+		MaxIterations: n*len(est.Placements) + n*est.DVFS.Num(),
+	}
+}
+
+// Name implements sim.Controller.
+func (c *Controller) Name() string { return "TECfan" }
+
+// Reset implements sim.Controller.
+func (c *Controller) Reset() { c.lastObs = nil }
+
+// Control implements the lower level: one multi-step down-hill walk per
+// control period, returning the best feasible configuration visited.
+func (c *Controller) Control(obs *sim.Observation) sim.Decision {
+	c.lastObs = cloneObs(obs)
+	cand := Candidate{
+		DVFS:     append([]int(nil), obs.DVFS...),
+		FanLevel: obs.FanLevel,
+	}
+	if c.usingCurrents() {
+		cand.TECAmps = append([]float64(nil), obs.TECAmps...)
+	} else {
+		cand.TECOn = append([]bool(nil), obs.TECOn...)
+	}
+	// Tighten the threshold by the safety margin for all internal
+	// feasibility decisions.
+	mobs := *obs
+	mobs.Threshold = obs.Threshold - c.Margin
+	est := c.Est.Estimate(&mobs, cand)
+	if !est.Feasible {
+		cand, _ = c.hotIteration(&mobs, cand, est)
+	} else {
+		cand = c.coolIteration(&mobs, cand, est)
+	}
+	return sim.Decision{DVFS: cand.DVFS, TECOn: cand.TECOn, TECAmps: cand.TECAmps}
+}
+
+// hotIteration reduces the predicted peak below the threshold: first engage
+// the TEC above the hottest uncovered hot spot; once every hot spot's TECs
+// are on, lower DVFS levels, each step picking the core whose single-step
+// throttle yields the least per-instruction energy. Returns the final
+// candidate and its estimate.
+func (c *Controller) hotIteration(obs *sim.Observation, cand Candidate, est Estimate) (Candidate, Estimate) {
+	for iter := 0; iter < c.MaxIterations; iter++ {
+		if est.Feasible {
+			return cand, est
+		}
+		if l := c.offTECOverHottestSpot(cand, est, obs.Threshold); l >= 0 {
+			c.raiseTEC(&cand, l)
+			est = c.Est.Estimate(obs, cand)
+			continue
+		}
+		if c.NoDVFS {
+			return cand, est // throttling disabled: best effort with TECs
+		}
+		// All TECs above hot spots are on: throttle. Choose the single-step
+		// DVFS reduction with the smallest estimated EPI (Fig. 2's "select
+		// the adjustment that has the smallest energy consumption"). In
+		// chip-level mode the only candidate lowers every core together.
+		if c.ChipLevelDVFS {
+			trial := cand.clone()
+			lowered := false
+			for core := range trial.DVFS {
+				if trial.DVFS[core] > 0 {
+					trial.DVFS[core]--
+					lowered = true
+				}
+			}
+			if !lowered {
+				return cand, est
+			}
+			cand = trial
+			est = c.Est.Estimate(obs, cand)
+			continue
+		}
+		bestCore := -1
+		var bestEst Estimate
+		bestEPI := math.Inf(1)
+		for core := range cand.DVFS {
+			if cand.DVFS[core] == 0 {
+				continue
+			}
+			trial := cand.clone()
+			trial.DVFS[core]--
+			te := c.Est.Estimate(obs, trial)
+			if te.EPI < bestEPI {
+				bestEPI, bestCore, bestEst = te.EPI, core, te
+			}
+		}
+		if bestCore < 0 {
+			return cand, est // every knob exhausted; apply best effort
+		}
+		cand.DVFS[bestCore]--
+		est = bestEst
+	}
+	return cand, est
+}
+
+// offTECOverHottestSpot returns the index of a TEC with cooling headroom
+// covering the hottest component whose predicted temperature violates the
+// threshold, or -1 when every violating component's TECs are maxed. Among a
+// component's devices, the one with the largest coverage engages first.
+func (c *Controller) offTECOverHottestSpot(cand Candidate, est Estimate, threshold float64) int {
+	if c.NoTEC {
+		return -1
+	}
+	bestL := -1
+	bestT := threshold // only components above the threshold qualify
+	bestCover := 0.0
+	for l, pl := range c.Est.Placements {
+		if c.tecMaxed(cand, l) {
+			continue
+		}
+		for comp, cover := range pl.Cover {
+			t := est.Temps[comp]
+			if t < bestT || (t == bestT && cover <= bestCover) {
+				continue
+			}
+			bestL, bestT, bestCover = l, t, cover
+		}
+	}
+	return bestL
+}
+
+// coolIteration exploits headroom: raise DVFS toward maximum (choosing the
+// core whose step has the least EPI), then switch off the TEC above the
+// coolest covered spot, stopping one step before a predicted violation.
+func (c *Controller) coolIteration(obs *sim.Observation, cand Candidate, est Estimate) Candidate {
+	maxLevel := c.Est.DVFS.Max()
+	for iter := 0; iter < c.MaxIterations; iter++ {
+		allMax := true
+		for _, l := range cand.DVFS {
+			if l < maxLevel {
+				allMax = false
+				break
+			}
+		}
+		if !allMax && c.NoDVFS {
+			allMax = true // skip the DVFS-raising branch entirely
+		}
+		if !allMax {
+			if c.ChipLevelDVFS {
+				// Raise every core together, stopping before a violation.
+				trial := cand.clone()
+				for core := range trial.DVFS {
+					if trial.DVFS[core] < maxLevel {
+						trial.DVFS[core]++
+					}
+				}
+				te := c.Est.Estimate(obs, trial)
+				if !te.Feasible {
+					return cand
+				}
+				cand = trial
+				est = te
+				continue
+			}
+			// Raise the best core by one step.
+			bestCore := -1
+			bestEPI := math.Inf(1)
+			var bestEst Estimate
+			for core := range cand.DVFS {
+				if cand.DVFS[core] >= maxLevel {
+					continue
+				}
+				trial := cand.clone()
+				trial.DVFS[core]++
+				te := c.Est.Estimate(obs, trial)
+				if te.EPI < bestEPI {
+					bestEPI, bestCore, bestEst = te.EPI, core, te
+				}
+			}
+			if bestCore < 0 || !bestEst.Feasible {
+				return cand // raising anything would violate: stop
+			}
+			cand.DVFS[bestCore]++
+			est = bestEst
+			continue
+		}
+		// All cores at max: shed TEC power from the coolest covered spot,
+		// but only while the estimate stays feasible AND the EPI improves
+		// (switching a TEC off always sheds its electrical power, but may
+		// raise leakage via higher temperature).
+		l := c.onTECOverCoolestSpot(cand, est)
+		if l < 0 || c.NoTEC {
+			return cand
+		}
+		trial := cand.clone()
+		c.lowerTEC(&trial, l)
+		te := c.Est.Estimate(obs, trial)
+		if !te.Feasible || te.EPI > est.EPI {
+			return cand
+		}
+		cand = trial
+		est = te
+	}
+	return cand
+}
+
+// onTECOverCoolestSpot returns the switched-on TEC whose covered components
+// are coolest (by their hottest covered component), or -1 if none are on.
+func (c *Controller) onTECOverCoolestSpot(cand Candidate, est Estimate) int {
+	best := -1
+	bestT := math.Inf(1)
+	for l, pl := range c.Est.Placements {
+		if !c.tecActive(cand, l) {
+			continue
+		}
+		spotMax := math.Inf(-1)
+		for comp := range pl.Cover {
+			if t := est.Temps[comp]; t > spotMax {
+				spotMax = t
+			}
+		}
+		if spotMax < bestT {
+			bestT, best = spotMax, l
+		}
+	}
+	return best
+}
+
+// FanControl implements the higher level (§III-D last paragraph): raise the
+// fan while steady-state hot spots persist, probe one level slower when
+// there is guard-band headroom. It uses the cached lower-level measurements
+// as the power reading, like the paper's "average power of the last
+// interval".
+func (c *Controller) FanControl(obs *sim.Observation) int {
+	if c.lastObs == nil {
+		return obs.FanLevel
+	}
+	m := c.lastObs
+	m.Temps = obs.Temps // freshest temperatures, last-interval power
+	m.DVFS = obs.DVFS
+	m.TECOn = obs.TECOn
+	cand := Candidate{
+		DVFS:     append([]int(nil), obs.DVFS...),
+		TECOn:    append([]bool(nil), obs.TECOn...),
+		TECAmps:  append([]float64(nil), obs.TECAmps...),
+		FanLevel: obs.FanLevel,
+	}
+	if c.usingCurrents() {
+		cand.TECOn = nil
+	} else {
+		cand.TECAmps = nil
+	}
+	peak := c.Est.SteadyPeak(m, cand)
+	if peak > obs.Threshold {
+		// Hot: speed up (lower index) until the prediction clears.
+		level := obs.FanLevel
+		for level > 0 && peak > obs.Threshold {
+			level--
+			cand.FanLevel = level
+			peak = c.Est.SteadyPeak(m, cand)
+		}
+		return level
+	}
+	// Cool: probe one level slower.
+	if obs.FanLevel+1 < c.Est.Fan.NumLevels() {
+		cand.FanLevel = obs.FanLevel + 1
+		if c.Est.SteadyPeak(m, cand) <= obs.Threshold-c.FanGuard {
+			return obs.FanLevel + 1
+		}
+	}
+	return obs.FanLevel
+}
+
+// cloneObs deep-copies the slices of an observation the controller retains
+// across periods.
+func cloneObs(obs *sim.Observation) *sim.Observation {
+	c := *obs
+	c.Temps = append([]float64(nil), obs.Temps...)
+	c.DynPower = append([]float64(nil), obs.DynPower...)
+	c.CoreIPS = append([]float64(nil), obs.CoreIPS...)
+	c.DVFS = append([]int(nil), obs.DVFS...)
+	c.TECOn = append([]bool(nil), obs.TECOn...)
+	c.TECAmps = append([]float64(nil), obs.TECAmps...)
+	return &c
+}

@@ -1,0 +1,265 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"tecfan/internal/core"
+	"tecfan/internal/perf"
+	"tecfan/internal/sim"
+	"tecfan/internal/tec"
+	"tecfan/internal/workload"
+)
+
+// The ablation studies quantify the design choices DESIGN.md calls out:
+// which of the three knobs earns TECfan's result (the paper's central
+// coordination claim), what per-core DVFS buys over the chip-level DVFS the
+// paper says TECfan tolerates (§III-E), what graded TEC current control
+// would buy over on/off transistors (§III), how sensitive the heuristic is
+// to its control period (§III-D picks 2 ms), and what the 6 A drive choice
+// costs relative to other currents ([10] flags 8 A as dangerous).
+
+// AblationRow is one controller variant's outcome on one benchmark.
+type AblationRow struct {
+	Variant   string
+	Bench     string
+	FanLevel  int
+	Metrics   perf.Metrics
+	Norm      perf.NormalizedMetrics
+	Evals     int // model evaluations per run (complexity cost)
+	Completed bool
+}
+
+// tecfanVariant builds a configured TECfan controller plus its estimator.
+func (e *Env) tecfanVariant(period float64, mod func(*core.Controller)) (*core.Controller, *core.Estimator) {
+	est := core.NewEstimator(e.NW, e.DVFS, e.Leak, e.Fan, e.TECs, period)
+	ctl := core.NewController(est)
+	if mod != nil {
+		mod(ctl)
+	}
+	return ctl, est
+}
+
+// runVariant evaluates a TECfan variant with the §IV-C fan selection
+// (minimum-energy feasible level, as for stock TECfan).
+func (e *Env) runVariant(b *workload.Benchmark, threshold float64, base perf.Metrics,
+	name string, period float64, mod func(*core.Controller)) (AblationRow, error) {
+	bestLevel := 0
+	var bestRes *sim.Result
+	var evals int
+	for level := 0; level < e.Fan.NumLevels(); level++ {
+		ctl, est := e.tecfanVariant(period, mod)
+		cfg := e.config(b, threshold, level)
+		cfg.ControlPeriod = period
+		r, err := sim.NewRunner(cfg, ctl)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		res, err := r.Run()
+		if err != nil {
+			return AblationRow{}, err
+		}
+		if !e.withinBudget(res) || !res.Completed {
+			break
+		}
+		if bestRes == nil || res.Metrics.Energy < bestRes.Metrics.Energy {
+			bestLevel, bestRes, evals = level, res, est.Evaluations
+		}
+	}
+	if bestRes == nil {
+		ctl, est := e.tecfanVariant(period, mod)
+		cfg := e.config(b, threshold, 0)
+		cfg.ControlPeriod = period
+		r, err := sim.NewRunner(cfg, ctl)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		res, err := r.Run()
+		if err != nil {
+			return AblationRow{}, err
+		}
+		bestRes, evals = res, est.Evaluations
+	}
+	return AblationRow{
+		Variant:   name,
+		Bench:     b.Name,
+		FanLevel:  bestLevel,
+		Metrics:   bestRes.Metrics,
+		Norm:      bestRes.Metrics.Normalize(base),
+		Evals:     evals,
+		Completed: bestRes.Completed,
+	}, nil
+}
+
+// KnobAblation removes one knob at a time from TECfan on the given
+// benchmark and reports the damage — the coordination claim, quantified.
+func (e *Env) KnobAblation(benchName string) ([]AblationRow, error) {
+	b, err := workload.ByName(benchName, 16, e.Leak)
+	if err != nil {
+		return nil, err
+	}
+	sb := e.scaled(b)
+	baseRes, err := e.BaseScenario(sb)
+	if err != nil {
+		return nil, err
+	}
+	threshold := baseRes.Metrics.PeakTemp
+	variants := []struct {
+		name string
+		mod  func(*core.Controller)
+	}{
+		{"TECfan (full)", nil},
+		{"no TEC knob", func(c *core.Controller) { c.NoTEC = true }},
+		{"no DVFS knob", func(c *core.Controller) { c.NoDVFS = true }},
+		{"chip-level DVFS", func(c *core.Controller) { c.ChipLevelDVFS = true }},
+		{"graded current", func(c *core.Controller) { c.CurrentLevels = core.DefaultCurrentLevels }},
+	}
+	var rows []AblationRow
+	for _, v := range variants {
+		row, err := e.runVariant(sb, threshold, baseRes.Metrics, v.name, 2e-3, v.mod)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", v.name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PeriodAblation sweeps the lower-level control period around the paper's
+// 2 ms choice.
+func (e *Env) PeriodAblation(benchName string, periods []float64) ([]AblationRow, error) {
+	b, err := workload.ByName(benchName, 16, e.Leak)
+	if err != nil {
+		return nil, err
+	}
+	sb := e.scaled(b)
+	baseRes, err := e.BaseScenario(sb)
+	if err != nil {
+		return nil, err
+	}
+	threshold := baseRes.Metrics.PeakTemp
+	var rows []AblationRow
+	for _, p := range periods {
+		row, err := e.runVariant(sb, threshold, baseRes.Metrics,
+			fmt.Sprintf("period %.0f ms", p*1000), p, nil)
+		if err != nil {
+			return nil, fmt.Errorf("period ablation %v: %w", p, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CurrentAblationRow reports one drive current's steady cooling effect and
+// electrical cost with a full hot-core array engaged.
+type CurrentAblationRow struct {
+	Current  float64 // A
+	PeakDrop float64 // °C relief of the hot core's peak
+	TECPower float64 // W, Eq. (9)
+}
+
+// CurrentAblation sweeps the TEC drive current on a single-hot-core steady
+// scenario, exposing the diminishing (and eventually reversing) return the
+// paper cites when motivating the conservative 6 A choice: past the optimum,
+// I²R Joule heating eats the Peltier gain.
+func (e *Env) CurrentAblation(currents []float64) ([]CurrentAblationRow, error) {
+	// One core hot (lu-style), rest idle.
+	p := make([]float64, len(e.Chip.Components))
+	hot := e.Chip.NumCores() / 2
+	for _, i := range e.Chip.CoreComponents(hot) {
+		c := e.Chip.Components[i]
+		w := 6.0 * c.Area() / 9.36
+		if c.Name == "FPMul" {
+			w *= 4
+		}
+		p[i] = w
+	}
+	base, err := e.NW.Steady(p, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	_, basePeak := e.NW.CorePeak(base, hot)
+
+	var rows []CurrentAblationRow
+	for _, amps := range currents {
+		ts := tec.NewState(e.TECs)
+		for _, l := range ts.CoreDevices(hot) {
+			ts.SetCurrent(l, amps)
+		}
+		ts.Advance(1)
+		temps, err := e.NW.Steady(p, 1, ts)
+		if err != nil {
+			return nil, err
+		}
+		_, peak := e.NW.CorePeak(temps, hot)
+		rows = append(rows, CurrentAblationRow{
+			Current:  amps,
+			PeakDrop: basePeak - peak,
+			TECPower: e.NW.TECPower(temps, ts),
+		})
+	}
+	return rows, nil
+}
+
+// PlacementAblation compares the hot-row-aligned TEC placement against a
+// uniform 3×3 grid over the logic region ([10]'s placement question).
+func (e *Env) PlacementAblation() (aligned, uniform float64, err error) {
+	// Hot core scenario as in CurrentAblation.
+	p := make([]float64, len(e.Chip.Components))
+	hot := e.Chip.NumCores() / 2
+	for _, i := range e.Chip.CoreComponents(hot) {
+		c := e.Chip.Components[i]
+		w := 6.0 * c.Area() / 9.36
+		if c.Name == "FPMul" {
+			w *= 4
+		}
+		p[i] = w
+	}
+	base, err := e.NW.Steady(p, 1, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	_, basePeak := e.NW.CorePeak(base, hot)
+
+	relief := func(placements []tec.Placement) (float64, error) {
+		ts := tec.NewState(placements)
+		for _, l := range ts.CoreDevices(hot) {
+			ts.Set(l, true)
+		}
+		ts.Advance(1)
+		temps, err := e.NW.Steady(p, 1, ts)
+		if err != nil {
+			return 0, err
+		}
+		_, peak := e.NW.CorePeak(temps, hot)
+		return basePeak - peak, nil
+	}
+	if aligned, err = relief(e.TECs); err != nil {
+		return 0, 0, err
+	}
+	if uniform, err = relief(tec.UniformArray(e.Chip, tec.DefaultDevice())); err != nil {
+		return 0, 0, err
+	}
+	return aligned, uniform, nil
+}
+
+// WriteAblation renders knob/period ablation rows.
+func WriteAblation(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-16s %4s %8s %8s %8s %8s %8s %9s\n",
+		"variant", "fan", "delay", "power", "energy", "EDP", "viol%", "evals")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %4d %8.3f %8.3f %8.3f %8.3f %8.3f %9d\n",
+			r.Variant, r.FanLevel+1, r.Norm.Delay, r.Norm.Power, r.Norm.Energy,
+			r.Norm.EDP, 100*r.Metrics.ViolationRatio, r.Evals)
+	}
+}
+
+// WriteCurrentAblation renders the drive-current sweep.
+func WriteCurrentAblation(w io.Writer, rows []CurrentAblationRow) {
+	fmt.Fprintln(w, "TEC drive-current sweep (hot core, 9 devices, steady state)")
+	fmt.Fprintf(w, "%8s %12s %12s\n", "I (A)", "ΔT peak (°C)", "TEC P (W)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8.1f %12.2f %12.2f\n", r.Current, r.PeakDrop, r.TECPower)
+	}
+}

@@ -1,0 +1,319 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestKnobAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	e := testEnv()
+	rows, err := e.KnobAblation("cholesky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d variants, want 5", len(rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		if !r.Completed {
+			t.Errorf("%s did not complete", r.Variant)
+		}
+		byName[r.Variant] = r
+	}
+	full := byName["TECfan (full)"]
+	if full.Norm.Energy >= 1 {
+		t.Errorf("full TECfan energy %.3f, must save vs base", full.Norm.Energy)
+	}
+	// The chip-level-DVFS claim of §III-E: integrates seamlessly, i.e. EDP
+	// within a few percent of per-core DVFS.
+	chip := byName["chip-level DVFS"]
+	if chip.Norm.EDP > full.Norm.EDP*1.08 {
+		t.Errorf("chip-level EDP %.3f vs per-core %.3f: seamless-integration claim broken",
+			chip.Norm.EDP, full.Norm.EDP)
+	}
+	// Graded current control is a refinement, not a regression.
+	graded := byName["graded current"]
+	if graded.Norm.EDP > full.Norm.EDP*1.05 {
+		t.Errorf("graded-current EDP %.3f much worse than binary %.3f", graded.Norm.EDP, full.Norm.EDP)
+	}
+	// Removing DVFS leaves the cooling-only controller, which cannot save
+	// more energy than the full controller saves with throttling available.
+	noDVFS := byName["no DVFS knob"]
+	if noDVFS.Norm.Delay > 1.001 {
+		t.Errorf("no-DVFS variant has delay %.3f; it cannot throttle", noDVFS.Norm.Delay)
+	}
+	var buf bytes.Buffer
+	WriteAblation(&buf, "knob ablation", rows)
+	if !strings.Contains(buf.String(), "TECfan (full)") {
+		t.Fatal("rendered ablation incomplete")
+	}
+}
+
+func TestPeriodAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	e := testEnv()
+	rows, err := e.PeriodAblation("cholesky", []float64{2e-3, 8e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	p2, p8 := rows[0], rows[1]
+	// The paper's 2 ms period controls cleanly; 4× slower reaction leaks
+	// violations (or at best matches).
+	if p8.Metrics.ViolationRatio < p2.Metrics.ViolationRatio {
+		t.Errorf("slower control period improved violations: %.3f vs %.3f",
+			p8.Metrics.ViolationRatio, p2.Metrics.ViolationRatio)
+	}
+	// Faster control costs proportionally more model evaluations.
+	if p2.Evals <= p8.Evals {
+		t.Errorf("2 ms period should evaluate more often than 8 ms: %d vs %d", p2.Evals, p8.Evals)
+	}
+}
+
+func TestCurrentAblation(t *testing.T) {
+	e := NewEnv()
+	rows, err := e.CurrentAblation([]float64{2, 4, 6, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].PeakDrop < rows[i-1].PeakDrop-0.5 {
+			t.Errorf("cooling collapsed between %v A and %v A", rows[i-1].Current, rows[i].Current)
+		}
+		if rows[i].TECPower <= rows[i-1].TECPower {
+			t.Errorf("TEC power not increasing with current")
+		}
+	}
+	// The paper's conservative-6A story: going 6→8 A costs ~2× the power
+	// for marginal extra cooling.
+	d6, d8 := rows[2], rows[3]
+	extraCool := d8.PeakDrop - d6.PeakDrop
+	extraPower := d8.TECPower - d6.TECPower
+	if extraCool > 1.0 {
+		t.Errorf("6→8 A gained %.2f °C; expected marginal (<1 °C)", extraCool)
+	}
+	if extraPower < 0.5 {
+		t.Errorf("6→8 A added only %.2f W; Joule cost should bite", extraPower)
+	}
+	var buf bytes.Buffer
+	WriteCurrentAblation(&buf, rows)
+	if !strings.Contains(buf.String(), "sweep") {
+		t.Fatal("rendered sweep incomplete")
+	}
+}
+
+func TestPlacementAblation(t *testing.T) {
+	e := NewEnv()
+	aligned, uniform, err := e.PlacementAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aligned <= 0 || uniform <= 0 {
+		t.Fatalf("non-positive relief: %v / %v", aligned, uniform)
+	}
+	// Hot-row alignment must not be worse than the naive grid.
+	if aligned < uniform-0.1 {
+		t.Errorf("aligned placement relief %.2f worse than uniform %.2f", aligned, uniform)
+	}
+}
+
+func TestMappingStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mapping study in -short mode")
+	}
+	e := testEnv()
+	rows, err := e.MappingStudy("cholesky", "TECfan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d mappings", len(rows))
+	}
+	byName := map[string]MappingRow{}
+	for _, r := range rows {
+		byName[r.Mapping] = r
+		if r.Norm.Energy >= 1 {
+			t.Errorf("mapping %s: TECfan energy %.3f, no saving", r.Mapping, r.Norm.Energy)
+		}
+		if r.Metrics.ViolationRatio > 0.01 {
+			t.Errorf("mapping %s: violations %.3f", r.Mapping, r.Metrics.ViolationRatio)
+		}
+	}
+	// Physics: a corner block has fewer lateral spreading paths than the
+	// centre block, so its base peak runs hotter.
+	if byName["corner"].BasePeak <= byName["center"].BasePeak {
+		t.Errorf("corner base peak %.2f not above center %.2f — edge-spreading physics broken",
+			byName["corner"].BasePeak, byName["center"].BasePeak)
+	}
+	var buf bytes.Buffer
+	WriteMappingStudy(&buf, "cholesky", rows)
+	if !strings.Contains(buf.String(), "corner") {
+		t.Fatal("rendered study incomplete")
+	}
+}
+
+func TestMappingStudyUnknownBench(t *testing.T) {
+	e := testEnv()
+	if _, err := e.MappingStudy("nosuch", "TECfan"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestTimescales(t *testing.T) {
+	e := NewEnv()
+	rows, err := e.Timescales()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d actuators", len(rows))
+	}
+	byName := map[string]StepResponse{}
+	for _, r := range rows {
+		byName[r.Actuator] = r
+	}
+	tecR := byName["TEC on (9 devices)"]
+	dvfsR := byName["DVFS max→max-1"]
+	fanR := byName["fan level 2→1"]
+	// §III-D observation 2: TEC and DVFS act on millisecond scales, the fan
+	// through tens of seconds of heat-sink inertia — a ≥100× separation.
+	if tecR.Settle90 > 0.2 {
+		t.Errorf("TEC settle %.3f s, want millisecond-class", tecR.Settle90)
+	}
+	if dvfsR.Settle90 > 0.2 {
+		t.Errorf("DVFS settle %.3f s, want millisecond-class", dvfsR.Settle90)
+	}
+	if fanR.Settle90 < 10 {
+		t.Errorf("fan settle %.1f s, want tens of seconds (sink inertia)", fanR.Settle90)
+	}
+	if fanR.Settle90 < 100*tecR.Settle90 {
+		t.Errorf("fan/TEC separation only %.0f×, the hierarchy needs orders of magnitude",
+			fanR.Settle90/tecR.Settle90)
+	}
+	// Directions: all three cool the watched spot.
+	for _, r := range rows {
+		if r.Delta >= 0 {
+			t.Errorf("%s warmed the spot by %.2f °C", r.Actuator, r.Delta)
+		}
+	}
+	var buf bytes.Buffer
+	WriteTimescales(&buf, rows)
+	if !strings.Contains(buf.String(), "settle90") {
+		t.Fatal("rendered study incomplete")
+	}
+}
+
+func TestControllerScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling study in -short mode")
+	}
+	rows, err := ControllerScaling([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Evaluations grow polynomially: the paper's O(NL + N²M) bound means
+	// evals(9 cores) / evals(1 core) stays far below the Oracle's
+	// exponential blow-up.
+	for i, wantCores := range []int{1, 4, 9} {
+		if rows[i].Cores != wantCores {
+			t.Fatalf("row %d has %d cores, want %d", i, rows[i].Cores, wantCores)
+		}
+		n := float64(rows[i].Cores)
+		bound := n*float64(rows[i].TECs) + n*n*6 + 1
+		if float64(rows[i].Evaluations) > bound {
+			t.Errorf("%d cores: %d evals exceed the O(NL+N²M) bound %.0f",
+				rows[i].Cores, rows[i].Evaluations, bound)
+		}
+		if rows[i].Elapsed <= 0 {
+			t.Error("no elapsed time recorded")
+		}
+	}
+	// The Oracle space column must dwarf the measured evaluations by many
+	// orders of magnitude already at 9 cores.
+	if rows[2].Log10OracleSpace < 20 {
+		t.Errorf("Oracle space log10 = %.0f, expected astronomical", rows[2].Log10OracleSpace)
+	}
+	var buf bytes.Buffer
+	WriteScaling(&buf, rows)
+	if !strings.Contains(buf.String(), "Oracle space") {
+		t.Fatal("rendered study incomplete")
+	}
+}
+
+func TestMixStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mix study in -short mode")
+	}
+	e := testEnv()
+	r, err := e.MixStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bench != "lu+volrend" {
+		t.Fatalf("bench %q", r.Bench)
+	}
+	// TECfan saves energy at no delay on the mix.
+	if r.Norm.Energy >= 1 {
+		t.Errorf("mix energy %.3f, no saving", r.Norm.Energy)
+	}
+	if r.Norm.Delay > 1.06 {
+		t.Errorf("mix delay %.3f", r.Norm.Delay)
+	}
+	// The local-cooling premise: TEC activity concentrates on the hot-spot
+	// half of the chip, not the uniform half.
+	if r.DutyHotSide < 0.7 {
+		t.Errorf("only %.0f%% of TEC activity on the hot side; local cooling premise broken",
+			100*r.DutyHotSide)
+	}
+	var buf bytes.Buffer
+	WriteMixStudy(&buf, r)
+	if !strings.Contains(buf.String(), "attribution") {
+		t.Fatal("rendered study incomplete")
+	}
+}
+
+func TestOracleGap(t *testing.T) {
+	for _, sev := range []float64{2, 6, 10} {
+		r, err := OracleGap(sev)
+		if err != nil {
+			t.Fatalf("severity %v: %v", sev, err)
+		}
+		if r.Configs != 15360 {
+			t.Fatalf("exhaustive space %d, want 2^9·6·5", r.Configs)
+		}
+		// TECfan never beats the oracle (it searches the same space).
+		if r.TECfanEPI < r.OracleEPI-1e-15 {
+			t.Fatalf("severity %v: TECfan EPI below the exhaustive optimum", sev)
+		}
+		// The paper's claim, on the component-level model: TECfan is
+		// within ~10 % of the performance-matched optimum, at orders of
+		// magnitude fewer evaluations.
+		if r.GapPerf > 0.12 {
+			t.Errorf("severity %v: gap vs Oracle-P %.1f%%", sev, 100*r.GapPerf)
+		}
+		if r.Evaluations*100 > r.Configs {
+			t.Errorf("severity %v: TECfan used %d evals — not cheap vs %d", sev, r.Evaluations, r.Configs)
+		}
+	}
+	r, _ := OracleGap(2)
+	var buf bytes.Buffer
+	WriteOracleGap(&buf, r)
+	if !strings.Contains(buf.String(), "Oracle-P") {
+		t.Fatal("rendered gap incomplete")
+	}
+}

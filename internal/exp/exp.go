@@ -1,0 +1,197 @@
+// Package exp contains one driver per table and figure of the paper's
+// evaluation (§V), regenerating the same rows and series from our simulation
+// stack:
+//
+//	Table I   — base-scenario time / power / peak temperature per benchmark
+//	Fig. 4    — Fan-only vs Fan+TEC cooling effect and cooling power
+//	Fig. 5    — peak temperature and violation ratio per policy
+//	Fig. 6    — delay / power / energy / EDP normalized to the base scenario
+//	Fig. 7    — TECfan vs OFTEC / Oracle / Oracle-P on the server setup
+//	§III-E    — systolic-array hardware cost
+//
+// Every driver accepts a scale factor so tests can run millisecond-sized
+// versions of the experiments while the benchmark harness runs them at full
+// length.
+package exp
+
+import (
+	"fmt"
+
+	"tecfan/internal/core"
+	"tecfan/internal/fan"
+	"tecfan/internal/floorplan"
+	"tecfan/internal/perf"
+	"tecfan/internal/policy"
+	"tecfan/internal/power"
+	"tecfan/internal/sim"
+	"tecfan/internal/tec"
+	"tecfan/internal/thermal"
+	"tecfan/internal/workload"
+)
+
+// Env is the 16-core experiment environment.
+type Env struct {
+	Chip *floorplan.Chip
+	Fan  *fan.Model
+	NW   *thermal.Network
+	DVFS *power.DVFSTable
+	Leak power.Leakage
+	TECs []tec.Placement
+
+	// Scale shrinks every benchmark's instruction budget (1 = paper
+	// length). Smaller runs keep every mechanism but finish faster.
+	Scale float64
+	// ViolationBudget is the fraction of run time a fan level may violate
+	// T_th and still count as "not violating" in the §IV-C fan-selection
+	// procedure (reactive policies always overshoot transiently).
+	ViolationBudget float64
+	// MaxWarmStarts caps the convergence loop per run.
+	MaxWarmStarts int
+}
+
+// NewEnv builds the full-scale environment.
+func NewEnv() *Env {
+	chip := floorplan.NewSCC16()
+	fm := fan.DynatronR16()
+	return &Env{
+		Chip:            chip,
+		Fan:             fm,
+		NW:              thermal.NewNetwork(chip, fm, thermal.DefaultParams()),
+		DVFS:            power.SCCTable(),
+		Leak:            power.DefaultLeakage(),
+		TECs:            tec.Array(chip, tec.DefaultDevice()),
+		Scale:           1,
+		ViolationBudget: 0.08,
+		MaxWarmStarts:   3,
+	}
+}
+
+// scaled returns a copy of the benchmark with the instruction budget (and
+// hence run time) scaled.
+func (e *Env) scaled(b *workload.Benchmark) *workload.Benchmark {
+	if e.Scale == 1 {
+		return b
+	}
+	c := *b
+	c.TotalInst = b.TotalInst * e.Scale
+	c.TargetTimeMS = b.TargetTimeMS * e.Scale
+	return &c
+}
+
+// config assembles a sim.Config for one run.
+func (e *Env) config(b *workload.Benchmark, threshold float64, fanLevel int) sim.Config {
+	return sim.Config{
+		Chip: e.Chip, Fan: e.Fan, Network: e.NW, DVFS: e.DVFS, Leak: e.Leak,
+		TECs: e.TECs, Bench: b, Threshold: threshold,
+		FanLevel:      fanLevel,
+		MaxWarmStarts: e.MaxWarmStarts,
+	}
+}
+
+// runOne executes a single policy run at a fixed fan level.
+func (e *Env) runOne(b *workload.Benchmark, ctl sim.Controller, threshold float64, fanLevel int, trace bool) (*sim.Result, error) {
+	cfg := e.config(b, threshold, fanLevel)
+	cfg.RecordTrace = trace
+	r, err := sim.NewRunner(cfg, ctl)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
+}
+
+// RunTraced runs one policy at a fixed fan level with per-control-period
+// trace recording — the raw series behind the Fig. 4 panels.
+func (e *Env) RunTraced(b *workload.Benchmark, ctl sim.Controller, threshold float64, fanLevel int) (*sim.Result, error) {
+	return e.runOne(b, ctl, threshold, fanLevel, true)
+}
+
+// Controllers returns fresh instances of the §V-A baseline policies plus
+// TECfan, keyed by the paper's names.
+func (e *Env) Controllers() map[string]sim.Controller {
+	est := core.NewEstimator(e.NW, e.DVFS, e.Leak, e.Fan, e.TECs, 2e-3)
+	return map[string]sim.Controller{
+		"Fan-only": policy.FanOnly{},
+		"Fan+TEC":  &policy.FanTEC{Placements: e.TECs},
+		"Fan+DVFS": &policy.FanDVFS{Chip: e.Chip, DVFS: e.DVFS},
+		"DVFS+TEC": &policy.DVFSTEC{Chip: e.Chip, DVFS: e.DVFS, Placements: e.TECs},
+		"TECfan":   core.NewController(est),
+	}
+}
+
+// PolicyOrder is the presentation order of Fig. 5/6.
+var PolicyOrder = []string{"Fan-only", "Fan+TEC", "Fan+DVFS", "DVFS+TEC", "TECfan"}
+
+// SelectFanLevel reproduces §IV-C: run the policy at successively slower fan
+// levels and keep only levels whose violation ratio stays within budget.
+// Among feasible levels, the reactive baselines take the slowest fan (their
+// design goal is cooling with minimum fan power); TECfan takes the level
+// with the least total energy — that is what its higher-level loop, which
+// estimates energy before moving the fan, converges to. Returns the chosen
+// level and its run result.
+func (e *Env) SelectFanLevel(b *workload.Benchmark, name string, threshold float64) (int, *sim.Result, error) {
+	chosen := 0
+	var chosenRes *sim.Result
+	for level := 0; level < e.Fan.NumLevels(); level++ {
+		ctl := e.Controllers()[name]
+		if ctl == nil {
+			return 0, nil, fmt.Errorf("exp: unknown policy %q", name)
+		}
+		res, err := e.runOne(b, ctl, threshold, level, false)
+		if err != nil {
+			return 0, nil, err
+		}
+		if e.withinBudget(res) && res.Completed {
+			if chosenRes == nil ||
+				name != "TECfan" ||
+				res.Metrics.Energy < chosenRes.Metrics.Energy {
+				chosen, chosenRes = level, res
+			}
+			continue
+		}
+		break // slower levels only get worse
+	}
+	if chosenRes == nil {
+		// Even the fastest fan violates: report level 0 anyway.
+		ctl := e.Controllers()[name]
+		res, err := e.runOne(b, ctl, threshold, 0, false)
+		if err != nil {
+			return 0, nil, err
+		}
+		return 0, res, nil
+	}
+	return chosen, chosenRes, nil
+}
+
+// ViolationTimeBudget is the absolute violation-time acceptance used
+// alongside the ratio budget: a reactive policy pays one ~2 ms detection
+// latency per core crossing regardless of run length (the hot-phase onset
+// sweeps all 16 cores across the threshold), and the paper's own Fig. 4(b)
+// acceptance ("always below the threshold except for two data points") is
+// a count of samples, i.e. an absolute time. 7 ms is roughly three control
+// periods of cumulative transient per hot-phase onset.
+const ViolationTimeBudget = 10e-3
+
+// withinBudget applies the §IV-C acceptance: either the violation ratio is
+// within the relative budget, or the absolute violating time is within the
+// few-data-points budget. The absolute clause exists for the reactive
+// wavefront transient (each core crossing once at a hot-phase onset), so it
+// only applies while violations remain a modest fraction of the run —
+// sustained violation is rejected regardless of run length.
+func (e *Env) withinBudget(res *sim.Result) bool {
+	if res.Metrics.ViolationRatio <= e.ViolationBudget {
+		return true
+	}
+	return res.Metrics.ViolationRatio <= 0.25 &&
+		res.Metrics.ViolationRatio*res.Metrics.Time <= ViolationTimeBudget
+}
+
+// BaseScenario runs a benchmark with everything maxed (fan level 1 = index
+// 0, max DVFS, TECs off) and returns its metrics — the Table I row and the
+// Fig. 6 normalization base. The temperature threshold used during the run
+// is the benchmark's own Table I peak (the base scenario defines it).
+func (e *Env) BaseScenario(b *workload.Benchmark) (*sim.Result, error) {
+	return e.runOne(b, policy.FanOnly{}, b.TargetPeak, 0, false)
+}
+
+// Metrics shorthand.
+type Metrics = perf.Metrics

@@ -1,0 +1,48 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"tecfan/internal/core"
+)
+
+// HardwareCostReport reproduces the §III-E cost analysis against our own
+// floorplan and thermal network: the paper's 54-multiplier systolic array
+// plus the measured band structure of a real per-core conductance matrix.
+type HardwareCostReport struct {
+	Paper   core.SystolicCost // M=18, K=3, 8-bit on a 200 mm² / ~126 W chip
+	Ours    core.SystolicCost // same array priced against our 10.4×14.4 die
+	DieArea float64           // our die area, mm²
+	// Band structure measured from the assembled thermal network.
+	KL, KU      int
+	MACsPerEval int
+}
+
+// HardwareCost builds the report.
+func (e *Env) HardwareCost() (*HardwareCostReport, error) {
+	band, err := core.NewCoreBandModel(e.NW, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &HardwareCostReport{
+		Paper:       core.PaperSystolic(200, 126),
+		Ours:        core.PaperSystolic(e.Chip.Area(), 126),
+		DieArea:     e.Chip.Area(),
+		KL:          band.KL,
+		KU:          band.KU,
+		MACsPerEval: band.MACsPerEval,
+	}, nil
+}
+
+// WriteHardwareCost renders the report.
+func WriteHardwareCost(w io.Writer, r *HardwareCostReport) {
+	fmt.Fprintln(w, "§III-E hardware cost (systolic temperature evaluation)")
+	fmt.Fprintf(w, "array: %d×%d = %d multipliers, %d-bit\n",
+		r.Paper.M, r.Paper.K, r.Paper.Multipliers, r.Paper.Bits)
+	fmt.Fprintf(w, "paper die (200 mm²):  area %.3f mm² (%.2f%%), power %.2f W (%.2f%%)\n",
+		r.Paper.AreaMM2, 100*r.Paper.AreaOverhead, r.Paper.PowerW, 100*r.Paper.PowerOverhead)
+	fmt.Fprintf(w, "our die (%.1f mm²):   area overhead %.2f%%\n", r.DieArea, 100*r.Ours.AreaOverhead)
+	fmt.Fprintf(w, "measured per-core G band: kl=%d ku=%d, %d MACs per evaluation (paper budget M·K=54)\n",
+		r.KL, r.KU, r.MACsPerEval)
+}

@@ -1,0 +1,12 @@
+package exp
+
+import "tecfan/internal/workload"
+
+// testBenchmarks returns the scaled Table I set for test helpers.
+func testBenchmarks(e *Env) []*workload.Benchmark {
+	var out []*workload.Benchmark
+	for _, b := range workload.Table1(e.Leak) {
+		out = append(out, e.scaled(b))
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"tecfan/internal/workload"
+)
+
+// Table1Row is one reproduced row of Table I alongside the paper's values.
+type Table1Row struct {
+	Workload  string
+	Inputfile string
+	FFInst    float64
+	Threads   int
+	Inst      float64
+
+	TimeMS float64 // measured execution time
+	Power  float64 // measured average chip power, W
+	PeakT  float64 // measured peak temperature, °C
+
+	PaperTimeMS float64
+	PaperPower  float64
+	PaperPeakT  float64
+}
+
+// Table1 reproduces the base scenario for all eight Table I rows.
+func (e *Env) Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, b := range workload.Table1(e.Leak) {
+		sb := e.scaled(b)
+		res, err := e.BaseScenario(sb)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s-%d: %w", b.Name, b.Threads, err)
+		}
+		rows = append(rows, Table1Row{
+			Workload:  b.Name,
+			Inputfile: b.Input,
+			FFInst:    b.FFInst,
+			Threads:   b.Threads,
+			Inst:      b.TotalInst,
+			// Report at paper scale: time scales inversely with Scale.
+			// Table I lists processor power (Wattch/SESC output); fan power
+			// is accounted separately in Fig. 4(c), so subtract it here.
+			TimeMS:      res.Metrics.Time * 1000 / e.Scale,
+			Power:       res.Metrics.AvgPower - e.Fan.Power(0),
+			PeakT:       res.Metrics.PeakTemp,
+			PaperTimeMS: b.TargetTimeMS,
+			PaperPower:  b.TargetPower,
+			PaperPeakT:  b.TargetPeak,
+		})
+	}
+	return rows, nil
+}
+
+// WriteTable1 renders the rows in the paper's layout plus the paper-reported
+// columns for side-by-side comparison.
+func WriteTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "%-9s %-9s %7s %8s | %9s %9s %8s | %9s %9s %8s\n",
+		"Workload", "Input", "FFInst", "Threads", "Time(ms)", "Power(W)", "T(C)", "~Time", "~Power", "~T")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s %-9s %6.0fM %8d | %9.2f %9.1f %8.2f | %9.2f %9.1f %8.2f\n",
+			r.Workload, r.Inputfile, r.FFInst/1e6, r.Threads,
+			r.TimeMS, r.Power, r.PeakT,
+			r.PaperTimeMS, r.PaperPower, r.PaperPeakT)
+	}
+}

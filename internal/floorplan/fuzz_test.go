@@ -1,0 +1,38 @@
+package floorplan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadFLP hardens the HotSpot parser against malformed input: it must
+// return an error or a well-formed unit list, never panic, and every
+// accepted unit must have positive dimensions.
+func FuzzReadFLP(f *testing.F) {
+	f.Add("unit 1.0e-3 1.0e-3 0 0\n")
+	f.Add("# comment\nu1 2e-3 1e-3 0 0\nu2 1e-3 1e-3 2e-3 0\n")
+	f.Add("")
+	f.Add("a b c d e\n")
+	f.Add("x 1 1 -5 -5\n")
+	f.Add("n 1e300 1e300 1e300 1e300\n")
+	var chip bytes.Buffer
+	if err := WriteFLP(&chip, NewQuad()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(chip.String())
+	f.Fuzz(func(t *testing.T, input string) {
+		units, err := ReadFLP(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(units) == 0 {
+			t.Fatal("accepted input produced no units")
+		}
+		for _, u := range units {
+			if u.W <= 0 || u.H <= 0 {
+				t.Fatalf("accepted unit with non-positive size: %+v", u)
+			}
+		}
+	})
+}

@@ -1,0 +1,146 @@
+package linalg
+
+import "fmt"
+
+// Banded is a square band matrix with kl sub-diagonals and ku super-diagonals,
+// stored in LAPACK-style band storage: element (i, j) with
+// max(0,i-kl) <= j <= min(n-1,i+ku) lives at row i, band column (j - i + kl).
+//
+// The paper's §III-E observes that the per-core thermal conductance matrix is
+// by nature a band matrix (thermal impact only between adjacent components),
+// which is what makes the proposed systolic-array hardware cheap. We model
+// that hardware here: BandMulVec is the operation the systolic array performs
+// and SystolicCost (in internal/core) prices it.
+type Banded struct {
+	N      int
+	KL, KU int
+	Data   []float64 // N rows × (KL+KU+1) band columns, row-major
+}
+
+// NewBanded allocates a zeroed n×n band matrix with bandwidths kl, ku.
+func NewBanded(n, kl, ku int) *Banded {
+	if n <= 0 || kl < 0 || ku < 0 || kl >= n || ku >= n {
+		panic(fmt.Sprintf("linalg: invalid band shape n=%d kl=%d ku=%d", n, kl, ku))
+	}
+	return &Banded{N: n, KL: kl, KU: ku, Data: make([]float64, n*(kl+ku+1))}
+}
+
+// InBand reports whether (i, j) lies inside the band.
+func (b *Banded) InBand(i, j int) bool {
+	return j >= i-b.KL && j <= i+b.KU && i >= 0 && j >= 0 && i < b.N && j < b.N
+}
+
+// At returns element (i, j); zero outside the band.
+func (b *Banded) At(i, j int) float64 {
+	if !b.InBand(i, j) {
+		return 0
+	}
+	return b.Data[i*(b.KL+b.KU+1)+(j-i+b.KL)]
+}
+
+// Set assigns element (i, j); it panics outside the band.
+func (b *Banded) Set(i, j int, v float64) {
+	if !b.InBand(i, j) {
+		panic(fmt.Sprintf("linalg: (%d,%d) outside band kl=%d ku=%d", i, j, b.KL, b.KU))
+	}
+	b.Data[i*(b.KL+b.KU+1)+(j-i+b.KL)] = v
+}
+
+// MulVec computes y = B·x using only in-band elements — exactly the
+// multiply-accumulate schedule a band systolic array executes.
+func (b *Banded) MulVec(x, y []float64) {
+	if len(x) != b.N || len(y) != b.N {
+		panic(ErrShape)
+	}
+	w := b.KL + b.KU + 1
+	for i := 0; i < b.N; i++ {
+		lo := i - b.KL
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + b.KU
+		if hi >= b.N {
+			hi = b.N - 1
+		}
+		var s float64
+		base := i * w
+		for j := lo; j <= hi; j++ {
+			s += b.Data[base+(j-i+b.KL)] * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// Dense expands the band matrix to dense form.
+func (b *Banded) Dense() *Dense {
+	d := NewDense(b.N, b.N)
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < b.N; j++ {
+			if b.InBand(i, j) {
+				d.Set(i, j, b.At(i, j))
+			}
+		}
+	}
+	return d
+}
+
+// BandedFromDense extracts the (kl, ku) band of a dense matrix, returning an
+// error if any out-of-band element exceeds tol (i.e. the matrix is not truly
+// banded).
+func BandedFromDense(d *Dense, kl, ku int, tol float64) (*Banded, error) {
+	if d.Rows != d.Cols {
+		return nil, ErrShape
+	}
+	b := NewBanded(d.Rows, kl, ku)
+	for i := 0; i < d.Rows; i++ {
+		for j := 0; j < d.Cols; j++ {
+			v := d.At(i, j)
+			if b.InBand(i, j) {
+				b.Set(i, j, v)
+			} else if v > tol || v < -tol {
+				return nil, fmt.Errorf("linalg: element (%d,%d)=%g outside band", i, j, v)
+			}
+		}
+	}
+	return b, nil
+}
+
+// Bandwidth returns the smallest (kl, ku) such that all entries of d with
+// magnitude above tol are inside the band.
+func Bandwidth(d *Dense, tol float64) (kl, ku int) {
+	for i := 0; i < d.Rows; i++ {
+		for j := 0; j < d.Cols; j++ {
+			v := d.At(i, j)
+			if v > tol || v < -tol {
+				if i-j > kl {
+					kl = i - j
+				}
+				if j-i > ku {
+					ku = j - i
+				}
+			}
+		}
+	}
+	return kl, ku
+}
+
+// MACCount returns the number of multiply-accumulate operations one band
+// mat-vec needs — the quantity the paper prices at M×K fixed-point
+// multiplications per core temperature evaluation.
+func (b *Banded) MACCount() int {
+	w := b.KL + b.KU + 1
+	total := 0
+	for i := 0; i < b.N; i++ {
+		lo := i - b.KL
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + b.KU
+		if hi >= b.N {
+			hi = b.N - 1
+		}
+		_ = w
+		total += hi - lo + 1
+	}
+	return total
+}

@@ -1,0 +1,147 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomBanded(rng *rand.Rand, n, kl, ku int) *Banded {
+	b := NewBanded(n, kl, ku)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if b.InBand(i, j) {
+				b.Set(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return b
+}
+
+func TestBandedAtSet(t *testing.T) {
+	b := NewBanded(5, 1, 1)
+	b.Set(2, 3, 7)
+	if got := b.At(2, 3); got != 7 {
+		t.Fatalf("At(2,3) = %v", got)
+	}
+	if got := b.At(0, 4); got != 0 {
+		t.Fatalf("out-of-band At = %v, want 0", got)
+	}
+}
+
+func TestBandedSetOutOfBandPanics(t *testing.T) {
+	b := NewBanded(5, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic setting out-of-band element")
+		}
+	}()
+	b.Set(0, 3, 1)
+}
+
+func TestBandedInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kl >= n")
+		}
+	}()
+	NewBanded(3, 3, 0)
+}
+
+// Property: banded mat-vec equals dense mat-vec of the expansion.
+func TestBandedMulVecMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		kl := rng.Intn(n)
+		ku := rng.Intn(n)
+		b := randomBanded(rng, n, kl, ku)
+		d := b.Dense()
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y1 := make([]float64, n)
+		y2 := make([]float64, n)
+		b.MulVec(x, y1)
+		d.MulVec(x, y2)
+		for i := range y1 {
+			if !almostEqual(y1[i], y2[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandedFromDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	b := randomBanded(rng, 10, 2, 1)
+	d := b.Dense()
+	b2, err := BandedFromDense(d, 2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if b.At(i, j) != b2.At(i, j) {
+				t.Fatalf("round trip mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestBandedFromDenseRejectsOutOfBand(t *testing.T) {
+	d := NewDense(4, 4)
+	d.Set(0, 3, 5) // far off-diagonal
+	if _, err := BandedFromDense(d, 1, 1, 1e-12); err == nil {
+		t.Fatal("expected error for out-of-band element")
+	}
+}
+
+func TestBandedFromDenseNonSquare(t *testing.T) {
+	if _, err := BandedFromDense(NewDense(2, 3), 1, 1, 0); err != ErrShape {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	d := NewDense(5, 5)
+	d.Set(0, 0, 1)
+	d.Set(3, 1, 1) // kl = 2
+	d.Set(1, 2, 1) // ku = 1
+	kl, ku := Bandwidth(d, 0)
+	if kl != 2 || ku != 1 {
+		t.Fatalf("Bandwidth = (%d,%d), want (2,1)", kl, ku)
+	}
+	// With a large tolerance the matrix looks diagonal.
+	kl, ku = Bandwidth(d, 10)
+	if kl != 0 || ku != 0 {
+		t.Fatalf("Bandwidth with tol = (%d,%d), want (0,0)", kl, ku)
+	}
+}
+
+func TestMACCount(t *testing.T) {
+	// Tridiagonal 18-node chain: interior rows cost 3 MACs, the two edge
+	// rows cost 2. This is the paper's M=18, K=3 per-core systolic workload.
+	b := NewBanded(18, 1, 1)
+	got := b.MACCount()
+	want := 16*3 + 2*2
+	if got != want {
+		t.Fatalf("MACCount = %d, want %d", got, want)
+	}
+	// Paper prices the array at M×K = 54 multipliers (edge rows padded).
+	if got > 18*3 {
+		t.Fatalf("MACCount %d exceeds the paper's M*K=54 bound", got)
+	}
+}
+
+func TestMACCountFullBand(t *testing.T) {
+	b := NewBanded(4, 3, 3)
+	if got := b.MACCount(); got != 16 {
+		t.Fatalf("full-band MACCount = %d, want 16", got)
+	}
+}

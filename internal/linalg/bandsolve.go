@@ -1,0 +1,146 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Band-system solvers. The §III-E hardware discussion notes that when the
+// thermal resistance matrix is used directly, the per-core temperature
+// update is a band solve rather than a band multiply; these kernels provide
+// that path in O(n·w²) instead of dense O(n³).
+
+// SolveTridiag solves a tridiagonal system in place with the Thomas
+// algorithm: lower[i]·x[i-1] + diag[i]·x[i] + upper[i]·x[i+1] = rhs[i].
+// lower[0] and upper[n-1] are ignored. Inputs are not modified; the result
+// is written into x (len n). The algorithm is stable for the diagonally
+// dominant systems thermal chains produce; a vanishing pivot returns
+// ErrSingular.
+func SolveTridiag(lower, diag, upper, rhs, x []float64) error {
+	n := len(diag)
+	if len(lower) != n || len(upper) != n || len(rhs) != n || len(x) != n {
+		return ErrShape
+	}
+	if n == 0 {
+		return nil
+	}
+	cp := make([]float64, n) // modified upper
+	dp := make([]float64, n) // modified rhs
+	if diag[0] == 0 {
+		return ErrSingular
+	}
+	cp[0] = upper[0] / diag[0]
+	dp[0] = rhs[0] / diag[0]
+	for i := 1; i < n; i++ {
+		den := diag[i] - lower[i]*cp[i-1]
+		if den == 0 || math.IsNaN(den) {
+			return ErrSingular
+		}
+		cp[i] = upper[i] / den
+		dp[i] = (rhs[i] - lower[i]*dp[i-1]) / den
+	}
+	x[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = dp[i] - cp[i]*x[i+1]
+	}
+	return nil
+}
+
+// BandLU is an LU factorization of a band matrix without pivoting, valid
+// for the diagonally dominant conductance systems this library assembles.
+// Factorization costs O(n·kl·ku); each solve costs O(n·(kl+ku)).
+type BandLU struct {
+	n, kl, ku int
+	// lu stores the factors in band layout: row i, band column j-i+kl.
+	lu []float64
+}
+
+// NewBandLU factors the band matrix. It returns ErrSingular on a zero
+// pivot; callers with non-dominant systems should use the dense LU (which
+// pivots) instead.
+func NewBandLU(b *Banded) (*BandLU, error) {
+	n, kl, ku := b.N, b.KL, b.KU
+	w := kl + ku + 1
+	f := &BandLU{n: n, kl: kl, ku: ku, lu: make([]float64, n*w)}
+	copy(f.lu, b.Data)
+	at := func(i, j int) float64 { return f.lu[i*w+(j-i+kl)] }
+	set := func(i, j int, v float64) { f.lu[i*w+(j-i+kl)] = v }
+	for col := 0; col < n; col++ {
+		piv := at(col, col)
+		if piv == 0 || math.IsNaN(piv) {
+			return nil, ErrSingular
+		}
+		rmax := col + kl
+		if rmax >= n {
+			rmax = n - 1
+		}
+		for r := col + 1; r <= rmax; r++ {
+			m := at(r, col) / piv
+			set(r, col, m)
+			if m == 0 {
+				continue
+			}
+			cmax := col + ku
+			if cmax >= n {
+				cmax = n - 1
+			}
+			for c := col + 1; c <= cmax; c++ {
+				// (r, c) is in band iff c ≤ r+ku; the fill stays inside the
+				// band because we do not pivot.
+				if c <= r+ku {
+					set(r, c, at(r, c)-m*at(col, c))
+				}
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve computes x with A·x = rhs. x may alias rhs.
+func (f *BandLU) Solve(rhs, x []float64) error {
+	if len(rhs) != f.n || len(x) != f.n {
+		return ErrShape
+	}
+	w := f.kl + f.ku + 1
+	at := func(i, j int) float64 { return f.lu[i*w+(j-i+f.kl)] }
+	if &x[0] != &rhs[0] {
+		copy(x, rhs)
+	}
+	// Forward substitution with unit-diagonal L.
+	for i := 0; i < f.n; i++ {
+		lo := i - f.kl
+		if lo < 0 {
+			lo = 0
+		}
+		s := x[i]
+		for j := lo; j < i; j++ {
+			s -= at(i, j) * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := f.n - 1; i >= 0; i-- {
+		hi := i + f.ku
+		if hi >= f.n {
+			hi = f.n - 1
+		}
+		s := x[i]
+		for j := i + 1; j <= hi; j++ {
+			s -= at(i, j) * x[j]
+		}
+		d := at(i, i)
+		if d == 0 {
+			return ErrSingular
+		}
+		x[i] = s / d
+	}
+	return nil
+}
+
+// N returns the system size.
+func (f *BandLU) N() int { return f.n }
+
+// String describes the factorization shape.
+func (f *BandLU) String() string {
+	return fmt.Sprintf("BandLU(n=%d, kl=%d, ku=%d)", f.n, f.kl, f.ku)
+}

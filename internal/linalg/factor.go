@@ -1,0 +1,183 @@
+package linalg
+
+import "math"
+
+// Cholesky holds the lower-triangular factor L of an SPD matrix A = L·Lᵀ.
+// The thermal conductance matrix of a pure-resistance network is SPD once the
+// ambient ground node is eliminated, so this is the default steady-state
+// solver.
+type Cholesky struct {
+	n int
+	l *Dense
+}
+
+// NewCholesky factors the SPD matrix a. It returns ErrNotSPD if a pivot is
+// not strictly positive.
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrShape
+	}
+	n := a.Rows
+	l := a.Clone()
+	for j := 0; j < n; j++ {
+		d := l.At(j, j)
+		for k := 0; k < j; k++ {
+			v := l.At(j, k)
+			d -= v * v
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotSPD
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		inv := 1 / d
+		for i := j + 1; i < n; i++ {
+			s := l.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s*inv)
+		}
+	}
+	// Zero the strictly-upper part so the factor is clean for callers that
+	// inspect it.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			l.Set(i, j, 0)
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// Solve computes x such that A·x = b. b is not modified; x must have length n
+// and may alias b.
+func (c *Cholesky) Solve(b, x []float64) {
+	if len(b) != c.n || len(x) != c.n {
+		panic(ErrShape)
+	}
+	if &x[0] != &b[0] {
+		copy(x, b)
+	}
+	l := c.l
+	// Forward substitution L·y = b.
+	for i := 0; i < c.n; i++ {
+		s := x[i]
+		row := l.Row(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * x[k]
+		}
+		x[i] = s / row[i]
+	}
+	// Back substitution Lᵀ·x = y.
+	for i := c.n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < c.n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+}
+
+// N returns the system size.
+func (c *Cholesky) N() int { return c.n }
+
+// LU holds an LU factorization with partial pivoting, P·A = L·U. It handles
+// the mildly non-symmetric systems that arise when the Peltier term of an
+// active TEC is folded into the conductance matrix.
+type LU struct {
+	n    int
+	lu   *Dense
+	piv  []int
+	sign int
+}
+
+// NewLU factors the square matrix a with partial pivoting.
+func NewLU(a *Dense) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrShape
+	}
+	n := a.Rows
+	f := &LU{n: n, lu: a.Clone(), piv: make([]int, n), sign: 1}
+	lu := f.lu
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Pivot: largest magnitude in this column at or below the diagonal.
+		p := col
+		mx := math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if a := math.Abs(lu.At(r, col)); a > mx {
+				mx, p = a, r
+			}
+		}
+		if mx == 0 || math.IsNaN(mx) {
+			return nil, ErrSingular
+		}
+		if p != col {
+			ri, rp := lu.Row(col), lu.Row(p)
+			for j := range ri {
+				ri[j], rp[j] = rp[j], ri[j]
+			}
+			f.piv[col], f.piv[p] = f.piv[p], f.piv[col]
+			f.sign = -f.sign
+		}
+		d := lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			m := lu.At(r, col) / d
+			lu.Set(r, col, m)
+			if m == 0 {
+				continue
+			}
+			rrow, crow := lu.Row(r), lu.Row(col)
+			for j := col + 1; j < n; j++ {
+				rrow[j] -= m * crow[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve computes x such that A·x = b. x must have length n; b is untouched
+// unless x aliases it.
+func (f *LU) Solve(b, x []float64) {
+	if len(b) != f.n || len(x) != f.n {
+		panic(ErrShape)
+	}
+	tmp := make([]float64, f.n)
+	for i, p := range f.piv {
+		tmp[i] = b[p]
+	}
+	lu := f.lu
+	// Forward: L·y = P·b (unit diagonal).
+	for i := 0; i < f.n; i++ {
+		s := tmp[i]
+		row := lu.Row(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * tmp[k]
+		}
+		tmp[i] = s
+	}
+	// Backward: U·x = y.
+	for i := f.n - 1; i >= 0; i-- {
+		s := tmp[i]
+		row := lu.Row(i)
+		for k := i + 1; k < f.n; k++ {
+			s -= row[k] * tmp[k]
+		}
+		tmp[i] = s / row[i]
+	}
+	copy(x, tmp)
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// N returns the system size.
+func (f *LU) N() int { return f.n }

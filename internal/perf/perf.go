@@ -1,0 +1,146 @@
+// Package perf provides the performance metrics of §III-B and §V-D: the
+// chip-level IPS aggregation (Eq. 10–11), per-instruction energy
+// (EPI = P/IPS, the paper's optimization objective), and the execution
+// delay / energy / energy-delay-product (EDP [38]) accounting used in the
+// evaluation figures.
+package perf
+
+import "fmt"
+
+// ChipIPS implements Eq. (10): total instructions per second over all cores.
+func ChipIPS(coreIPS []float64) float64 {
+	var s float64
+	for _, v := range coreIPS {
+		s += v
+	}
+	return s
+}
+
+// ScaleIPS implements Eq. (11): next-interval per-core IPS predicted from the
+// previous interval under a frequency ratio F(k)/F(k−1).
+func ScaleIPS(prevIPS, freqRatio float64) float64 { return prevIPS * freqRatio }
+
+// EPI returns per-instruction energy (J/instruction) for a chip power and
+// aggregate IPS; it is the objective of Eq. (13). Zero IPS yields +Inf-free
+// handling: EPI is defined as power (everything is overhead) to keep
+// comparisons total.
+func EPI(chipPower, chipIPS float64) float64 {
+	if chipIPS <= 0 {
+		return chipPower
+	}
+	return chipPower / chipIPS
+}
+
+// Accumulator integrates power, instructions, and violations over a run and
+// reports the §V-D metrics.
+type Accumulator struct {
+	Energy       float64 // J
+	Instructions float64
+	Time         float64 // s
+	ViolationT   float64 // s spent above threshold
+	Samples      int
+	PeakTemp     float64
+	maxPower     float64
+	sumPower     float64
+}
+
+// Add records one interval of dt seconds at the given chip power, chip IPS,
+// peak temperature, and threshold.
+func (a *Accumulator) Add(dt, chipPower, chipIPS, peakT, threshold float64) {
+	if dt <= 0 {
+		panic(fmt.Sprintf("perf: non-positive dt %v", dt))
+	}
+	a.Energy += chipPower * dt
+	a.Instructions += chipIPS * dt
+	a.Time += dt
+	if peakT > threshold {
+		a.ViolationT += dt
+	}
+	if peakT > a.PeakTemp {
+		a.PeakTemp = peakT
+	}
+	if chipPower > a.maxPower {
+		a.maxPower = chipPower
+	}
+	a.sumPower += chipPower * dt
+	a.Samples++
+}
+
+// AvgPower returns the time-weighted average chip power (W).
+func (a *Accumulator) AvgPower() float64 {
+	if a.Time == 0 {
+		return 0
+	}
+	return a.sumPower / a.Time
+}
+
+// MaxPower returns the highest interval power seen.
+func (a *Accumulator) MaxPower() float64 { return a.maxPower }
+
+// ViolationRatio returns the fraction of run time spent above threshold —
+// the Fig. 5(b) metric.
+func (a *Accumulator) ViolationRatio() float64 {
+	if a.Time == 0 {
+		return 0
+	}
+	return a.ViolationT / a.Time
+}
+
+// EPI returns the realized per-instruction energy over the run.
+func (a *Accumulator) EPI() float64 {
+	if a.Instructions <= 0 {
+		return a.Energy
+	}
+	return a.Energy / a.Instructions
+}
+
+// EDP returns the energy-delay product E·t (J·s), the Fig. 6(d) metric.
+func (a *Accumulator) EDP() float64 { return a.Energy * a.Time }
+
+// Metrics is the flattened result record used by the experiment drivers.
+type Metrics struct {
+	Time           float64 // s
+	Energy         float64 // J
+	AvgPower       float64 // W
+	PeakTemp       float64 // °C
+	ViolationRatio float64
+	EPI            float64 // J/instruction
+	EDP            float64 // J·s
+	Instructions   float64
+}
+
+// Snapshot freezes the accumulator into a Metrics record.
+func (a *Accumulator) Snapshot() Metrics {
+	return Metrics{
+		Time:           a.Time,
+		Energy:         a.Energy,
+		AvgPower:       a.AvgPower(),
+		PeakTemp:       a.PeakTemp,
+		ViolationRatio: a.ViolationRatio(),
+		EPI:            a.EPI(),
+		EDP:            a.EDP(),
+		Instructions:   a.Instructions,
+	}
+}
+
+// Normalize returns m's headline metrics divided by base's — the
+// normalized-to-base-scenario presentation of Fig. 6 and Fig. 7.
+func (m Metrics) Normalize(base Metrics) NormalizedMetrics {
+	div := func(a, b float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	}
+	return NormalizedMetrics{
+		Delay:  div(m.Time, base.Time),
+		Power:  div(m.AvgPower, base.AvgPower),
+		Energy: div(m.Energy, base.Energy),
+		EDP:    div(m.EDP, base.EDP),
+	}
+}
+
+// NormalizedMetrics are delay/power/energy/EDP relative to a baseline run.
+type NormalizedMetrics struct {
+	Delay, Power, Energy, EDP float64
+}

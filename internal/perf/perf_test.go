@@ -1,0 +1,98 @@
+package perf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChipIPS(t *testing.T) {
+	if got := ChipIPS([]float64{1e9, 2e9, 3e9}); got != 6e9 {
+		t.Fatalf("ChipIPS = %v", got)
+	}
+	if ChipIPS(nil) != 0 {
+		t.Fatal("empty ChipIPS should be 0")
+	}
+}
+
+func TestScaleIPS(t *testing.T) {
+	if got := ScaleIPS(2e9, 0.5); got != 1e9 {
+		t.Fatalf("ScaleIPS = %v", got)
+	}
+}
+
+func TestEPI(t *testing.T) {
+	if got := EPI(100, 1e9); got != 1e-7 {
+		t.Fatalf("EPI = %v", got)
+	}
+	if got := EPI(100, 0); got != 100 {
+		t.Fatalf("EPI with zero IPS = %v, want total-overhead convention", got)
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	a.Add(0.5, 100, 2e9, 80, 85) // no violation
+	a.Add(0.5, 200, 1e9, 90, 85) // violation
+	if a.Time != 1.0 {
+		t.Fatalf("Time = %v", a.Time)
+	}
+	if a.Energy != 150 {
+		t.Fatalf("Energy = %v", a.Energy)
+	}
+	if a.Instructions != 1.5e9 {
+		t.Fatalf("Instructions = %v", a.Instructions)
+	}
+	if a.ViolationRatio() != 0.5 {
+		t.Fatalf("ViolationRatio = %v", a.ViolationRatio())
+	}
+	if a.PeakTemp != 90 {
+		t.Fatalf("PeakTemp = %v", a.PeakTemp)
+	}
+	if a.AvgPower() != 150 {
+		t.Fatalf("AvgPower = %v", a.AvgPower())
+	}
+	if a.MaxPower() != 200 {
+		t.Fatalf("MaxPower = %v", a.MaxPower())
+	}
+	if got := a.EPI(); math.Abs(got-1e-7) > 1e-18 {
+		t.Fatalf("EPI = %v", got)
+	}
+	if a.EDP() != 150 {
+		t.Fatalf("EDP = %v", a.EDP())
+	}
+	m := a.Snapshot()
+	if m.Energy != 150 || m.Time != 1 || m.ViolationRatio != 0.5 || m.AvgPower != 150 {
+		t.Fatalf("Snapshot = %+v", m)
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.AvgPower() != 0 || a.ViolationRatio() != 0 || a.EPI() != 0 {
+		t.Fatal("empty accumulator should report zeros")
+	}
+}
+
+func TestAccumulatorPanicsOnBadDT(t *testing.T) {
+	var a Accumulator
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Add(0, 1, 1, 1, 1)
+}
+
+func TestNormalize(t *testing.T) {
+	base := Metrics{Time: 2, AvgPower: 100, Energy: 200, EDP: 400}
+	m := Metrics{Time: 3, AvgPower: 50, Energy: 150, EDP: 450}
+	n := m.Normalize(base)
+	if n.Delay != 1.5 || n.Power != 0.5 || n.Energy != 0.75 || n.EDP != 1.125 {
+		t.Fatalf("Normalize = %+v", n)
+	}
+	// Division by a zero baseline yields 0, not NaN.
+	z := m.Normalize(Metrics{})
+	if z.Delay != 0 || math.IsNaN(z.Energy) {
+		t.Fatalf("zero-base Normalize = %+v", z)
+	}
+}

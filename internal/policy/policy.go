@@ -1,0 +1,186 @@
+// Package policy implements the paper's §V-A baseline controllers for the
+// 16-core experiments:
+//
+//   - Fan-only: fixed fan speed, no TEC or DVFS actuation,
+//   - Fan+TEC: reactive per-TEC on/off from local temperatures,
+//   - Fan+DVFS: classic per-core DTM (throttle above threshold, boost below),
+//   - DVFS+TEC: both of the above, uncoordinated — the combination whose
+//     mutual interference the paper highlights (TECs switch off exactly when
+//     DVFS ramps up, overshooting the threshold next interval).
+//
+// Each policy is a sim.Controller; the experiment driver runs every policy
+// across fan levels and keeps the lowest level whose violation ratio stays
+// within budget, reproducing the §IV-C fan-selection procedure.
+package policy
+
+import (
+	"tecfan/internal/floorplan"
+	"tecfan/internal/power"
+	"tecfan/internal/sim"
+	"tecfan/internal/tec"
+)
+
+// FanOnly performs no TEC or DVFS actuation; cooling comes entirely from the
+// fan level chosen by the experiment driver. It matches the base scenario
+// when the driver keeps fan level 1.
+type FanOnly struct{}
+
+// Name implements sim.Controller.
+func (FanOnly) Name() string { return "Fan-only" }
+
+// Control implements sim.Controller: no actuation.
+func (FanOnly) Control(*sim.Observation) sim.Decision { return sim.Decision{} }
+
+// Reset implements sim.Controller.
+func (FanOnly) Reset() {}
+
+// DefaultTECGuard is the hysteresis band (°C) applied to the TEC off-rule.
+// The paper's verbatim rule ("on above threshold, off below") limit-cycles:
+// an engaged array cools its spot by more than any small band, switches
+// off, and the spot immediately re-heats past the threshold. As with any
+// bang-bang actuator, the hysteresis must exceed the actuation step (the
+// ~4–5 °C relief a spot's devices deliver), so a triggered TEC stays on
+// until its spot has cooled well clear — which is exactly the sustained
+// TEC activity the paper's Fig. 4(b) trace exhibits.
+const DefaultTECGuard = 8.0
+
+// FanTEC switches each TEC on when any component below it is at or above the
+// threshold, and off when every component below it has cooled below
+// threshold − guard — the paper's reactive rule, with temperature sensing
+// assumed at all components.
+type FanTEC struct {
+	Placements []tec.Placement
+	Guard      float64 // 0 means DefaultTECGuard
+}
+
+// Name implements sim.Controller.
+func (p *FanTEC) Name() string { return "Fan+TEC" }
+
+// Reset implements sim.Controller.
+func (p *FanTEC) Reset() {}
+
+// Control implements sim.Controller.
+func (p *FanTEC) Control(obs *sim.Observation) sim.Decision {
+	next := append([]bool(nil), obs.TECOn...)
+	decideTEC(p.Placements, obs, next, p.guard())
+	return sim.Decision{TECOn: next}
+}
+
+func (p *FanTEC) guard() float64 {
+	if p.Guard == 0 {
+		return DefaultTECGuard
+	}
+	return p.Guard
+}
+
+// decideTEC applies the reactive TEC rule in place: on when any covered
+// component is at or above the threshold, off only once every covered
+// component has cooled below threshold − guard; in between the state holds.
+func decideTEC(placements []tec.Placement, obs *sim.Observation, next []bool, guard float64) {
+	for l, pl := range placements {
+		anyHot := false
+		allClear := true
+		for comp := range pl.Cover {
+			t := obs.Temps[comp]
+			if t >= obs.Threshold {
+				anyHot = true
+			}
+			if t >= obs.Threshold-guard {
+				allClear = false
+			}
+		}
+		switch {
+		case anyHot:
+			next[l] = true
+		case allClear:
+			next[l] = false
+		}
+	}
+}
+
+// DefaultDVFSGuard is the boost hysteresis (°C) of the DTM baselines: a
+// core's level rises only once its hottest component has cooled below
+// threshold − guard. One DVFS step moves a hot component by several
+// degrees, so a guard smaller than that step would limit-cycle across the
+// threshold every few control periods — real DTM governors (and the small
+// violation ratios of Fig. 5(b)) imply this hysteresis.
+const DefaultDVFSGuard = 6.0
+
+// FanDVFS is the classic DVFS-based dynamic thermal management baseline:
+// each core steps its level down when its hottest component is above the
+// threshold and up when it has cooled clear of the guard band.
+type FanDVFS struct {
+	Chip  *floorplan.Chip
+	DVFS  *power.DVFSTable
+	Guard float64 // 0 means DefaultDVFSGuard
+}
+
+// Name implements sim.Controller.
+func (p *FanDVFS) Name() string { return "Fan+DVFS" }
+
+// Reset implements sim.Controller.
+func (p *FanDVFS) Reset() {}
+
+// Control implements sim.Controller.
+func (p *FanDVFS) Control(obs *sim.Observation) sim.Decision {
+	g := p.Guard
+	if g == 0 {
+		g = DefaultDVFSGuard
+	}
+	next := append([]int(nil), obs.DVFS...)
+	decideDVFS(p.Chip, p.DVFS, obs, next, g)
+	return sim.Decision{DVFS: next}
+}
+
+// decideDVFS applies the reactive per-core DTM rule in place: throttle when
+// at or above the threshold, boost once clear of the guard band.
+func decideDVFS(chip *floorplan.Chip, table *power.DVFSTable, obs *sim.Observation, next []int, guard float64) {
+	for core := 0; core < chip.NumCores(); core++ {
+		hot := false
+		clear := true
+		for _, i := range chip.CoreComponents(core) {
+			t := obs.Temps[i]
+			if t >= obs.Threshold {
+				hot = true
+				break
+			}
+			if t >= obs.Threshold-guard {
+				clear = false
+			}
+		}
+		switch {
+		case hot:
+			next[core] = table.Clamp(next[core] - 1)
+		case clear:
+			next[core] = table.Clamp(next[core] + 1)
+		}
+	}
+}
+
+// DVFSTEC runs the FanTEC and FanDVFS rules side by side with no awareness
+// of each other — the paper's interference case study.
+type DVFSTEC struct {
+	Chip       *floorplan.Chip
+	DVFS       *power.DVFSTable
+	Placements []tec.Placement
+	Guard      float64 // TEC hysteresis; 0 means DefaultTECGuard
+}
+
+// Name implements sim.Controller.
+func (p *DVFSTEC) Name() string { return "DVFS+TEC" }
+
+// Reset implements sim.Controller.
+func (p *DVFSTEC) Reset() {}
+
+// Control implements sim.Controller.
+func (p *DVFSTEC) Control(obs *sim.Observation) sim.Decision {
+	g := p.Guard
+	if g == 0 {
+		g = DefaultTECGuard
+	}
+	nextTEC := append([]bool(nil), obs.TECOn...)
+	decideTEC(p.Placements, obs, nextTEC, g)
+	nextDVFS := append([]int(nil), obs.DVFS...)
+	decideDVFS(p.Chip, p.DVFS, obs, nextDVFS, DefaultDVFSGuard)
+	return sim.Decision{DVFS: nextDVFS, TECOn: nextTEC}
+}

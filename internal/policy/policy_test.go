@@ -1,0 +1,208 @@
+package policy
+
+import (
+	"testing"
+
+	"tecfan/internal/sim"
+	"tecfan/internal/testenv"
+)
+
+// obsWith builds an observation with uniform temperatures except for chosen
+// hot components.
+func obsWith(e *testenv.Env, baseT float64, hot map[int]float64, threshold float64) *sim.Observation {
+	temps := make([]float64, e.NW.NumNodes())
+	for i := range temps {
+		temps[i] = baseT
+	}
+	for comp, t := range hot {
+		temps[comp] = t
+	}
+	nCores := e.Chip.NumCores()
+	dvfs := make([]int, nCores)
+	for i := range dvfs {
+		dvfs[i] = 3
+	}
+	return &sim.Observation{
+		Temps:     temps,
+		DVFS:      dvfs,
+		TECOn:     make([]bool, len(e.TECs)),
+		FanLevel:  1,
+		Threshold: threshold,
+		DynPower:  make([]float64, len(e.Chip.Components)),
+		CoreIPS:   make([]float64, nCores),
+	}
+}
+
+func TestFanOnlyDoesNothing(t *testing.T) {
+	e := testenv.NewQuad()
+	p := FanOnly{}
+	if p.Name() != "Fan-only" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	obs := obsWith(e, 95, nil, 80) // violating hard
+	d := p.Control(obs)
+	if d.DVFS != nil || d.TECOn != nil {
+		t.Fatal("Fan-only actuated something")
+	}
+	p.Reset()
+}
+
+func TestFanTECTurnsOnOverHotSpot(t *testing.T) {
+	e := testenv.NewQuad()
+	p := &FanTEC{Placements: e.TECs}
+	fpmul := e.Chip.Lookup(0, "FPMul")
+	obs := obsWith(e, 60, map[int]float64{fpmul: 86}, 85)
+	d := p.Control(obs)
+	if d.TECOn == nil {
+		t.Fatal("no TEC decision")
+	}
+	onOverHot := false
+	for l, on := range d.TECOn {
+		pl := e.TECs[l]
+		if _, covers := pl.Cover[fpmul]; covers && on {
+			onOverHot = true
+		}
+		if on {
+			if _, covers := pl.Cover[fpmul]; !covers {
+				t.Fatalf("TEC %d turned on without covering the hot spot", l)
+			}
+		}
+	}
+	if !onOverHot {
+		t.Fatal("no TEC over the hot FPMul was engaged")
+	}
+	if d.DVFS != nil {
+		t.Fatal("Fan+TEC must not touch DVFS")
+	}
+}
+
+func TestFanTECHysteresis(t *testing.T) {
+	e := testenv.NewQuad()
+	p := &FanTEC{Placements: e.TECs, Guard: 2}
+	fpmul := e.Chip.Lookup(0, "FPMul")
+	// Spot hot: engage.
+	obs := obsWith(e, 60, map[int]float64{fpmul: 86}, 85)
+	d := p.Control(obs)
+	var l0 int = -1
+	for l, on := range d.TECOn {
+		if on {
+			l0 = l
+			break
+		}
+	}
+	if l0 < 0 {
+		t.Fatal("nothing engaged")
+	}
+	// Spot inside the guard band: stay on.
+	obs2 := obsWith(e, 60, map[int]float64{fpmul: 84}, 85)
+	obs2.TECOn[l0] = true
+	d2 := p.Control(obs2)
+	if !d2.TECOn[l0] {
+		t.Fatal("TEC dropped inside the guard band")
+	}
+	// Spot clear of the band: off.
+	obs3 := obsWith(e, 60, map[int]float64{fpmul: 82}, 85)
+	obs3.TECOn[l0] = true
+	d3 := p.Control(obs3)
+	if d3.TECOn[l0] {
+		t.Fatal("TEC kept on below threshold − guard")
+	}
+}
+
+func TestFanDVFSThrottleAndBoost(t *testing.T) {
+	e := testenv.NewQuad()
+	p := &FanDVFS{Chip: e.Chip, DVFS: e.DVFS}
+	fpmul := e.Chip.Lookup(0, "FPMul")
+	obs := obsWith(e, 60, map[int]float64{fpmul: 90}, 85)
+	d := p.Control(obs)
+	if d.DVFS[0] != 2 {
+		t.Fatalf("hot core 0 level = %d, want 2 (was 3)", d.DVFS[0])
+	}
+	for core := 1; core < 4; core++ {
+		if d.DVFS[core] != 4 {
+			t.Fatalf("cool core %d level = %d, want 4", core, d.DVFS[core])
+		}
+	}
+	if d.TECOn != nil {
+		t.Fatal("Fan+DVFS must not touch TECs")
+	}
+	// Clamping at the ends.
+	obs.DVFS[0] = 0
+	obs.DVFS[1] = e.DVFS.Max()
+	d = p.Control(obs)
+	if d.DVFS[0] != 0 {
+		t.Fatal("hot core at level 0 must stay clamped")
+	}
+	if d.DVFS[1] != e.DVFS.Max() {
+		t.Fatal("cool core at max must stay clamped")
+	}
+}
+
+func TestDVFSTECActsOnBoth(t *testing.T) {
+	e := testenv.NewQuad()
+	p := &DVFSTEC{Chip: e.Chip, DVFS: e.DVFS, Placements: e.TECs}
+	fpmul := e.Chip.Lookup(0, "FPMul")
+	obs := obsWith(e, 60, map[int]float64{fpmul: 90}, 85)
+	d := p.Control(obs)
+	if d.DVFS == nil || d.TECOn == nil {
+		t.Fatal("DVFS+TEC must drive both knobs")
+	}
+	if d.DVFS[0] != 2 {
+		t.Fatalf("hot core not throttled: %d", d.DVFS[0])
+	}
+	engaged := false
+	for _, on := range d.TECOn {
+		if on {
+			engaged = true
+		}
+	}
+	if !engaged {
+		t.Fatal("no TEC engaged over the hot spot")
+	}
+}
+
+func TestDVFSTECInterference(t *testing.T) {
+	// The paper's §V-C observation: when the chip is just below threshold,
+	// the uncoordinated policy simultaneously raises DVFS and turns TECs
+	// off — the combination that overshoots next interval.
+	e := testenv.NewQuad()
+	p := &DVFSTEC{Chip: e.Chip, DVFS: e.DVFS, Placements: e.TECs, Guard: 1}
+	obs := obsWith(e, 70, nil, 85) // everything clear of the guard band
+	for i := range obs.TECOn {
+		obs.TECOn[i] = true
+	}
+	d := p.Control(obs)
+	for core, l := range d.DVFS {
+		if l != 4 {
+			t.Fatalf("core %d not boosted: %d", core, l)
+		}
+	}
+	for l, on := range d.TECOn {
+		if on {
+			t.Fatalf("TEC %d left on despite cool chip — no interference case", l)
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	e := testenv.NewQuad()
+	names := map[string]interface{ Name() string }{
+		"Fan-only": FanOnly{},
+		"Fan+TEC":  &FanTEC{Placements: e.TECs},
+		"Fan+DVFS": &FanDVFS{Chip: e.Chip, DVFS: e.DVFS},
+		"DVFS+TEC": &DVFSTEC{Chip: e.Chip, DVFS: e.DVFS, Placements: e.TECs},
+	}
+	for want, p := range names {
+		if p.Name() != want {
+			t.Fatalf("Name = %q, want %q", p.Name(), want)
+		}
+	}
+}
+
+func TestPoliciesAreSimControllers(t *testing.T) {
+	e := testenv.NewQuad()
+	var _ sim.Controller = FanOnly{}
+	var _ sim.Controller = &FanTEC{Placements: e.TECs}
+	var _ sim.Controller = &FanDVFS{Chip: e.Chip, DVFS: e.DVFS}
+	var _ sim.Controller = &DVFSTEC{Chip: e.Chip, DVFS: e.DVFS, Placements: e.TECs}
+}

@@ -1,0 +1,43 @@
+package server
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTraces hardens the utilization-trace parser: accepted traces are
+// rectangular with all samples in [0, 1]; everything else errors without
+// panicking.
+func FuzzReadTraces(f *testing.F) {
+	f.Add("u0,u1\n0.5,0.25\n0.75,1.0\n")
+	f.Add("")
+	f.Add("u\nnot-a-number\n")
+	f.Add("u\n1.5\n")
+	f.Add("a,b\n0.5\n")
+	var ok bytes.Buffer
+	if err := WriteTraces(&ok, [][]float64{{0.1, 0.2}, {0.3, 0.4}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ok.String())
+	f.Fuzz(func(t *testing.T, input string) {
+		traces, err := ReadTraces(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(traces) == 0 {
+			t.Fatal("accepted input produced no traces")
+		}
+		n := len(traces[0])
+		for _, tr := range traces {
+			if len(tr) != n {
+				t.Fatal("accepted ragged traces")
+			}
+			for _, v := range tr {
+				if v < 0 || v > 1 {
+					t.Fatalf("accepted out-of-range sample %v", v)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package server
+
+// PIDFan is the industry-practice baseline the paper's introduction
+// describes: "processor cooling relies on cooling fans that are driven by
+// motors with feedback controllers, such that the fan speed is adjusted by
+// on-board firmware". It runs DVFS at maximum and TECs off, and closes a
+// discrete PID loop from the peak die temperature to the fan level. It
+// slots into the §V-E comparison as the no-TEC, no-DVFS reference that
+// OFTEC itself improves on.
+type PIDFan struct {
+	// Target is the temperature setpoint (°C); 0 means threshold − margin.
+	Target float64
+	// Margin below the threshold used when Target is 0.
+	Margin float64
+	// Gains of the discrete PID (per-period). Zero values take defaults.
+	Kp, Ki, Kd float64
+
+	integ   float64
+	prevErr float64
+	prevSet bool
+}
+
+// Name implements Policy.
+func (p *PIDFan) Name() string { return "PID-fan" }
+
+// Decide implements Policy.
+func (p *PIDFan) Decide(st *State, m *Machine) Decision {
+	kp, ki, kd := p.Kp, p.Ki, p.Kd
+	if kp == 0 {
+		kp = 0.4
+	}
+	if ki == 0 {
+		ki = 0.06
+	}
+	if kd == 0 {
+		kd = 0.2
+	}
+	target := p.Target
+	if target == 0 {
+		margin := p.Margin
+		if margin == 0 {
+			margin = 4
+		}
+		target = st.Threshold - margin
+	}
+
+	var peak float64 = -1e9
+	for c := 0; c < m.Chip.NumCores(); c++ {
+		if _, t := m.NW.CorePeak(st.Temps, c); t > peak {
+			peak = t
+		}
+	}
+	// Positive error = too hot = need a faster fan (lower level index).
+	err := peak - target
+	p.integ += err
+	// Anti-windup: the actuator has 5 levels; clamp the integral to the
+	// range it can act on.
+	if p.integ > 40 {
+		p.integ = 40
+	}
+	if p.integ < -40 {
+		p.integ = -40
+	}
+	deriv := 0.0
+	if p.prevSet {
+		deriv = err - p.prevErr
+	}
+	p.prevErr, p.prevSet = err, true
+
+	u := kp*err + ki*p.integ + kd*deriv
+	// Map the control signal onto a level delta: u > 0.5 speeds up one
+	// level, u < −0.5 slows down one level (firmware moves one step at a
+	// time).
+	level := st.FanLevel
+	switch {
+	case u > 0.5:
+		level--
+	case u < -0.5:
+		level++
+	}
+	level = m.Fan.Clamp(level)
+
+	n := m.Chip.NumCores()
+	dvfs := make([]int, n)
+	for c := range dvfs {
+		dvfs[c] = m.Platform.DVFS.Max()
+	}
+	return Decision{DVFS: dvfs, Banks: make([]bool, n), FanLevel: level}
+}

@@ -1,0 +1,277 @@
+package server
+
+import (
+	"math"
+)
+
+// This file implements the §V-E contenders. OFTEC and Oracle perform the
+// exhaustive searches the paper describes (the paper deliberately runs
+// OFTEC with exhaustive search instead of its active-set SQP so both find
+// true optima; time overheads are not compared). TECfan is the paper's
+// heuristic specialized to the utilization workload; Oracle-P is Oracle
+// under TECfan's (zero) performance-degradation budget.
+
+// enumBanks lists all 2^n per-core TEC bank vectors.
+func enumBanks(n int) [][]bool {
+	out := make([][]bool, 0, 1<<n)
+	for mask := 0; mask < 1<<n; mask++ {
+		b := make([]bool, n)
+		for c := 0; c < n; c++ {
+			b[c] = mask&(1<<c) != 0
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func countOn(b []bool) int {
+	n := 0
+	for _, v := range b {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// OFTEC minimizes cooling power (fan + TEC) subject to the temperature
+// constraint, leaving DVFS untouched at maximum — the state of the art [8]
+// the paper compares against. Complexity O(2^N·F) per period with per-core
+// banks.
+type OFTEC struct{}
+
+// Name implements Policy.
+func (OFTEC) Name() string { return "OFTEC" }
+
+// Decide implements Policy.
+func (OFTEC) Decide(st *State, m *Machine) Decision {
+	n := m.Chip.NumCores()
+	dvfs := make([]int, n)
+	util := make([]float64, n)
+	for c := 0; c < n; c++ {
+		dvfs[c] = m.Platform.DVFS.Max()
+		// Max DVFS ⇒ achieved utilization equals demand (capacity 1).
+		util[c] = clamp01(st.Demand[c] + st.Backlog[c])
+	}
+	best := Decision{DVFS: dvfs, Banks: st.Banks, FanLevel: st.FanLevel}
+	bestCost := math.Inf(1)
+	temps := make([]float64, m.NW.NumNodes())
+	for _, banks := range enumBanks(n) {
+		nOn := countOn(banks)
+		for f := 0; f < m.Fan.NumLevels(); f++ {
+			cost := m.SearchCoolingPower(nOn, f)
+			if cost >= bestCost {
+				continue // cannot win; skip the thermal evaluation
+			}
+			if err := m.PredictSteadyInto(temps, dvfs, util, banks, f); err != nil {
+				continue
+			}
+			if _, peak := m.NW.PeakDie(temps); peak > st.Threshold {
+				continue
+			}
+			bestCost = cost
+			best = Decision{DVFS: dvfs, Banks: banks, FanLevel: f}
+		}
+	}
+	return best
+}
+
+// Oracle exhaustively minimizes EPI over DVFS levels, TEC banks, and fan
+// level under the temperature constraint — the paper's optimal-but-
+// impractical reference, O(M^N·2^N·F) per period.
+type Oracle struct {
+	// MinPerfRatio, when positive, additionally requires every core's
+	// capacity to cover that fraction of its pending demand — the Oracle-P
+	// constraint ("exactly the same performance degradation as TECfan",
+	// which degrades nothing).
+	MinPerfRatio float64
+	name         string
+}
+
+// NewOracle returns the unconstrained Oracle.
+func NewOracle() *Oracle { return &Oracle{name: "Oracle"} }
+
+// NewOracleP returns Oracle-P: Oracle restricted to zero performance
+// degradation.
+func NewOracleP() *Oracle { return &Oracle{MinPerfRatio: 1, name: "Oracle-P"} }
+
+// Name implements Policy.
+func (o *Oracle) Name() string { return o.name }
+
+// Decide implements Policy.
+func (o *Oracle) Decide(st *State, m *Machine) Decision {
+	n := m.Chip.NumCores()
+	table := m.Platform.DVFS
+	levels := table.Num()
+	nConfigs := 1
+	for i := 0; i < n; i++ {
+		nConfigs *= levels
+	}
+	best := Decision{DVFS: append([]int(nil), st.DVFS...), Banks: st.Banks, FanLevel: st.FanLevel}
+	bestEPI := math.Inf(1)
+	dvfs := make([]int, n)
+	util := make([]float64, n)
+	temps := make([]float64, m.NW.NumNodes())
+	for _, banks := range enumBanks(n) {
+		nOn := countOn(banks)
+		for f := 0; f < m.Fan.NumLevels(); f++ {
+			for cfg := 0; cfg < nConfigs; cfg++ {
+				x := cfg
+				ok := true
+				var throughput float64
+				for c := 0; c < n; c++ {
+					dvfs[c] = x % levels
+					x /= levels
+					capc := m.Platform.Capacity(dvfs[c])
+					pending := st.Demand[c] + st.Backlog[c]
+					if o.MinPerfRatio > 0 && capc < o.MinPerfRatio*math.Min(pending, 1) {
+						ok = false
+						break
+					}
+					served := math.Min(pending, capc)
+					if capc > 0 {
+						util[c] = served / capc
+					} else {
+						util[c] = 0
+					}
+					throughput += served
+				}
+				if !ok || throughput <= 0 {
+					continue
+				}
+				epi := m.SearchPower(dvfs, util, nOn, f) / throughput
+				if epi >= bestEPI {
+					continue // cannot win; skip the thermal evaluation
+				}
+				if err := m.PredictSteadyInto(temps, dvfs, util, banks, f); err != nil {
+					continue
+				}
+				if _, peak := m.NW.PeakDie(temps); peak > st.Threshold {
+					continue
+				}
+				bestEPI = epi
+				best = Decision{
+					DVFS:     append([]int(nil), dvfs...),
+					Banks:    append([]bool(nil), banks...),
+					FanLevel: f,
+				}
+			}
+		}
+	}
+	return best
+}
+
+// TECfan is the paper's heuristic specialized to the server workload. The
+// lower level follows the §III-D structure — hot iterations engage TEC banks
+// before throttling, cool iterations restore capacity headroom before
+// shedding TEC power — with DVFS selection driven by estimated EPI under the
+// no-degradation rule the paper reports ("TECfan can select appropriate DVFS
+// levels ... without degrading the performance"): a core's capacity never
+// drops below its pending demand. The fan moves at most one level per
+// period, reflecting its slow actuation.
+type TECfan struct {
+	// Margin is the capacity headroom kept above demand (fraction).
+	Margin float64
+}
+
+// Name implements Policy.
+func (TECfan) Name() string { return "TECfan" }
+
+// Decide implements Policy.
+func (tf TECfan) Decide(st *State, m *Machine) Decision {
+	n := m.Chip.NumCores()
+	table := m.Platform.DVFS
+	margin := tf.Margin
+	if margin == 0 {
+		margin = 0.05
+	}
+	// Demand-following DVFS: the lowest level whose capacity covers the
+	// pending work plus margin (performance priority: never degrade).
+	dvfs := make([]int, n)
+	util := make([]float64, n)
+	for c := 0; c < n; c++ {
+		pending := clamp01(st.Demand[c] + st.Backlog[c])
+		need := math.Min(pending*(1+margin), 1)
+		level := table.Max()
+		for l := 0; l <= table.Max(); l++ {
+			if m.Platform.Capacity(l) >= need {
+				level = l
+				break
+			}
+		}
+		dvfs[c] = level
+		capc := m.Platform.Capacity(level)
+		util[c] = math.Min(pending, capc) / capc
+	}
+
+	// Cooling coordination: evaluate TEC banks exhaustively over the N
+	// cores, fan restricted to ±1 of the current level — the heuristic's
+	// bounded walk rather than the Oracle's full sweep.
+	bestBanks := append([]bool(nil), st.Banks...)
+	bestFan := st.FanLevel
+	bestEPI := math.Inf(1)
+	feasibleFound := false
+	var throughput float64
+	for c := 0; c < n; c++ {
+		throughput += util[c] * m.Platform.Capacity(dvfs[c])
+	}
+	temps := make([]float64, m.NW.NumNodes())
+	for _, banks := range enumBanks(n) {
+		nOn := countOn(banks)
+		for df := -1; df <= 1; df++ {
+			f := m.Fan.Clamp(st.FanLevel + df)
+			if err := m.PredictSteadyInto(temps, dvfs, util, banks, f); err != nil {
+				continue
+			}
+			if _, peak := m.NW.PeakDie(temps); peak > st.Threshold {
+				continue
+			}
+			epi := m.SearchPower(dvfs, util, nOn, f) / math.Max(throughput, 1e-9)
+			if epi < bestEPI {
+				bestEPI = epi
+				bestBanks = append(bestBanks[:0:0], banks...)
+				bestFan = f
+				feasibleFound = true
+			}
+		}
+	}
+	if !feasibleFound {
+		// Hot iteration fallback: all banks on, fan one step faster; if the
+		// prediction still violates, throttle the hottest core one step
+		// (performance priority: TECs and fan first, DVFS last).
+		for i := range bestBanks {
+			bestBanks[i] = true
+		}
+		bestFan = m.Fan.Clamp(st.FanLevel - 1)
+		if err := m.PredictSteadyInto(temps, dvfs, util, bestBanks, bestFan); err == nil {
+			if _, peak := m.NW.PeakDie(temps); peak > st.Threshold {
+				hc := hottestCore(m, temps)
+				if dvfs[hc] > 0 {
+					dvfs[hc]--
+				}
+			}
+		}
+	}
+	return Decision{DVFS: dvfs, Banks: bestBanks, FanLevel: bestFan}
+}
+
+// hottestCore returns the core whose components run hottest.
+func hottestCore(m *Machine, temps []float64) int {
+	best, bestT := 0, math.Inf(-1)
+	for c := 0; c < m.Chip.NumCores(); c++ {
+		if _, t := m.NW.CorePeak(temps, c); t > bestT {
+			best, bestT = c, t
+		}
+	}
+	return best
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Trace I/O: the §V-E experiments synthesize their Wikipedia-style
+// utilization series, but a downstream user will want to drive the server
+// simulation with measured traces. The format is one CSV row per second
+// with one column per core, values in [0, 1].
+
+// WriteTraces encodes per-core utilization series as CSV.
+func WriteTraces(w io.Writer, traces [][]float64) error {
+	if len(traces) == 0 {
+		return fmt.Errorf("server: no traces")
+	}
+	n := len(traces[0])
+	for _, tr := range traces {
+		if len(tr) != n {
+			return fmt.Errorf("server: ragged traces")
+		}
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, len(traces))
+	for c := range header {
+		header[c] = fmt.Sprintf("core%d_util", c)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(traces))
+	for t := 0; t < n; t++ {
+		for c := range traces {
+			row[c] = strconv.FormatFloat(traces[c][t], 'f', 6, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTraces decodes per-core utilization series from CSV (the WriteTraces
+// format). Values outside [0, 1] are rejected.
+func ReadTraces(r io.Reader) ([][]float64, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("server: reading traces: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("server: trace CSV needs a header and at least one row")
+	}
+	nCores := len(records[0])
+	if nCores == 0 {
+		return nil, fmt.Errorf("server: empty header")
+	}
+	out := make([][]float64, nCores)
+	for t, rec := range records[1:] {
+		if len(rec) != nCores {
+			return nil, fmt.Errorf("server: row %d has %d columns, want %d", t+1, len(rec), nCores)
+		}
+		for c, field := range rec {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("server: row %d col %d: %w", t+1, c, err)
+			}
+			if v < 0 || v > 1 {
+				return nil, fmt.Errorf("server: row %d col %d: utilization %v outside [0,1]", t+1, c, v)
+			}
+			out[c] = append(out[c], v)
+		}
+	}
+	return out, nil
+}

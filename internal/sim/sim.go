@@ -1,0 +1,453 @@
+// Package sim couples the workload, power, thermal, TEC, fan, and DVFS
+// models into the discrete-time co-simulation the paper runs on
+// SESC+HotSpot (§IV-B): per-step it evaluates dynamic power from the
+// workload trace at the current DVFS levels, ground-truth quadratic leakage
+// from the current temperatures (the temperature–leakage loop the authors
+// patched into HotSpot's transient routine), integrates the RC network, and
+// advances per-core instruction progress. A pluggable controller is invoked
+// every lower-level control period (2 ms) and, optionally, every higher-level
+// fan period.
+//
+// Following §IV-C, a benchmark run executes at a fixed fan level after a
+// warm-start procedure that reproduces the paper's convergence loop: repeat
+// the run with the previous final temperatures as the initial condition
+// until consecutive peak temperatures differ by less than 0.5 °C.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"tecfan/internal/fan"
+	"tecfan/internal/floorplan"
+	"tecfan/internal/perf"
+	"tecfan/internal/power"
+	"tecfan/internal/tec"
+	"tecfan/internal/thermal"
+	"tecfan/internal/workload"
+)
+
+// Observation is what a controller sees at a control boundary: the
+// previous-interval measurements the paper's models consume (P(k−1),
+// IPS(k−1), T(k−1)).
+type Observation struct {
+	Time      float64   // simulation time, s
+	Temps     []float64 // current node temperatures (die first), °C
+	DynPower  []float64 // avg per-component dynamic power over last period, W
+	CoreIPS   []float64 // avg per-core IPS over last period
+	DVFS      []int     // current per-core levels
+	TECOn     []bool    // current TEC on/off vector
+	TECAmps   []float64 // current per-device drive currents, A (0 = off)
+	FanLevel  int
+	Threshold float64
+}
+
+// Decision is a controller's actuator request. Nil slices mean "unchanged".
+// TECAmps, when set, takes precedence over TECOn and drives each device at
+// the given current — the variable-current extension of §III.
+type Decision struct {
+	DVFS    []int
+	TECOn   []bool
+	TECAmps []float64
+}
+
+// Controller is the lower-level (2 ms) decision maker.
+type Controller interface {
+	Name() string
+	Control(obs *Observation) Decision
+	// Reset clears internal state between warm-start iterations.
+	Reset()
+}
+
+// FanController is optionally implemented by controllers that drive the fan
+// at the higher level (TECfan's outer loop). Others run at the fixed level
+// chosen by the experiment driver.
+type FanController interface {
+	FanControl(obs *Observation) int
+}
+
+// Config assembles one simulation run.
+type Config struct {
+	Chip      *floorplan.Chip
+	Fan       *fan.Model
+	Network   *thermal.Network
+	DVFS      *power.DVFSTable
+	Leak      power.Leakage
+	TECs      []tec.Placement
+	Bench     *workload.Benchmark
+	Threshold float64 // T_th, °C
+
+	FanLevel      int     // initial / fixed fan level
+	Step          float64 // integration step, s (default 100 µs)
+	ControlPeriod float64 // lower-level period, s (default 2 ms)
+	FanPeriod     float64 // higher-level period, s (default 1 s)
+
+	// InitDVFS is the starting per-core level (default: max).
+	InitDVFS int
+	// MaxTimeFactor caps the run at factor × the base execution time
+	// (default 4): a safety net against livelocked controllers.
+	MaxTimeFactor float64
+	// RecordTrace enables per-control-period trace capture.
+	RecordTrace bool
+	// WarmStartTol is the paper's convergence criterion on consecutive
+	// peak temperatures (default 0.5 °C).
+	WarmStartTol float64
+	// MaxWarmStarts bounds the convergence loop (default 5).
+	MaxWarmStarts int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Step == 0 {
+		c.Step = 100e-6
+	}
+	if c.ControlPeriod == 0 {
+		c.ControlPeriod = 2e-3
+	}
+	if c.FanPeriod == 0 {
+		c.FanPeriod = 1.0
+	}
+	if c.MaxTimeFactor == 0 {
+		c.MaxTimeFactor = 4
+	}
+	if c.WarmStartTol == 0 {
+		c.WarmStartTol = 0.5
+	}
+	if c.MaxWarmStarts == 0 {
+		c.MaxWarmStarts = 5
+	}
+	if c.InitDVFS == 0 {
+		c.InitDVFS = c.DVFS.Max()
+	}
+}
+
+// TracePoint is one control-period sample of the run.
+type TracePoint struct {
+	Time      float64
+	PeakTemp  float64
+	PeakComp  int
+	ChipPower float64
+	FanLevel  int
+	TECsOn    int
+	MeanDVFS  float64
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Metrics    perf.Metrics
+	Trace      []TracePoint
+	FinalTemps []float64
+	WarmStarts int
+	// Completed reports whether every active core retired its budget
+	// before the MaxTimeFactor cap.
+	Completed bool
+
+	finalDVFS []int
+	finalAmps []float64
+}
+
+// Runner executes simulation runs for one configuration.
+type Runner struct {
+	cfg Config
+	ctl Controller
+}
+
+// NewRunner validates the configuration and builds a runner.
+func NewRunner(cfg Config, ctl Controller) (*Runner, error) {
+	if cfg.Chip == nil || cfg.Fan == nil || cfg.Network == nil || cfg.DVFS == nil || cfg.Bench == nil {
+		return nil, fmt.Errorf("sim: incomplete config")
+	}
+	cfg.fillDefaults()
+	if cfg.Threshold <= 0 {
+		return nil, fmt.Errorf("sim: threshold %v must be positive", cfg.Threshold)
+	}
+	if cfg.FanLevel < 0 || cfg.FanLevel >= cfg.Fan.NumLevels() {
+		return nil, fmt.Errorf("sim: fan level %d out of range", cfg.FanLevel)
+	}
+	if ctl == nil {
+		return nil, fmt.Errorf("sim: nil controller")
+	}
+	return &Runner{cfg: cfg, ctl: ctl}, nil
+}
+
+// Run performs the warm-start loop and returns the converged run's result.
+// Both the thermal field and the actuator state (DVFS levels, TEC on/off)
+// carry across iterations, mirroring §IV-B: the paper repeats each
+// simulation with the previous result as the initial condition until the
+// peak temperatures of consecutive runs differ by less than 0.5 °C, so the
+// reported run reflects steady controller behaviour, not its cold-start
+// descent.
+func (r *Runner) Run() (*Result, error) {
+	cfg := &r.cfg
+	// Initial condition: steady state at mean power with initial actuators —
+	// the "default uniform initial temperature" of §IV-B, improved to the
+	// nearby steady state so the convergence loop is short.
+	init, err := r.initialTemps()
+	if err != nil {
+		return nil, err
+	}
+	var initDVFS []int
+	var initAmps []float64
+	var prevPeak float64 = math.Inf(1)
+	var res *Result
+	for ws := 0; ws < cfg.MaxWarmStarts; ws++ {
+		r.ctl.Reset()
+		res, err = r.runOnce(init, initDVFS, initAmps)
+		if err != nil {
+			return nil, err
+		}
+		res.WarmStarts = ws + 1
+		if math.Abs(res.Metrics.PeakTemp-prevPeak) < cfg.WarmStartTol {
+			return res, nil
+		}
+		prevPeak = res.Metrics.PeakTemp
+		init = res.FinalTemps
+		initDVFS = res.finalDVFS
+		initAmps = res.finalAmps
+	}
+	return res, nil
+}
+
+// initialTemps solves the steady state under mean base-scenario power.
+func (r *Runner) initialTemps() ([]float64, error) {
+	cfg := &r.cfg
+	nComp := len(cfg.Chip.Components)
+	p := make([]float64, nComp)
+	scale := cfg.DVFS.ScaleFromMax(cfg.InitDVFS)
+	for core := 0; core < cfg.Chip.NumCores(); core++ {
+		cfg.Bench.AddDynPower(cfg.Chip, core, 0.5, scale, p)
+	}
+	// One leakage pass at a fixed nominal temperature is close enough for
+	// an initial guess; the warm-start loop refines. (Deliberately not tied
+	// to the threshold, so identical workloads start identically regardless
+	// of T_th.)
+	leak := make([]float64, nComp)
+	temps := make([]float64, cfg.Network.NumNodes())
+	for i := range temps {
+		temps[i] = 75
+	}
+	cfg.Leak.PerComponent(cfg.Chip, temps, power.ModelQuad, leak)
+	for i := range p {
+		p[i] += leak[i]
+	}
+	return cfg.Network.Steady(p, cfg.FanLevel, nil)
+}
+
+// runOnce simulates one full benchmark execution from the given initial
+// temperatures and (optionally) carried-over actuator state.
+func (r *Runner) runOnce(init []float64, initDVFS []int, initAmps []float64) (*Result, error) {
+	cfg := &r.cfg
+	chip := cfg.Chip
+	nComp := len(chip.Components)
+	nCores := chip.NumCores()
+	bench := cfg.Bench
+
+	temps := append([]float64(nil), init...)
+	dvfs := make([]int, nCores)
+	for i := range dvfs {
+		dvfs[i] = cfg.InitDVFS
+	}
+	if initDVFS != nil {
+		copy(dvfs, initDVFS)
+	}
+	var ts *tec.State
+	if cfg.TECs != nil {
+		ts = tec.NewState(cfg.TECs)
+		// Carried-over devices re-engage within the first 20 µs step.
+		for l, amps := range initAmps {
+			ts.SetCurrent(l, amps)
+		}
+	}
+	fanLevel := cfg.FanLevel
+	tr, err := cfg.Network.NewTransient(fanLevel, cfg.Step)
+	if err != nil {
+		return nil, err
+	}
+
+	// Completion follows the paper's Eq. (12)/(13) semantics: execution
+	// time is inversely proportional to the aggregate chip IPS, i.e. the
+	// run ends when the total retired instructions reach the budget (work
+	// redistributes across threads), not when the slowest thread crosses a
+	// barrier. Per-core progress still drives each core's activity phase.
+	progress := make([]float64, nCores) // fraction of per-core budget retired
+	instDone := make([]float64, nCores)
+	instPerCore := bench.InstPerCore()
+	var totalDone float64
+
+	dyn := make([]float64, nComp)
+	leak := make([]float64, nComp)
+	total := make([]float64, nComp)
+	// Per-control-period accumulators for the observation.
+	obsDyn := make([]float64, nComp)
+	obsIPS := make([]float64, nCores)
+	coreIPS := make([]float64, nCores)
+
+	// Cap generously: the base time stretched by the worst-case frequency
+	// ratio, times the safety factor.
+	maxTime := cfg.MaxTimeFactor * (bench.TargetTimeMS / 1000) / cfg.DVFS.FreqRatio(cfg.DVFS.Max(), 0)
+
+	var acc perf.Accumulator
+	var trace []TracePoint
+	stepsPerCtl := int(math.Round(cfg.ControlPeriod / cfg.Step))
+	if stepsPerCtl < 1 {
+		stepsPerCtl = 1
+	}
+	stepsPerFan := int(math.Round(cfg.FanPeriod / cfg.Step))
+
+	now := 0.0
+	stepIdx := 0
+	done := func() bool { return totalDone >= bench.TotalInst }
+
+	for !done() && now < maxTime {
+		// Power evaluation at the current state.
+		for i := range dyn {
+			dyn[i] = 0
+		}
+		for core := 0; core < nCores; core++ {
+			scale := cfg.DVFS.ScaleFromMax(dvfs[core])
+			bench.AddDynPower(chip, core, progress[core], scale, dyn)
+		}
+		cfg.Leak.PerComponent(chip, temps, power.ModelQuad, leak)
+		for i := range total {
+			total[i] = dyn[i] + leak[i]
+		}
+
+		// Thermal step.
+		if ts != nil {
+			ts.Advance(now)
+		}
+		tr.Step(temps, total, ts)
+
+		// Instruction progress at the current frequencies. Every active
+		// core retires work until the chip-wide budget completes.
+		for _, core := range bench.ActiveCores {
+			fr := cfg.DVFS.FreqRatio(cfg.DVFS.Max(), dvfs[core])
+			ips := bench.IPS(core, progress[core]) * fr
+			coreIPS[core] = ips
+			instDone[core] += ips * cfg.Step
+			totalDone += ips * cfg.Step
+			progress[core] = instDone[core] / instPerCore
+			if progress[core] > 1 {
+				progress[core] = 1
+			}
+		}
+
+		// Metrics.
+		var dynSum, ipsSum float64
+		for _, v := range total {
+			dynSum += v
+		}
+		for _, v := range coreIPS {
+			ipsSum += v
+		}
+		tecPower := cfg.Network.TECPower(temps, ts)
+		chipPower := dynSum + tecPower + cfg.Fan.Power(fanLevel)
+		_, peak := cfg.Network.PeakDie(temps)
+		acc.Add(cfg.Step, chipPower, ipsSum, peak, cfg.Threshold)
+
+		// Observation accumulation.
+		for i := range obsDyn {
+			obsDyn[i] += dyn[i] / float64(stepsPerCtl)
+		}
+		for i := range obsIPS {
+			obsIPS[i] += coreIPS[i] / float64(stepsPerCtl)
+		}
+
+		now += cfg.Step
+		stepIdx++
+
+		// Lower-level control boundary.
+		if stepIdx%stepsPerCtl == 0 {
+			// Controllers get copies of the live state: a buggy or
+			// adversarial controller must not be able to corrupt the
+			// simulation by writing through the observation.
+			obs := &Observation{
+				Time:      now,
+				Temps:     append([]float64(nil), temps...),
+				DynPower:  obsDyn,
+				CoreIPS:   obsIPS,
+				DVFS:      append([]int(nil), dvfs...),
+				FanLevel:  fanLevel,
+				Threshold: cfg.Threshold,
+			}
+			if ts != nil {
+				obs.TECOn = ts.OnMask()
+				obs.TECAmps = ts.Currents()
+			}
+			dec := r.ctl.Control(obs)
+			if dec.DVFS != nil {
+				if len(dec.DVFS) != nCores {
+					return nil, fmt.Errorf("sim: controller returned %d DVFS levels", len(dec.DVFS))
+				}
+				for i, l := range dec.DVFS {
+					dvfs[i] = cfg.DVFS.Clamp(l)
+				}
+			}
+			if ts != nil {
+				switch {
+				case dec.TECAmps != nil:
+					if len(dec.TECAmps) != ts.Len() {
+						return nil, fmt.Errorf("sim: controller returned %d TEC currents", len(dec.TECAmps))
+					}
+					for l, amps := range dec.TECAmps {
+						ts.SetCurrent(l, amps)
+					}
+				case dec.TECOn != nil:
+					ts.SetMask(dec.TECOn)
+				}
+			}
+			if cfg.RecordTrace {
+				pc, pt := cfg.Network.PeakDie(temps)
+				var md float64
+				for _, l := range dvfs {
+					md += float64(l)
+				}
+				nOn := 0
+				if ts != nil {
+					nOn = ts.CountOn()
+				}
+				trace = append(trace, TracePoint{
+					Time: now, PeakTemp: pt, PeakComp: pc, ChipPower: chipPower,
+					FanLevel: fanLevel, TECsOn: nOn, MeanDVFS: md / float64(nCores),
+				})
+			}
+			for i := range obsDyn {
+				obsDyn[i] = 0
+			}
+			for i := range obsIPS {
+				obsIPS[i] = 0
+			}
+		}
+
+		// Higher-level fan boundary.
+		if fc, ok := r.ctl.(FanController); ok && stepsPerFan > 0 && stepIdx%stepsPerFan == 0 {
+			obs := &Observation{
+				Time:     now,
+				Temps:    append([]float64(nil), temps...),
+				DVFS:     append([]int(nil), dvfs...),
+				FanLevel: fanLevel, Threshold: cfg.Threshold,
+			}
+			if ts != nil {
+				obs.TECOn = ts.OnMask()
+				obs.TECAmps = ts.Currents()
+			}
+			if nl := cfg.Fan.Clamp(fc.FanControl(obs)); nl != fanLevel {
+				fanLevel = nl
+				if tr, err = cfg.Network.NewTransient(fanLevel, cfg.Step); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	res := &Result{
+		Metrics:    acc.Snapshot(),
+		Trace:      trace,
+		FinalTemps: temps,
+		Completed:  done(),
+		finalDVFS:  append([]int(nil), dvfs...),
+	}
+	if ts != nil {
+		res.finalAmps = ts.Currents()
+	}
+	return res, nil
+}

@@ -1,0 +1,445 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"tecfan/internal/fan"
+	"tecfan/internal/floorplan"
+	"tecfan/internal/power"
+	"tecfan/internal/tec"
+	"tecfan/internal/thermal"
+	"tecfan/internal/workload"
+)
+
+// testBench builds a small 4-core benchmark for the quad chip: 2 ms of work
+// per core at max DVFS, moderate power.
+func testBench(coreDyn float64) *workload.Benchmark {
+	return &workload.Benchmark{
+		Name:         "ut",
+		Threads:      4,
+		TotalInst:    4 * 2e6, // 2 ms per core at 1 GIPS
+		ActiveCores:  []int{0, 1, 2, 3},
+		Weights:      workload.WeightsFromDensity(workload.UniformMults()),
+		CoreDyn:      coreDyn,
+		IdleDyn:      0.3,
+		BaseIPS:      1e9,
+		Phases:       []workload.Phase{{Frac: 1, Activity: 1}},
+		TargetTimeMS: 2.0,
+	}
+}
+
+type env struct {
+	chip *floorplan.Chip
+	fm   *fan.Model
+	nw   *thermal.Network
+	tbl  *power.DVFSTable
+	leak power.Leakage
+	arr  []tec.Placement
+}
+
+func newEnv() *env {
+	chip := floorplan.NewQuad()
+	fm := fan.DynatronR16()
+	return &env{
+		chip: chip,
+		fm:   fm,
+		nw:   thermal.NewNetwork(chip, fm, thermal.DefaultParams()),
+		tbl:  power.SCCTable(),
+		leak: power.DefaultLeakage(),
+		arr:  tec.Array(chip, tec.DefaultDevice()),
+	}
+}
+
+func (e *env) config(b *workload.Benchmark, threshold float64) Config {
+	return Config{
+		Chip: e.chip, Fan: e.fm, Network: e.nw, DVFS: e.tbl, Leak: e.leak,
+		TECs: e.arr, Bench: b, Threshold: threshold,
+		FanLevel: 1, Step: 100e-6, ControlPeriod: 500e-6,
+	}
+}
+
+// noop is a controller that does nothing (Fan-only semantics).
+type noop struct{ calls int }
+
+func (n *noop) Name() string                  { return "noop" }
+func (n *noop) Control(*Observation) Decision { n.calls++; return Decision{} }
+func (n *noop) Reset()                        {}
+
+// throttler pins every core to the lowest DVFS level.
+type throttler struct{}
+
+func (throttler) Name() string { return "throttler" }
+func (throttler) Control(obs *Observation) Decision {
+	d := make([]int, len(obs.DVFS))
+	return Decision{DVFS: d}
+}
+func (throttler) Reset() {}
+
+// tecAll turns every TEC on at the first opportunity.
+type tecAll struct{}
+
+func (tecAll) Name() string { return "tecAll" }
+func (tecAll) Control(obs *Observation) Decision {
+	on := make([]bool, len(obs.TECOn))
+	for i := range on {
+		on[i] = true
+	}
+	return Decision{TECOn: on}
+}
+func (tecAll) Reset() {}
+
+func TestRunCompletesOnTime(t *testing.T) {
+	e := newEnv()
+	b := testBench(2.0)
+	r, err := NewRunner(e.config(b, 120), &noop{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("run did not complete")
+	}
+	// At max DVFS and constant activity, execution time ≈ TotalInst/(4·IPS);
+	// the jitterless IPS here is BaseIPS·(0.85+0.15·1) = BaseIPS.
+	want := 2e-3
+	if math.Abs(res.Metrics.Time-want)/want > 0.05 {
+		t.Fatalf("time %.4g s, want ≈ %.4g", res.Metrics.Time, want)
+	}
+	if res.Metrics.Energy <= 0 || res.Metrics.AvgPower <= 0 {
+		t.Fatalf("bad metrics %+v", res.Metrics)
+	}
+	// Fan power at level 1 alone is 3.8 W; chip adds more.
+	if res.Metrics.AvgPower < e.fm.Power(1) {
+		t.Fatalf("avg power %.2f below fan floor", res.Metrics.AvgPower)
+	}
+	if res.Metrics.ViolationRatio != 0 {
+		t.Fatalf("violations at a 120 °C threshold: %v", res.Metrics.ViolationRatio)
+	}
+}
+
+func TestThrottlingDoublesTime(t *testing.T) {
+	e := newEnv()
+	b := testBench(2.0)
+	rFast, _ := NewRunner(e.config(b, 120), &noop{})
+	fast, err := rFast.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSlow, _ := NewRunner(e.config(b, 120), throttler{})
+	slow, err := rSlow.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := slow.Metrics.Time / fast.Metrics.Time
+	// Lowest level halves the frequency: expect ≈ 2× (first control period
+	// still runs at max).
+	if ratio < 1.6 || ratio > 2.2 {
+		t.Fatalf("throttled/normal time ratio %.2f, want ≈ 2", ratio)
+	}
+	if slow.Metrics.AvgPower >= fast.Metrics.AvgPower {
+		t.Fatal("throttling must cut average power")
+	}
+}
+
+func TestTECControllerLowersPeak(t *testing.T) {
+	e := newEnv()
+	b := testBench(5.0) // hot
+	// Concentrate power under the TEC array: a uniform-density workload
+	// peaks on the (uncovered) L2 block, which TECs cannot reach.
+	b.Weights = workload.WeightsFromDensity(workload.DensityMults{
+		Logic: 1.5, Array: 0.7, Wire: 0.8, VR: 0.45,
+		Overrides: map[string]float64{"FPMul": 6.0, "IntExec": 4.0},
+	})
+	rOff, _ := NewRunner(e.config(b, 200), &noop{})
+	off, err := rOff.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rOn, _ := NewRunner(e.config(b, 200), tecAll{})
+	on, err := rOn.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Metrics.PeakTemp >= off.Metrics.PeakTemp {
+		t.Fatalf("TECs did not lower peak: %.2f vs %.2f", on.Metrics.PeakTemp, off.Metrics.PeakTemp)
+	}
+	// TEC electrical power must show up in the chip energy.
+	if on.Metrics.AvgPower <= off.Metrics.AvgPower {
+		t.Fatal("36 powered TECs should raise chip power")
+	}
+}
+
+func TestViolationAccounting(t *testing.T) {
+	e := newEnv()
+	b := testBench(5.0)
+	r, _ := NewRunner(e.config(b, 50), &noop{}) // threshold far below reality
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.ViolationRatio < 0.9 {
+		t.Fatalf("violation ratio %.2f, expected ~1 with a 50 °C threshold", res.Metrics.ViolationRatio)
+	}
+}
+
+func TestTraceRecording(t *testing.T) {
+	e := newEnv()
+	b := testBench(2.0)
+	cfg := e.config(b, 120)
+	cfg.RecordTrace = true
+	r, _ := NewRunner(cfg, &noop{})
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	// Control period 500 µs over ~2 ms → ≈4 points; times increasing.
+	prev := 0.0
+	for _, p := range res.Trace {
+		if p.Time <= prev {
+			t.Fatalf("trace times not increasing: %v after %v", p.Time, prev)
+		}
+		prev = p.Time
+		if p.PeakTemp < 45 || p.ChipPower <= 0 || p.FanLevel != 1 {
+			t.Fatalf("bad trace point %+v", p)
+		}
+	}
+}
+
+func TestControllerCalledEveryPeriod(t *testing.T) {
+	e := newEnv()
+	b := testBench(2.0)
+	cfg := e.config(b, 120)
+	cfg.MaxWarmStarts = 1
+	n := &noop{}
+	r, _ := NewRunner(cfg, n)
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// ~2 ms at 500 µs period → ≈4 calls.
+	if n.calls < 3 || n.calls > 6 {
+		t.Fatalf("controller called %d times, want ≈4", n.calls)
+	}
+}
+
+func TestWarmStartConverges(t *testing.T) {
+	e := newEnv()
+	b := testBench(3.0)
+	r, _ := NewRunner(e.config(b, 120), &noop{})
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WarmStarts < 1 || res.WarmStarts > 5 {
+		t.Fatalf("warm starts = %d", res.WarmStarts)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := newEnv()
+	b := testBench(2.0)
+	if _, err := NewRunner(Config{}, &noop{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	cfg := e.config(b, 0)
+	if _, err := NewRunner(cfg, &noop{}); err == nil {
+		t.Fatal("zero threshold accepted")
+	}
+	cfg = e.config(b, 100)
+	cfg.FanLevel = 9
+	if _, err := NewRunner(cfg, &noop{}); err == nil {
+		t.Fatal("bad fan level accepted")
+	}
+	cfg = e.config(b, 100)
+	if _, err := NewRunner(cfg, nil); err == nil {
+		t.Fatal("nil controller accepted")
+	}
+}
+
+// badController returns a malformed DVFS vector.
+type badController struct{}
+
+func (badController) Name() string                  { return "bad" }
+func (badController) Control(*Observation) Decision { return Decision{DVFS: []int{1}} }
+func (badController) Reset()                        {}
+
+func TestMalformedDecision(t *testing.T) {
+	e := newEnv()
+	b := testBench(2.0)
+	r, _ := NewRunner(e.config(b, 120), badController{})
+	if _, err := r.Run(); err == nil {
+		t.Fatal("malformed DVFS decision accepted")
+	}
+}
+
+func TestIdleCoresBurnIdlePower(t *testing.T) {
+	e := newEnv()
+	b := testBench(2.0)
+	b.ActiveCores = []int{0} // single-threaded
+	b.TotalInst = 2e6
+	r, _ := NewRunner(e.config(b, 120), &noop{})
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("run did not complete")
+	}
+	// Chip power ≈ 1 active core + 3 idle + leak + fan: well below the
+	// 4-active case but above fan + leakage alone.
+	full := testBench(2.0)
+	rf, _ := NewRunner(e.config(full, 120), &noop{})
+	fres, _ := rf.Run()
+	if res.Metrics.AvgPower >= fres.Metrics.AvgPower {
+		t.Fatal("1-thread run should draw less power than 4-thread run")
+	}
+}
+
+// Two identical runs must produce bit-identical metrics: the whole stack —
+// trace jitter, thermal solves, controller decisions — is deterministic.
+func TestRunDeterministic(t *testing.T) {
+	e := newEnv()
+	run := func() Result {
+		b := testBench(4.0)
+		b.JitterAmp = 0.05
+		b.Seed = 42
+		r, err := NewRunner(e.config(b, 120), tecAll{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return *res
+	}
+	a, b := run(), run()
+	if a.Metrics != b.Metrics {
+		t.Fatalf("nondeterministic metrics:\n%+v\n%+v", a.Metrics, b.Metrics)
+	}
+	if a.WarmStarts != b.WarmStarts {
+		t.Fatalf("warm starts differ: %d vs %d", a.WarmStarts, b.WarmStarts)
+	}
+}
+
+// The controller must not be able to corrupt the simulation by mutating
+// the observation it receives.
+type mutator struct{}
+
+func (mutator) Name() string { return "mutator" }
+func (mutator) Control(obs *Observation) Decision {
+	// Scribble over every observed slice, including the temperatures.
+	for i := range obs.DynPower {
+		obs.DynPower[i] = -1e9
+	}
+	for i := range obs.CoreIPS {
+		obs.CoreIPS[i] = -1e9
+	}
+	for i := range obs.Temps {
+		obs.Temps[i] = 1e9
+	}
+	for i := range obs.DVFS {
+		obs.DVFS[i] = -5
+	}
+	return Decision{}
+}
+func (mutator) Reset() {}
+
+func TestObservationMutationIsHarmless(t *testing.T) {
+	e := newEnv()
+	b := testBench(2.0)
+	r1, _ := NewRunner(e.config(b, 120), &noop{})
+	clean, err := r1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewRunner(e.config(b, 120), mutator{})
+	dirty, err := r2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observations are copies; energy accounting must be unaffected by
+	// controller scribbling.
+	if math.Abs(clean.Metrics.Energy-dirty.Metrics.Energy)/clean.Metrics.Energy > 1e-9 {
+		t.Fatalf("controller mutation changed energy: %v vs %v", clean.Metrics.Energy, dirty.Metrics.Energy)
+	}
+}
+
+// stuck pins every core to the lowest level forever, so the run hits the
+// MaxTimeFactor cap on a tight budget and reports Completed=false.
+func TestMaxTimeFactorCap(t *testing.T) {
+	e := newEnv()
+	b := testBench(2.0)
+	cfg := e.config(b, 120)
+	cfg.MaxTimeFactor = 0.4 // cap below even the full-speed runtime
+	cfg.MaxWarmStarts = 1
+	r, _ := NewRunner(cfg, &noop{})
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("capped run reported completion")
+	}
+	if res.Metrics.Time <= 0 {
+		t.Fatal("no time accumulated before the cap")
+	}
+}
+
+// fanStepper implements FanController and asks for one level slower at
+// every fan boundary; the sim must apply it and refactor the integrator.
+type fanStepper struct{ calls int }
+
+func (f *fanStepper) Name() string                  { return "fanStepper" }
+func (f *fanStepper) Control(*Observation) Decision { return Decision{} }
+func (f *fanStepper) Reset()                        {}
+func (f *fanStepper) FanControl(obs *Observation) int {
+	f.calls++
+	return obs.FanLevel + 1
+}
+
+func TestFanControllerInvoked(t *testing.T) {
+	e := newEnv()
+	b := testBench(2.0)
+	cfg := e.config(b, 120)
+	cfg.FanPeriod = 500e-6 // fire several times within the 2 ms run
+	cfg.RecordTrace = true
+	cfg.MaxWarmStarts = 1
+	fs := &fanStepper{}
+	r, _ := NewRunner(cfg, fs)
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.calls == 0 {
+		t.Fatal("FanControl never invoked")
+	}
+	// The trace must show the fan slowing over the run.
+	last := res.Trace[len(res.Trace)-1]
+	if last.FanLevel <= cfg.FanLevel {
+		t.Fatalf("fan level did not move: %d", last.FanLevel)
+	}
+}
+
+func TestDecisionCurrentValidation(t *testing.T) {
+	e := newEnv()
+	b := testBench(2.0)
+	r, _ := NewRunner(e.config(b, 120), badAmps{})
+	if _, err := r.Run(); err == nil {
+		t.Fatal("malformed TEC current vector accepted")
+	}
+}
+
+type badAmps struct{}
+
+func (badAmps) Name() string { return "badAmps" }
+func (badAmps) Control(*Observation) Decision {
+	return Decision{TECAmps: []float64{6}}
+}
+func (badAmps) Reset() {}

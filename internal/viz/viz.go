@@ -1,0 +1,174 @@
+// Package viz renders floorplans and thermal fields as standalone SVG —
+// the visual counterpart of HotSpot's grid dumps. It has two products:
+//
+//   - Floorplan: the chip's component rectangles with labels, for sanity-
+//     checking geometry and TEC placement;
+//   - Heatmap: a temperature field (per-component from the compact model or
+//     per-cell from the grid model) colour-mapped over the floorplan, with
+//     a scale bar.
+//
+// Everything is plain string assembly over the standard library; the output
+// loads in any browser.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"tecfan/internal/floorplan"
+	"tecfan/internal/tec"
+	"tecfan/internal/thermal"
+)
+
+// pxPerMM controls output resolution.
+const pxPerMM = 40.0
+
+// header opens an SVG document of the given chip dimensions (mm), leaving
+// room for a scale bar on the right when wantBar is set.
+func header(b *strings.Builder, wmm, hmm float64, wantBar bool) (wpx, hpx float64) {
+	wpx = wmm * pxPerMM
+	hpx = hmm * pxPerMM
+	total := wpx
+	if wantBar {
+		total += 70
+	}
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		total, hpx, total, hpx)
+	return wpx, hpx
+}
+
+// Floorplan renders the chip's components. TEC placements, when non-nil,
+// are drawn as outlined squares over their tiles.
+func Floorplan(w io.Writer, chip *floorplan.Chip, tecs []tec.Placement) error {
+	var b strings.Builder
+	header(&b, chip.W, chip.H, false)
+	fills := map[floorplan.Kind]string{
+		floorplan.KindLogic: "#f4cccc",
+		floorplan.KindArray: "#cfe2f3",
+		floorplan.KindWire:  "#d9ead3",
+		floorplan.KindVR:    "#fff2cc",
+	}
+	for _, c := range chip.Components {
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#666" stroke-width="0.5"/>`+"\n",
+			c.X*pxPerMM, c.Y*pxPerMM, c.W*pxPerMM, c.H*pxPerMM, fills[c.Kind])
+		if c.W*pxPerMM > 28 && c.H*pxPerMM > 11 {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="8" font-family="sans-serif" fill="#333">%s</text>`+"\n",
+				c.X*pxPerMM+2, c.Y*pxPerMM+9, c.Name)
+		}
+	}
+	for _, p := range tecs {
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#c00" stroke-width="1.2"/>`+"\n",
+			p.X*pxPerMM, p.Y*pxPerMM, p.Device.Width*pxPerMM, p.Device.Height*pxPerMM)
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// colorFor maps a normalized temperature u ∈ [0,1] onto a blue→red ramp.
+func colorFor(u float64) string {
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	// Blue (40,60,200) → yellow (250,220,60) → red (200,20,30).
+	var r, g, bl float64
+	if u < 0.5 {
+		t := u * 2
+		r = 40 + t*(250-40)
+		g = 60 + t*(220-60)
+		bl = 200 + t*(60-200)
+	} else {
+		t := (u - 0.5) * 2
+		r = 250 + t*(200-250)
+		g = 220 + t*(20-220)
+		bl = 60 + t*(30-60)
+	}
+	return fmt.Sprintf("rgb(%.0f,%.0f,%.0f)", r, g, bl)
+}
+
+// scaleBar draws the colour legend.
+func scaleBar(b *strings.Builder, xpx, hpx, tMin, tMax float64) {
+	const steps = 32
+	barH := hpx * 0.8
+	y0 := hpx * 0.1
+	for i := 0; i < steps; i++ {
+		u := 1 - float64(i)/float64(steps-1)
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="16" height="%.2f" fill="%s"/>`+"\n",
+			xpx+10, y0+float64(i)*barH/steps, barH/steps+0.5, colorFor(u))
+	}
+	fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="10" font-family="sans-serif">%.1f°C</text>`+"\n",
+		xpx+28, y0+8, tMax)
+	fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="10" font-family="sans-serif">%.1f°C</text>`+"\n",
+		xpx+28, y0+barH, tMin)
+}
+
+// tempRange returns min/max over a slice, padded when degenerate.
+func tempRange(ts []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, t := range ts {
+		if t < lo {
+			lo = t
+		}
+		if t > hi {
+			hi = t
+		}
+	}
+	if hi-lo < 1e-9 {
+		hi = lo + 1
+	}
+	return lo, hi
+}
+
+// ComponentHeatmap renders per-component temperatures (the compact model's
+// die nodes) over the floorplan.
+func ComponentHeatmap(w io.Writer, chip *floorplan.Chip, dieTemps []float64) error {
+	if len(dieTemps) < len(chip.Components) {
+		return fmt.Errorf("viz: %d temperatures for %d components", len(dieTemps), len(chip.Components))
+	}
+	var b strings.Builder
+	wpx, hpx := header(&b, chip.W, chip.H, true)
+	lo, hi := tempRange(dieTemps[:len(chip.Components)])
+	for i, c := range chip.Components {
+		u := (dieTemps[i] - lo) / (hi - lo)
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#444" stroke-width="0.3"><title>%s %.2f°C</title></rect>`+"\n",
+			c.X*pxPerMM, c.Y*pxPerMM, c.W*pxPerMM, c.H*pxPerMM, colorFor(u), c.ID(), dieTemps[i])
+	}
+	scaleBar(&b, wpx, hpx, lo, hi)
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// GridHeatmap renders a grid-model temperature field cell by cell.
+func GridHeatmap(w io.Writer, g *thermal.Grid, temps []float64) error {
+	if len(temps) < g.NumCells() {
+		return fmt.Errorf("viz: %d temperatures for %d cells", len(temps), g.NumCells())
+	}
+	var b strings.Builder
+	wpx, hpx := header(&b, g.Chip.W, g.Chip.H, true)
+	lo, hi := tempRange(temps[:g.NumCells()])
+	cw := g.Chip.W / float64(g.Nx) * pxPerMM
+	ch := g.Chip.H / float64(g.Ny) * pxPerMM
+	for iy := 0; iy < g.Ny; iy++ {
+		for ix := 0; ix < g.Nx; ix++ {
+			tcell := temps[iy*g.Nx+ix]
+			u := (tcell - lo) / (hi - lo)
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s"/>`+"\n",
+				float64(ix)*cw, float64(iy)*ch, cw+0.5, ch+0.5, colorFor(u))
+		}
+	}
+	// Overlay component outlines for orientation.
+	for _, c := range g.Chip.Components {
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#000" stroke-width="0.3" stroke-opacity="0.4"/>`+"\n",
+			c.X*pxPerMM, c.Y*pxPerMM, c.W*pxPerMM, c.H*pxPerMM)
+	}
+	scaleBar(&b, wpx, hpx, lo, hi)
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,143 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"tecfan/internal/fan"
+	"tecfan/internal/floorplan"
+	"tecfan/internal/tec"
+	"tecfan/internal/thermal"
+)
+
+// wellFormed checks that the output parses as XML.
+func wellFormed(t *testing.T, svg []byte) {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestFloorplanSVG(t *testing.T) {
+	chip := floorplan.NewQuad()
+	tecs := tec.Array(chip, tec.DefaultDevice())
+	var buf bytes.Buffer
+	if err := Floorplan(&buf, chip, tecs); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	wellFormed(t, buf.Bytes())
+	// One rect per component plus one per TEC (and no fewer).
+	rects := strings.Count(svg, "<rect")
+	if rects < len(chip.Components)+len(tecs) {
+		t.Fatalf("%d rects for %d components + %d TECs", rects, len(chip.Components), len(tecs))
+	}
+	if !strings.Contains(svg, "FPMul") {
+		t.Fatal("component labels missing")
+	}
+	// TEC outlines are red-stroked.
+	if !strings.Contains(svg, `stroke="#c00"`) {
+		t.Fatal("TEC outlines missing")
+	}
+}
+
+func TestFloorplanWithoutTECs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Floorplan(&buf, floorplan.NewQuad(), nil); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+}
+
+func TestComponentHeatmap(t *testing.T) {
+	chip := floorplan.NewQuad()
+	nw := thermal.NewNetwork(chip, fan.DynatronR16(), thermal.DefaultParams())
+	p := make([]float64, len(chip.Components))
+	for i, c := range chip.Components {
+		p[i] = 30 * c.Area() / chip.Area()
+	}
+	temps, err := nw.Steady(p, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ComponentHeatmap(&buf, chip, temps); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+	svg := buf.String()
+	if !strings.Contains(svg, "°C") {
+		t.Fatal("scale bar labels missing")
+	}
+	if !strings.Contains(svg, "<title>") {
+		t.Fatal("hover titles missing")
+	}
+	// Short temperature vector is rejected.
+	if err := ComponentHeatmap(&buf, chip, temps[:3]); err == nil {
+		t.Fatal("short vector accepted")
+	}
+}
+
+func TestGridHeatmap(t *testing.T) {
+	chip := floorplan.NewQuad()
+	g, err := thermal.NewGrid(chip, fan.DynatronR16(), thermal.DefaultParams(), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, len(chip.Components))
+	fpmul := chip.Lookup(1, "FPMul")
+	p[fpmul] = 3
+	temps, err := g.Steady(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := GridHeatmap(&buf, g, temps); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+	if strings.Count(buf.String(), "<rect") < g.NumCells() {
+		t.Fatalf("fewer rects than cells")
+	}
+	if err := GridHeatmap(&buf, g, temps[:5]); err == nil {
+		t.Fatal("short vector accepted")
+	}
+}
+
+func TestColorRamp(t *testing.T) {
+	// Endpoints and clamping.
+	if colorFor(0) != colorFor(-1) {
+		t.Fatal("low clamp broken")
+	}
+	if colorFor(1) != colorFor(2) {
+		t.Fatal("high clamp broken")
+	}
+	if colorFor(0) == colorFor(1) {
+		t.Fatal("ramp is degenerate")
+	}
+	// Format is a valid rgb() triple.
+	if !strings.HasPrefix(colorFor(0.3), "rgb(") {
+		t.Fatalf("bad color %q", colorFor(0.3))
+	}
+}
+
+func TestTempRange(t *testing.T) {
+	lo, hi := tempRange([]float64{50, 70, 60})
+	if lo != 50 || hi != 70 {
+		t.Fatalf("range (%v,%v)", lo, hi)
+	}
+	// Degenerate input is padded so the ramp does not divide by zero.
+	lo, hi = tempRange([]float64{55, 55})
+	if hi <= lo {
+		t.Fatal("degenerate range not padded")
+	}
+}

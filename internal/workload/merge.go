@@ -1,0 +1,106 @@
+package workload
+
+import "fmt"
+
+// Multiprogrammed workloads: the paper's 16-thread runs occupy the whole
+// chip with one application, but a CMP in the field mixes applications with
+// different spatial signatures — exactly the asymmetry local TEC cooling
+// exploits. Merge builds such a mix as a plain Benchmark with per-core
+// profile overrides, so the simulator runs it unchanged.
+
+// CoreProfile overrides a benchmark's spatial/temporal parameters for one
+// core. Zero-valued fields fall back to the owning benchmark's defaults.
+type CoreProfile struct {
+	Weights   map[string]float64
+	CoreDyn   float64
+	BaseIPS   float64
+	Phases    []Phase
+	JitterAmp float64
+	Seed      uint64
+}
+
+// profileFor returns the effective parameters for a core.
+func (b *Benchmark) profileFor(core int) (weights map[string]float64, coreDyn, baseIPS float64) {
+	weights, coreDyn, baseIPS = b.Weights, b.CoreDyn, b.BaseIPS
+	if p, ok := b.Profiles[core]; ok && p != nil {
+		if p.Weights != nil {
+			weights = p.Weights
+		}
+		if p.CoreDyn != 0 {
+			coreDyn = p.CoreDyn
+		}
+		if p.BaseIPS != 0 {
+			baseIPS = p.BaseIPS
+		}
+	}
+	return weights, coreDyn, baseIPS
+}
+
+// phasesFor returns the phase schedule, jitter, and seed for a core.
+func (b *Benchmark) phasesFor(core int) (phases []Phase, jitter float64, seed uint64) {
+	phases, jitter, seed = b.Phases, b.JitterAmp, b.Seed
+	if p, ok := b.Profiles[core]; ok && p != nil {
+		if p.Phases != nil {
+			phases = p.Phases
+		}
+		if p.JitterAmp != 0 {
+			jitter = p.JitterAmp
+		}
+		if p.Seed != 0 {
+			seed = p.Seed
+		}
+	}
+	return phases, jitter, seed
+}
+
+// Merge combines two calibrated benchmarks into one multiprogram Benchmark:
+// a's parameters drive coresA, b's drive coresB (disjoint, non-empty).
+// Every core keeps its own side's instruction budget, activity phases,
+// spatial weights, and calibrated power.
+func Merge(a, b *Benchmark, coresA, coresB []int) (*Benchmark, error) {
+	if len(coresA) == 0 || len(coresB) == 0 {
+		return nil, fmt.Errorf("workload: empty core set in merge")
+	}
+	seen := map[int]bool{}
+	for _, c := range coresA {
+		seen[c] = true
+	}
+	for _, c := range coresB {
+		if seen[c] {
+			return nil, fmt.Errorf("workload: core %d assigned to both benchmarks", c)
+		}
+	}
+
+	m := *a // metadata defaults from side a
+	m.Name = fmt.Sprintf("%s+%s", a.Name, b.Name)
+	m.Threads = len(coresA) + len(coresB)
+	m.ActiveCores = append(append([]int(nil), coresA...), coresB...)
+	m.Profiles = make(map[int]*CoreProfile, len(coresB))
+	for _, c := range coresB {
+		m.Profiles[c] = &CoreProfile{
+			Weights:   b.Weights,
+			CoreDyn:   b.CoreDyn,
+			BaseIPS:   b.BaseIPS,
+			Phases:    b.Phases,
+			JitterAmp: b.JitterAmp,
+			Seed:      b.Seed,
+		}
+	}
+	// Aggregate budget: each side contributes its own per-core budget. The
+	// combined InstPerCore is the mean, so per-core progress normalization
+	// uses each side's own rate via the profile-aware IPS.
+	m.TotalInst = float64(len(coresA))*a.InstPerCore() + float64(len(coresB))*b.InstPerCore()
+	m.TargetPower = a.TargetPower*float64(len(coresA))/float64(len(a.ActiveCores)) +
+		b.TargetPower*float64(len(coresB))/float64(len(b.ActiveCores))
+	m.TargetTimeMS = maxf(a.TargetTimeMS, b.TargetTimeMS)
+	// TargetPeak has no single owner; keep the hotter side's as the bound.
+	m.TargetPeak = maxf(a.TargetPeak, b.TargetPeak)
+	return &m, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,251 @@
+package tecfan
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"tecfan/internal/exp"
+	"tecfan/internal/perf"
+	"tecfan/internal/power"
+	"tecfan/internal/sim"
+	"tecfan/internal/workload"
+)
+
+// System is the top-level handle: a 16-core SCC-style CMP with its cooling
+// package, workload set, and the TECfan/baseline controllers.
+type System struct {
+	env *exp.Env
+}
+
+// Option configures a System.
+type Option func(*exp.Env)
+
+// WithScale shrinks every benchmark's instruction budget by the given factor
+// (1 = the paper's full length). Useful for fast exploratory runs.
+func WithScale(scale float64) Option {
+	return func(e *exp.Env) {
+		if scale > 0 {
+			e.Scale = scale
+		}
+	}
+}
+
+// WithViolationBudget overrides the §IV-C fan-selection violation budget.
+func WithViolationBudget(b float64) Option {
+	return func(e *exp.Env) { e.ViolationBudget = b }
+}
+
+// New builds the full-scale 16-core system.
+func New(opts ...Option) (*System, error) {
+	env := exp.NewEnv()
+	for _, o := range opts {
+		o(env)
+	}
+	return &System{env: env}, nil
+}
+
+// Metrics re-exports the evaluation record: time, energy, average power,
+// peak temperature, violation ratio, EPI, and EDP of a run.
+type Metrics = perf.Metrics
+
+// Report is the outcome of one policy run.
+type Report struct {
+	Benchmark string
+	Threads   int
+	Policy    string
+	FanLevel  int // §IV-C-selected fan level (0 = fastest)
+	Threshold float64
+	Metrics   Metrics
+	// Normalized holds delay/power/energy/EDP relative to the base
+	// scenario of the same benchmark.
+	Normalized perf.NormalizedMetrics
+}
+
+// Policies lists the available controllers in the paper's order.
+func (s *System) Policies() []string {
+	return append([]string(nil), exp.PolicyOrder...)
+}
+
+// Benchmarks lists the Table I workload configurations as "name/threads".
+func (s *System) Benchmarks() []string {
+	var out []string
+	for _, b := range workload.Table1(power.DefaultLeakage()) {
+		out = append(out, fmt.Sprintf("%s/%d", b.Name, b.Threads))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one benchmark under one policy: the base scenario defines
+// the temperature threshold, the fan level follows the §IV-C selection, and
+// the report carries raw and base-normalized metrics.
+func (s *System) Run(bench string, threads int, policyName string) (*Report, error) {
+	b, err := workload.ByName(bench, threads, s.env.Leak)
+	if err != nil {
+		return nil, err
+	}
+	sb := s.scaled(b)
+	base, err := s.env.BaseScenario(sb)
+	if err != nil {
+		return nil, err
+	}
+	threshold := base.Metrics.PeakTemp
+	level, res, err := s.env.SelectFanLevel(sb, policyName, threshold)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Benchmark:  bench,
+		Threads:    threads,
+		Policy:     policyName,
+		FanLevel:   level,
+		Threshold:  threshold,
+		Metrics:    res.Metrics,
+		Normalized: res.Metrics.Normalize(base.Metrics),
+	}, nil
+}
+
+// scaled applies the system's scale to a benchmark.
+func (s *System) scaled(b *workload.Benchmark) *workload.Benchmark {
+	if s.env.Scale == 1 {
+		return b
+	}
+	c := *b
+	c.TotalInst *= s.env.Scale
+	c.TargetTimeMS *= s.env.Scale
+	return &c
+}
+
+// Trace runs one benchmark at a fixed fan level with trace recording and
+// returns the per-control-period samples (time, peak temperature, chip
+// power, TECs on, mean DVFS) — the raw material of the Fig. 4 time series.
+func (s *System) Trace(bench string, threads int, policyName string, fanLevel int) ([]sim.TracePoint, error) {
+	b, err := workload.ByName(bench, threads, s.env.Leak)
+	if err != nil {
+		return nil, err
+	}
+	sb := s.scaled(b)
+	base, err := s.env.BaseScenario(sb)
+	if err != nil {
+		return nil, err
+	}
+	ctl := s.env.Controllers()[policyName]
+	if ctl == nil {
+		return nil, fmt.Errorf("tecfan: unknown policy %q", policyName)
+	}
+	res, err := s.env.RunTraced(sb, ctl, base.Metrics.PeakTemp, fanLevel)
+	if err != nil {
+		return nil, err
+	}
+	return res.Trace, nil
+}
+
+// Table1 regenerates the paper's Table I.
+func (s *System) Table1() ([]exp.Table1Row, error) { return s.env.Table1() }
+
+// Fig4 regenerates the §V-B comparison.
+func (s *System) Fig4() ([]exp.Fig4Case, error) { return s.env.Fig4() }
+
+// Fig56 regenerates the §V-C/§V-D comparisons.
+func (s *System) Fig56() (*exp.Fig56Result, error) { return s.env.Fig56() }
+
+// Fig7 regenerates the §V-E server comparison; seconds is the per-core
+// trace length (600 = the paper's 10 minutes).
+func Fig7(seconds int) ([]exp.Fig7Row, error) { return exp.Fig7(seconds) }
+
+// HardwareCost regenerates the §III-E systolic cost analysis.
+func (s *System) HardwareCost() (*exp.HardwareCostReport, error) { return s.env.HardwareCost() }
+
+// KnobAblation removes one TECfan knob at a time (TEC / DVFS / per-core
+// DVFS / binary current) on one benchmark — the coordination claim,
+// quantified.
+func (s *System) KnobAblation(bench string) ([]exp.AblationRow, error) {
+	return s.env.KnobAblation(bench)
+}
+
+// PeriodAblation sweeps the lower-level control period around the paper's
+// 2 ms choice.
+func (s *System) PeriodAblation(bench string, periods []float64) ([]exp.AblationRow, error) {
+	return s.env.PeriodAblation(bench, periods)
+}
+
+// CurrentAblation sweeps the TEC drive current on a hot-core scenario,
+// exposing the diminishing return behind the paper's conservative 6 A.
+func (s *System) CurrentAblation(currents []float64) ([]exp.CurrentAblationRow, error) {
+	return s.env.CurrentAblation(currents)
+}
+
+// PlacementAblation compares hot-row-aligned vs uniform TEC placement.
+func (s *System) PlacementAblation() (aligned, uniform float64, err error) {
+	return s.env.PlacementAblation()
+}
+
+// ControllerScaling measures one worst-case TECfan control period on
+// growing tile grids — the paper's O(NL + N²M) vs O(M^N·2^{NL}) complexity
+// argument, measured. grids lists square tile-grid dimensions (2 → 4
+// cores, 4 → 16 cores, ...).
+func ControllerScaling(grids []int) ([]exp.ScalingRow, error) {
+	return exp.ControllerScaling(grids)
+}
+
+// Timescales measures the 90 % step-response settling time of the three
+// actuators on the assembled thermal network — §III-D's time-scale
+// observation, measured rather than quoted.
+func (s *System) Timescales() ([]exp.StepResponse, error) {
+	return s.env.Timescales()
+}
+
+// OracleGap exhaustively solves the Eq. (13) optimization on a single core
+// tile (15 360 configurations) and measures how close TECfan's settled
+// decision lands — the §V-E "comparable with the oracle" claim on the
+// component-level model. severity is how far (°C) the hot operating point
+// sits above the threshold.
+func OracleGap(severity float64) (*exp.OracleGapResult, error) {
+	return exp.OracleGap(severity)
+}
+
+// WriteReport runs the reproduction experiments and emits a markdown
+// paper-vs-measured report.
+func (s *System) WriteReport(w io.Writer, opt exp.ReportOptions) error {
+	return s.env.WriteReport(w, opt)
+}
+
+// ReportOptions re-exports the report configuration.
+type ReportOptions = exp.ReportOptions
+
+// MixStudy runs TECfan on a heterogeneous half-lu/half-volrend chip and
+// reports where the TEC duty concentrates — the local-cooling premise.
+func (s *System) MixStudy() (*exp.MixResult, error) { return s.env.MixStudy() }
+
+// MappingStudy runs a 4-thread benchmark under the standard thread
+// placements (center/corner/spread/row) — the cooling-aware-scheduling
+// angle of the paper's related work.
+func (s *System) MappingStudy(bench, policyName string) ([]exp.MappingRow, error) {
+	return s.env.MappingStudy(bench, policyName)
+}
+
+// Writers for the regenerated artifacts.
+func WriteTable1(w io.Writer, rows []exp.Table1Row) { exp.WriteTable1(w, rows) }
+func WriteFig4(w io.Writer, cases []exp.Fig4Case)   { exp.WriteFig4(w, cases) }
+func WriteFig5(w io.Writer, r *exp.Fig56Result)     { exp.WriteFig5(w, r) }
+func WriteFig6(w io.Writer, r *exp.Fig56Result)     { exp.WriteFig6(w, r) }
+func WriteFig7(w io.Writer, rows []exp.Fig7Row)     { exp.WriteFig7(w, rows) }
+func WriteHardwareCost(w io.Writer, r *exp.HardwareCostReport) {
+	exp.WriteHardwareCost(w, r)
+}
+func WriteAblation(w io.Writer, title string, rows []exp.AblationRow) {
+	exp.WriteAblation(w, title, rows)
+}
+func WriteCurrentAblation(w io.Writer, rows []exp.CurrentAblationRow) {
+	exp.WriteCurrentAblation(w, rows)
+}
+func WriteMappingStudy(w io.Writer, bench string, rows []exp.MappingRow) {
+	exp.WriteMappingStudy(w, bench, rows)
+}
+func WriteTimescales(w io.Writer, rows []exp.StepResponse) {
+	exp.WriteTimescales(w, rows)
+}
+func WriteScaling(w io.Writer, rows []exp.ScalingRow)    { exp.WriteScaling(w, rows) }
+func WriteMixStudy(w io.Writer, r *exp.MixResult)        { exp.WriteMixStudy(w, r) }
+func WriteOracleGap(w io.Writer, r *exp.OracleGapResult) { exp.WriteOracleGap(w, r) }

@@ -1,0 +1,152 @@
+package tecfan
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewAndListings(t *testing.T) {
+	sys, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := sys.Policies()
+	if len(ps) != 5 {
+		t.Fatalf("%d policies, want 5", len(ps))
+	}
+	want := map[string]bool{"Fan-only": true, "Fan+TEC": true, "Fan+DVFS": true, "DVFS+TEC": true, "TECfan": true}
+	for _, p := range ps {
+		delete(want, p)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing policies: %v", want)
+	}
+	bs := sys.Benchmarks()
+	if len(bs) != 8 {
+		t.Fatalf("%d benchmarks, want the 8 Table I rows", len(bs))
+	}
+	for _, b := range bs {
+		if !strings.Contains(b, "/") {
+			t.Fatalf("benchmark id %q missing thread suffix", b)
+		}
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	sys, err := New(WithScale(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run("lu", 16, "TECfan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Benchmark != "lu" || rep.Threads != 16 || rep.Policy != "TECfan" {
+		t.Fatalf("report identity wrong: %+v", rep)
+	}
+	if rep.Metrics.Energy <= 0 || rep.Metrics.Time <= 0 {
+		t.Fatalf("empty metrics: %+v", rep.Metrics)
+	}
+	if rep.Threshold < 60 || rep.Threshold > 110 {
+		t.Fatalf("threshold %.1f implausible", rep.Threshold)
+	}
+	if rep.Normalized.Delay <= 0 || rep.Normalized.Energy <= 0 {
+		t.Fatalf("normalization missing: %+v", rep.Normalized)
+	}
+	if rep.FanLevel < 0 || rep.FanLevel > 4 {
+		t.Fatalf("fan level %d out of range", rep.FanLevel)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	sys, _ := New(WithScale(0.1))
+	if _, err := sys.Run("nosuch", 16, "TECfan"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := sys.Run("lu", 16, "NoSuchPolicy"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := sys.Run("water", 16, "TECfan"); err == nil {
+		t.Fatal("water/16 is not a Table I row")
+	}
+}
+
+func TestTraceAPI(t *testing.T) {
+	sys, _ := New(WithScale(0.1))
+	trace, err := sys.Trace("fmm", 16, "Fan+TEC", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	for _, p := range trace {
+		if p.FanLevel != 1 {
+			t.Fatalf("trace at wrong fan level %d", p.FanLevel)
+		}
+		if p.ChipPower <= 0 || p.PeakTemp < 45 {
+			t.Fatalf("bad trace point %+v", p)
+		}
+	}
+	if _, err := sys.Trace("fmm", 16, "NoSuch", 0); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestOptions(t *testing.T) {
+	sys, err := New(WithScale(0.05), WithViolationBudget(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run("volrend", 16, "Fan-only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At scale 0.05, volrend runs ≈ 2 ms.
+	if rep.Metrics.Time > 0.01 {
+		t.Fatalf("scale option ignored: %.4f s", rep.Metrics.Time)
+	}
+	// Non-positive scale is ignored rather than breaking the system.
+	if _, err := New(WithScale(-1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeAblationWrappers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation wrappers in -short mode")
+	}
+	sys, err := New(WithScale(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Current sweep and placement do not run simulations — cheap.
+	crows, err := sys.CurrentAblation([]float64{4, 6})
+	if err != nil || len(crows) != 2 {
+		t.Fatalf("CurrentAblation: %v (%d rows)", err, len(crows))
+	}
+	a, u, err := sys.PlacementAblation()
+	if err != nil || a <= 0 || u <= 0 {
+		t.Fatalf("PlacementAblation: %v (%v/%v)", err, a, u)
+	}
+	rows, err := ControllerScaling([]int{1, 2})
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("ControllerScaling: %v (%d rows)", err, len(rows))
+	}
+	ts, err := sys.Timescales()
+	if err != nil || len(ts) != 3 {
+		t.Fatalf("Timescales: %v (%d rows)", err, len(ts))
+	}
+	mrows, err := sys.MappingStudy("lu", "Fan-only")
+	if err != nil || len(mrows) != 4 {
+		t.Fatalf("MappingStudy: %v (%d rows)", err, len(mrows))
+	}
+	krows, err := sys.KnobAblation("lu")
+	if err != nil || len(krows) != 5 {
+		t.Fatalf("KnobAblation: %v (%d rows)", err, len(krows))
+	}
+	prows, err := sys.PeriodAblation("lu", []float64{2e-3})
+	if err != nil || len(prows) != 1 {
+		t.Fatalf("PeriodAblation: %v (%d rows)", err, len(prows))
+	}
+}
