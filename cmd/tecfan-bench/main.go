@@ -26,6 +26,16 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
+	valid := []string{"table1", "fig4", "fig5", "fig6", "fig7", "hw", "ablate",
+		"mapping", "timescales", "scaling", "mix", "oraclegap", "report", "all"}
+	known := false
+	for _, v := range valid {
+		known = known || v == *which
+	}
+	if !known {
+		fatal(fmt.Errorf("unknown experiment %q (valid: %s)", *which, strings.Join(valid, ", ")))
+	}
+
 	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)

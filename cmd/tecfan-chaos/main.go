@@ -1,0 +1,116 @@
+// Command tecfan-chaos sweeps fault scenarios against thermal-management
+// policies and reports how gracefully each degrades: violation ratio and EPI
+// versus the fault-free run, fail-safe entries, detection latency, and
+// recovery time. Any panic or unbounded run fails the sweep.
+//
+// Usage:
+//
+//	tecfan-chaos [-bench cholesky] [-threads 16] [-scale 1]
+//	             [-policies TECfan,TECfan-FT] [-scenarios all]
+//	             [-seed 1] [-format md|csv] [-o report.md]
+//	tecfan-chaos -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tecfan"
+	"tecfan/internal/cmdutil"
+)
+
+func main() {
+	bench := flag.String("bench", "cholesky", "benchmark name")
+	threads := flag.Int("threads", 16, "thread count (16 or 4, per Table I)")
+	scale := flag.Float64("scale", 1.0, "instruction-budget scale (1 = paper length)")
+	policies := flag.String("policies", "TECfan,TECfan-FT", "comma-separated policies to sweep")
+	scenarios := flag.String("scenarios", "all", "comma-separated fault scenarios, or \"all\"")
+	seed := flag.Int64("seed", 1, "fault-injection seed")
+	format := flag.String("format", "md", "output format: md or csv")
+	out := flag.String("o", "", "output file (default stdout)")
+	list := flag.Bool("list", false, "list benchmarks, policies, and scenarios, then exit")
+	flag.Parse()
+
+	sys, err := tecfan.New(tecfan.WithScale(*scale))
+	if err != nil {
+		fatal(err)
+	}
+	if *list {
+		cmdutil.PrintLists(sys)
+		fmt.Println("scenarios:")
+		for _, s := range tecfan.Scenarios() {
+			fmt.Printf("  %s\n", s)
+		}
+		return
+	}
+	if err := cmdutil.CheckBench(sys, *bench, *threads); err != nil {
+		fatal(err)
+	}
+	pol := splitCSV(*policies)
+	for _, p := range pol {
+		if err := cmdutil.CheckPolicy(sys, p); err != nil {
+			fatal(err)
+		}
+	}
+	var scen []string
+	if *scenarios != "all" {
+		scen = splitCSV(*scenarios)
+	}
+	if *format != "md" && *format != "csv" {
+		fatal(fmt.Errorf("unknown format %q (valid: md, csv)", *format))
+	}
+
+	res, err := sys.Chaos(tecfan.ChaosOptions{
+		Bench: *bench, Threads: *threads,
+		Policies: pol, Scenarios: scen, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *format == "csv" {
+		if err := tecfan.WriteChaosCSV(w, res); err != nil {
+			fatal(err)
+		}
+	} else {
+		tecfan.WriteChaos(w, res)
+	}
+
+	if n := res.Panics(); n > 0 {
+		fatal(fmt.Errorf("%d runs panicked", n))
+	}
+	// The graceful-degradation bar applies to the fault-tolerant controller;
+	// baselines are expected to degrade badly — that contrast is the point.
+	for _, row := range res.Rows {
+		if row.Policy == "TECfan-FT" && !row.Accepted {
+			fatal(fmt.Errorf("TECfan-FT failed acceptance under %s: %s", row.Scenario, row.Reason))
+		}
+	}
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tecfan-chaos:", err)
+	os.Exit(1)
+}

@@ -22,6 +22,13 @@ func main() {
 	tiles := flag.Int("tiles", 4, "tile grid dimension for -export (4 = the paper's 16 cores)")
 	flag.Parse()
 
+	if *export && *imp != "" {
+		fatal(fmt.Errorf("-export and -import are mutually exclusive"))
+	}
+	if *tiles < 1 {
+		fatal(fmt.Errorf("tile grid dimension must be at least 1, got %d", *tiles))
+	}
+
 	switch {
 	case *export:
 		chip := floorplan.NewChip(*tiles, *tiles)

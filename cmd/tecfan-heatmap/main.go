@@ -32,6 +32,13 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
+	if *mode != "floorplan" && *mode != "compact" && *mode != "grid" {
+		fatal(fmt.Errorf("unknown mode %q (valid: floorplan, compact, grid)", *mode))
+	}
+	if *cell <= 0 {
+		fatal(fmt.Errorf("cell size must be positive, got %g", *cell))
+	}
+
 	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -53,6 +60,9 @@ func main() {
 		return
 	}
 
+	if *fanLevel < 1 || *fanLevel > fm.NumLevels() {
+		fatal(fmt.Errorf("fan level %d out of range (valid: 1..%d)", *fanLevel, fm.NumLevels()))
+	}
 	b, err := workload.ByName(*bench, *threads, leak)
 	if err != nil {
 		fatal(err)

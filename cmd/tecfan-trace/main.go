@@ -13,6 +13,7 @@ import (
 	"strconv"
 
 	"tecfan"
+	"tecfan/internal/cmdutil"
 )
 
 func main() {
@@ -26,6 +27,15 @@ func main() {
 	sys, err := tecfan.New(tecfan.WithScale(*scale))
 	if err != nil {
 		fatal(err)
+	}
+	if err := cmdutil.CheckBench(sys, *bench, *threads); err != nil {
+		fatal(err)
+	}
+	if err := cmdutil.CheckPolicy(sys, *policy); err != nil {
+		fatal(err)
+	}
+	if *fanLevel < 1 || *fanLevel > sys.FanLevels() {
+		fatal(fmt.Errorf("fan level %d out of range (valid: 1..%d)", *fanLevel, sys.FanLevels()))
 	}
 	trace, err := sys.Trace(*bench, *threads, *policy, *fanLevel-1)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"tecfan"
+	"tecfan/internal/cmdutil"
 )
 
 func main() {
@@ -28,15 +29,14 @@ func main() {
 		fatal(err)
 	}
 	if *list {
-		fmt.Println("benchmarks:")
-		for _, b := range sys.Benchmarks() {
-			fmt.Printf("  %s\n", b)
-		}
-		fmt.Println("policies:")
-		for _, p := range sys.Policies() {
-			fmt.Printf("  %s\n", p)
-		}
+		cmdutil.PrintLists(sys)
 		return
+	}
+	if err := cmdutil.CheckBench(sys, *bench, *threads); err != nil {
+		fatal(err)
+	}
+	if err := cmdutil.CheckPolicy(sys, *policy); err != nil {
+		fatal(err)
 	}
 
 	rep, err := sys.Run(*bench, *threads, *policy)

@@ -30,5 +30,5 @@ func ExampleSystem_Benchmarks() {
 	sys, _ := tecfan.New()
 	fmt.Println(len(sys.Benchmarks()), "benchmarks,", len(sys.Policies()), "policies")
 	// Output:
-	// 8 benchmarks, 5 policies
+	// 8 benchmarks, 6 policies
 }

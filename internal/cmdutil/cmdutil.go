@@ -1,0 +1,54 @@
+// Package cmdutil holds the flag-validation helpers shared by the cmd/
+// tools: every tool checks its -bench/-policy arguments eagerly, before any
+// simulation starts, and a bad value fails with the list of valid choices
+// instead of surfacing minutes later from deep inside a run.
+package cmdutil
+
+import (
+	"fmt"
+	"strings"
+)
+
+// System is the slice of the tecfan.System surface the helpers need; taking
+// an interface avoids an import cycle with the root package.
+type System interface {
+	Benchmarks() []string
+	Policies() []string
+}
+
+// CheckBench validates a benchmark/thread-count pair against the Table I
+// configurations ("name/threads").
+func CheckBench(sys System, bench string, threads int) error {
+	want := fmt.Sprintf("%s/%d", bench, threads)
+	valid := sys.Benchmarks()
+	for _, b := range valid {
+		if b == want {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown benchmark %q (valid: %s)", want, strings.Join(valid, ", "))
+}
+
+// CheckPolicy validates a policy name.
+func CheckPolicy(sys System, name string) error {
+	valid := sys.Policies()
+	for _, p := range valid {
+		if p == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown policy %q (valid: %s)", name, strings.Join(valid, ", "))
+}
+
+// PrintLists prints the valid benchmarks and policies — the body of every
+// tool's -list flag.
+func PrintLists(sys System) {
+	fmt.Println("benchmarks:")
+	for _, b := range sys.Benchmarks() {
+		fmt.Printf("  %s\n", b)
+	}
+	fmt.Println("policies:")
+	for _, p := range sys.Policies() {
+		fmt.Printf("  %s\n", p)
+	}
+}

@@ -34,6 +34,12 @@ type Controller struct {
 	NoTEC bool
 	// NoDVFS removes the DVFS knob (ablation: cooling coordination only).
 	NoDVFS bool
+	// Disabled, when non-nil, marks per-device TECs the controller must not
+	// drive (de-rated banks under fault-tolerant operation). Disabled
+	// devices are forced off in every candidate, so the estimator's
+	// predictions match the de-rated hardware instead of assuming cooling
+	// that will never arrive.
+	Disabled []bool
 
 	lastObs *sim.Observation // cached lower-level observation for fan control
 }
@@ -68,6 +74,7 @@ func (c *Controller) Control(obs *sim.Observation) sim.Decision {
 	} else {
 		cand.TECOn = append([]bool(nil), obs.TECOn...)
 	}
+	c.applyDisabled(&cand)
 	// Tighten the threshold by the safety margin for all internal
 	// feasibility decisions.
 	mobs := *obs
@@ -154,7 +161,7 @@ func (c *Controller) offTECOverHottestSpot(cand Candidate, est Estimate, thresho
 	bestT := threshold // only components above the threshold qualify
 	bestCover := 0.0
 	for l, pl := range c.Est.Placements {
-		if c.tecMaxed(cand, l) {
+		if c.tecMaxed(cand, l) || c.disabled(l) {
 			continue
 		}
 		for comp, cover := range pl.Cover {
@@ -289,6 +296,7 @@ func (c *Controller) FanControl(obs *sim.Observation) int {
 	} else {
 		cand.TECAmps = nil
 	}
+	c.applyDisabled(&cand)
 	peak := c.Est.SteadyPeak(m, cand)
 	if peak > obs.Threshold {
 		// Hot: speed up (lower index) until the prediction clears.
@@ -308,6 +316,29 @@ func (c *Controller) FanControl(obs *sim.Observation) int {
 		}
 	}
 	return obs.FanLevel
+}
+
+// disabled reports whether device l is administratively off.
+func (c *Controller) disabled(l int) bool {
+	return c.Disabled != nil && l < len(c.Disabled) && c.Disabled[l]
+}
+
+// applyDisabled forces every disabled device off in a candidate.
+func (c *Controller) applyDisabled(cand *Candidate) {
+	if c.Disabled == nil {
+		return
+	}
+	for l, off := range c.Disabled {
+		if !off {
+			continue
+		}
+		if cand.TECOn != nil && l < len(cand.TECOn) {
+			cand.TECOn[l] = false
+		}
+		if cand.TECAmps != nil && l < len(cand.TECAmps) {
+			cand.TECAmps[l] = 0
+		}
+	}
 }
 
 // cloneObs deep-copies the slices of an observation the controller retains

@@ -57,6 +57,9 @@ func (e *Env) runVariant(b *workload.Benchmark, threshold float64, base perf.Met
 		}
 		res, err := r.Run()
 		if err != nil {
+			if timeCapped(err) {
+				break
+			}
 			return AblationRow{}, err
 		}
 		if !e.withinBudget(res) || !res.Completed {

@@ -15,10 +15,12 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 
 	"tecfan/internal/core"
 	"tecfan/internal/fan"
+	"tecfan/internal/fault"
 	"tecfan/internal/floorplan"
 	"tecfan/internal/perf"
 	"tecfan/internal/policy"
@@ -47,6 +49,16 @@ type Env struct {
 	ViolationBudget float64
 	// MaxWarmStarts caps the convergence loop per run.
 	MaxWarmStarts int
+	// FanPeriod overrides the higher-level fan loop period (0 = the sim's
+	// default). The chaos sweep shortens it so the fan loop actually runs
+	// inside the tens-of-milliseconds benchmark horizons.
+	FanPeriod float64
+
+	// Faults, when non-nil, injects the scenario into every run via the
+	// sim's sensor/actuator hooks; BaseScenario stays fault-free by
+	// definition. FaultSeed makes target selection reproducible.
+	Faults    *fault.Scenario
+	FaultSeed int64
 }
 
 // NewEnv builds the full-scale environment.
@@ -80,11 +92,31 @@ func (e *Env) scaled(b *workload.Benchmark) *workload.Benchmark {
 
 // config assembles a sim.Config for one run.
 func (e *Env) config(b *workload.Benchmark, threshold float64, fanLevel int) sim.Config {
-	return sim.Config{
+	cfg := sim.Config{
 		Chip: e.Chip, Fan: e.Fan, Network: e.NW, DVFS: e.DVFS, Leak: e.Leak,
 		TECs: e.TECs, Bench: b, Threshold: threshold,
 		FanLevel:      fanLevel,
 		MaxWarmStarts: e.MaxWarmStarts,
+		FanPeriod:     e.FanPeriod,
+	}
+	if e.Faults != nil && len(e.Faults.Faults) > 0 {
+		sf := &fault.SimFaults{In: fault.NewInjector(*e.Faults, e.FaultLayout(b), e.FaultSeed)}
+		cfg.Sensors, cfg.Actuators = sf, sf
+	}
+	return cfg
+}
+
+// FaultLayout describes this environment to the fault injector; the horizon
+// is the benchmark's nominal (fault-free, max-DVFS) run time, which anchors
+// the scenario's relative onset times.
+func (e *Env) FaultLayout(b *workload.Benchmark) fault.Layout {
+	return fault.Layout{
+		Sensors:        e.NW.NumDie(),
+		Cores:          e.Chip.NumCores(),
+		DevicesPerCore: len(e.TECs) / e.Chip.NumCores(),
+		FanLevels:      e.Fan.NumLevels(),
+		MaxDVFS:        e.DVFS.Max(),
+		Horizon:        b.TargetTimeMS / 1000,
 	}
 }
 
@@ -110,16 +142,22 @@ func (e *Env) RunTraced(b *workload.Benchmark, ctl sim.Controller, threshold flo
 func (e *Env) Controllers() map[string]sim.Controller {
 	est := core.NewEstimator(e.NW, e.DVFS, e.Leak, e.Fan, e.TECs, 2e-3)
 	return map[string]sim.Controller{
-		"Fan-only": policy.FanOnly{},
-		"Fan+TEC":  &policy.FanTEC{Placements: e.TECs},
-		"Fan+DVFS": &policy.FanDVFS{Chip: e.Chip, DVFS: e.DVFS},
-		"DVFS+TEC": &policy.DVFSTEC{Chip: e.Chip, DVFS: e.DVFS, Placements: e.TECs},
-		"TECfan":   core.NewController(est),
+		"Fan-only":  policy.FanOnly{},
+		"Fan+TEC":   &policy.FanTEC{Placements: e.TECs},
+		"Fan+DVFS":  &policy.FanDVFS{Chip: e.Chip, DVFS: e.DVFS},
+		"DVFS+TEC":  &policy.DVFSTEC{Chip: e.Chip, DVFS: e.DVFS, Placements: e.TECs},
+		"TECfan":    core.NewController(est),
+		"TECfan-FT": core.NewFT(core.NewEstimator(e.NW, e.DVFS, e.Leak, e.Fan, e.TECs, 2e-3), core.FTConfig{}),
 	}
 }
 
-// PolicyOrder is the presentation order of Fig. 5/6.
+// PolicyOrder is the presentation order of Fig. 5/6 — the paper's five
+// policies, deliberately excluding the fault-tolerant variant so the paper
+// figures stay byte-identical.
 var PolicyOrder = []string{"Fan-only", "Fan+TEC", "Fan+DVFS", "DVFS+TEC", "TECfan"}
+
+// AllPolicies lists every runnable policy: the paper's five plus TECfan-FT.
+func AllPolicies() []string { return append(append([]string(nil), PolicyOrder...), "TECfan-FT") }
 
 // SelectFanLevel reproduces §IV-C: run the policy at successively slower fan
 // levels and keep only levels whose violation ratio stays within budget.
@@ -138,11 +176,14 @@ func (e *Env) SelectFanLevel(b *workload.Benchmark, name string, threshold float
 		}
 		res, err := e.runOne(b, ctl, threshold, level, false)
 		if err != nil {
+			if timeCapped(err) {
+				break // this level over-throttles; slower ones only get worse
+			}
 			return 0, nil, err
 		}
 		if e.withinBudget(res) && res.Completed {
 			if chosenRes == nil ||
-				name != "TECfan" ||
+				(name != "TECfan" && name != "TECfan-FT") ||
 				res.Metrics.Energy < chosenRes.Metrics.Energy {
 				chosen, chosenRes = level, res
 			}
@@ -160,6 +201,14 @@ func (e *Env) SelectFanLevel(b *workload.Benchmark, name string, threshold float
 		return 0, res, nil
 	}
 	return chosen, chosenRes, nil
+}
+
+// timeCapped reports whether err is the sim's explicit MaxTimeFactor cap —
+// the one run failure a fan-level sweep treats as "infeasible level" rather
+// than a fatal error.
+func timeCapped(err error) bool {
+	var tce *sim.TimeCapError
+	return errors.As(err, &tce)
 }
 
 // ViolationTimeBudget is the absolute violation-time acceptance used
@@ -188,9 +237,12 @@ func (e *Env) withinBudget(res *sim.Result) bool {
 // BaseScenario runs a benchmark with everything maxed (fan level 1 = index
 // 0, max DVFS, TECs off) and returns its metrics — the Table I row and the
 // Fig. 6 normalization base. The temperature threshold used during the run
-// is the benchmark's own Table I peak (the base scenario defines it).
+// is the benchmark's own Table I peak (the base scenario defines it). The
+// base scenario is fault-free by definition, even on an Env with Faults set.
 func (e *Env) BaseScenario(b *workload.Benchmark) (*sim.Result, error) {
-	return e.runOne(b, policy.FanOnly{}, b.TargetPeak, 0, false)
+	clean := *e
+	clean.Faults = nil
+	return clean.runOne(b, policy.FanOnly{}, b.TargetPeak, 0, false)
 }
 
 // Metrics shorthand.

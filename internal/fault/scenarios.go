@@ -1,0 +1,117 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Builtin returns the named scenario library the chaos harness sweeps: one
+// scenario per failure archetype plus two compound storms. Onsets sit a
+// little way into the run so every scenario has a healthy prefix to compare
+// detection latency against.
+func Builtin() []Scenario {
+	return []Scenario{
+		{
+			Name: "sensor-stuck",
+			Desc: "two die sensors freeze at their last reading",
+			Faults: []Fault{
+				{Kind: SensorStuck, Count: 2, StartFrac: 0.2},
+			},
+		},
+		{
+			Name: "sensor-noise",
+			Desc: "every die sensor gains N(0, 3 °C) noise",
+			Faults: []Fault{
+				{Kind: SensorNoise, Count: -1, StartFrac: 0.1, Param: 3},
+			},
+		},
+		{
+			Name: "sensor-dropout",
+			Desc: "three die sensors read NaN",
+			Faults: []Fault{
+				{Kind: SensorDropout, Count: 3, StartFrac: 0.2},
+			},
+		},
+		{
+			Name: "sensor-bias",
+			Desc: "two die sensors under-report by 10 °C",
+			Faults: []Fault{
+				{Kind: SensorOffset, Count: 2, StartFrac: 0.2, Param: -10},
+			},
+		},
+		{
+			Name: "tec-fail-off",
+			Desc: "two cores' TEC banks fail open",
+			Faults: []Fault{
+				{Kind: TECFailOff, Count: 2, StartFrac: 0.15},
+			},
+		},
+		{
+			Name: "tec-fail-on",
+			Desc: "one core's TEC bank shorts to full drive",
+			Faults: []Fault{
+				{Kind: TECFailOn, Count: 1, StartFrac: 0.15},
+			},
+		},
+		{
+			Name: "fan-stuck-slow",
+			Desc: "fan sticks at the slowest level",
+			Faults: []Fault{
+				{Kind: FanStuck, StartFrac: 0.1, Param: 1e9},
+			},
+		},
+		{
+			Name: "dvfs-drop",
+			Desc: "every DVFS request is silently dropped",
+			Faults: []Fault{
+				{Kind: DVFSDrop, StartFrac: 0.2},
+			},
+		},
+		{
+			Name: "dvfs-floor",
+			Desc: "DVFS refuses to go more than one level below max",
+			Faults: []Fault{
+				{Kind: DVFSFloor, StartFrac: 0.2, Param: 1},
+			},
+		},
+		{
+			Name: "sensor-storm",
+			Desc: "dropout on three sensors plus chip-wide 2 °C noise",
+			Faults: []Fault{
+				{Kind: SensorDropout, Count: 3, StartFrac: 0.15},
+				{Kind: SensorNoise, Count: -1, StartFrac: 0.15, Param: 2},
+			},
+		},
+		{
+			Name: "cascade",
+			Desc: "stuck sensors, a failed TEC bank, and a slow-stuck fan",
+			Faults: []Fault{
+				{Kind: SensorStuck, Count: 2, StartFrac: 0.15},
+				{Kind: TECFailOff, Count: 1, StartFrac: 0.25},
+				{Kind: FanStuck, StartFrac: 0.35, Param: 1e9},
+			},
+		},
+	}
+}
+
+// Names lists the built-in scenario names in sweep order.
+func Names() []string {
+	var out []string
+	for _, sc := range Builtin() {
+		out = append(out, sc.Name)
+	}
+	return out
+}
+
+// ByName resolves a built-in scenario; the error lists the valid names.
+func ByName(name string) (Scenario, error) {
+	for _, sc := range Builtin() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	names := Names()
+	sort.Strings(names)
+	return Scenario{}, fmt.Errorf("fault: unknown scenario %q (valid: %s)", name, strings.Join(names, ", "))
+}

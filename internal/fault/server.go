@@ -1,0 +1,39 @@
+package fault
+
+import (
+	"tecfan/internal/server"
+)
+
+// ServerFaults plugs an Injector into the §V-E server platform: it
+// implements both server.SensorModel and server.ActuatorModel. TEC faults
+// act at whole-bank granularity (the server's actuation unit).
+type ServerFaults struct {
+	In *Injector
+}
+
+var (
+	_ server.SensorModel   = (*ServerFaults)(nil)
+	_ server.ActuatorModel = (*ServerFaults)(nil)
+)
+
+// Observe implements server.SensorModel.
+func (s *ServerFaults) Observe(st *server.State) {
+	s.In.CorruptTemps(st.Time, st.Temps)
+}
+
+// Filter implements server.ActuatorModel. As in the co-simulation adapter,
+// a nil bank request is materialized from the current configuration when a
+// TEC fault is live, so a persistent stuck bank overrides held state.
+func (s *ServerFaults) Filter(now float64, cur server.Decision, dec *server.Decision) {
+	dec.DVFS = s.In.FilterDVFS(now, dec.DVFS)
+	if dec.Banks == nil && s.In.TECFaultActive(now) {
+		dec.Banks = append([]bool(nil), cur.Banks...)
+	}
+	if dec.Banks != nil {
+		s.In.FilterBanks(now, dec.Banks)
+	}
+	dec.FanLevel = s.In.FilterFan(now, dec.FanLevel)
+}
+
+// Reset implements both interfaces.
+func (s *ServerFaults) Reset() { s.In.Reset() }

@@ -1,0 +1,91 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"tecfan/internal/server"
+)
+
+// probePolicy records what it observes and keeps issuing the same requests,
+// so the test can tell exactly which seam (sensor or actuator) intervened.
+type probePolicy struct {
+	wantFan   int
+	wantDVFS  int
+	sawNaN    bool
+	lastDVFS  []int
+	lastFan   int
+	decisions int
+}
+
+func (p *probePolicy) Name() string { return "probe" }
+
+func (p *probePolicy) Decide(st *server.State, m *server.Machine) server.Decision {
+	p.decisions++
+	for _, v := range st.Temps {
+		if math.IsNaN(v) {
+			p.sawNaN = true
+		}
+	}
+	p.lastDVFS = append(p.lastDVFS[:0], st.DVFS...)
+	p.lastFan = st.FanLevel
+	dvfs := make([]int, len(st.DVFS))
+	for i := range dvfs {
+		dvfs[i] = p.wantDVFS
+	}
+	return server.Decision{DVFS: dvfs, FanLevel: p.wantFan}
+}
+
+// TestServerFaultHooks drives a short Machine.Run through the ServerFaults
+// adapter and verifies both seams: Observe corrupts the temperatures a policy
+// reads, and Filter overrides what the policy commands.
+func TestServerFaultHooks(t *testing.T) {
+	m := server.NewMachine()
+	nCores := m.Chip.NumCores()
+	traces := make([][]float64, nCores)
+	for c := range traces {
+		traces[c] = make([]float64, 40)
+		for i := range traces[c] {
+			traces[c][i] = 0.5
+		}
+	}
+	horizon := float64(len(traces[0]))
+	sc := Scenario{Name: "server-mix", Faults: []Fault{
+		{Kind: SensorDropout, Count: 1, StartFrac: 0.25},
+		{Kind: FanStuck, StartFrac: 0, Param: 1e9},
+		{Kind: DVFSDrop, StartFrac: 0},
+	}}
+	in := NewInjector(sc, Layout{
+		Sensors:   m.NW.NumDie(),
+		Cores:     nCores,
+		FanLevels: m.Fan.NumLevels(),
+		MaxDVFS:   m.Platform.DVFS.Max(),
+		Horizon:   horizon,
+	}, 3)
+	sf := &ServerFaults{In: in}
+
+	// The probe keeps demanding the fastest fan and a deep throttle; the
+	// stuck fan and dropped DVFS requests must both be visible in the next
+	// observed state.
+	p := &probePolicy{wantFan: 0, wantDVFS: 0}
+	res, err := m.Run(traces, p, server.RunConfig{Sensors: sf, Actuators: sf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || p.decisions == 0 {
+		t.Fatal("run produced no decisions")
+	}
+	if !p.sawNaN {
+		t.Fatal("sensor dropout never reached the policy's observation")
+	}
+	stuck := m.Fan.NumLevels() - 1
+	if p.lastFan != stuck {
+		t.Fatalf("fan reads back level %d, want stuck slowest level %d", p.lastFan, stuck)
+	}
+	max := m.Platform.DVFS.Max()
+	for c, l := range p.lastDVFS {
+		if l != max {
+			t.Fatalf("core %d DVFS %d: dropped requests must leave the initial max level %d", c, l, max)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package fault
+
+import (
+	"tecfan/internal/sim"
+	"tecfan/internal/tec"
+)
+
+// SimFaults plugs an Injector into the 16-core co-simulation: it implements
+// both sim.SensorModel and sim.ActuatorModel.
+type SimFaults struct {
+	In *Injector
+}
+
+var (
+	_ sim.SensorModel   = (*SimFaults)(nil)
+	_ sim.ActuatorModel = (*SimFaults)(nil)
+)
+
+// Observe implements sim.SensorModel.
+func (s *SimFaults) Observe(obs *sim.Observation) {
+	s.In.CorruptTemps(obs.Time, obs.Temps)
+}
+
+// FilterDecision implements sim.ActuatorModel. TEC faults need a vector to
+// act on: when the controller left the TEC state unchanged (nil request) and
+// a TEC fault is live, the current drive vector is materialized first so a
+// stuck-on device can override held state.
+func (s *SimFaults) FilterDecision(now float64, cur sim.ActuatorState, dec *sim.Decision) {
+	dec.DVFS = s.In.FilterDVFS(now, dec.DVFS)
+	if cur.TECAmps == nil {
+		return // no TECs in this run
+	}
+	if dec.TECAmps == nil && dec.TECOn == nil && s.In.TECFaultActive(now) {
+		dec.TECAmps = append([]float64(nil), cur.TECAmps...)
+	}
+	s.In.FilterTEC(now, dec.TECOn, dec.TECAmps, tec.DriveCurrent)
+}
+
+// FilterFan implements sim.ActuatorModel.
+func (s *SimFaults) FilterFan(now float64, level int) int {
+	return s.In.FilterFan(now, level)
+}
+
+// Reset implements both interfaces.
+func (s *SimFaults) Reset() { s.In.Reset() }

@@ -15,6 +15,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -59,6 +60,42 @@ type Controller interface {
 	Reset()
 }
 
+// SensorModel transforms each Observation before a controller sees it — the
+// fault-injection seam for stuck, noisy, dropped-out, or biased sensors. The
+// observation's slices are private copies of the live state, so a model may
+// mutate them freely without corrupting the simulation.
+type SensorModel interface {
+	Observe(obs *Observation)
+	// Reset clears internal state (stuck-value memory, noise streams)
+	// between warm-start iterations.
+	Reset()
+}
+
+// ActuatorState describes the currently applied actuator configuration,
+// handed to an ActuatorModel so persistent faults (a device stuck on, a
+// dropped request) can be expressed relative to what is physically in
+// effect. Slices are private copies.
+type ActuatorState struct {
+	DVFS     []int
+	TECAmps  []float64 // nil when the run has no TECs
+	FanLevel int
+}
+
+// ActuatorModel intercepts controller requests before they reach the
+// physical actuators — the fault-injection seam for failed TEC devices,
+// a stuck fan, or ignored DVFS requests.
+type ActuatorModel interface {
+	// FilterDecision may mutate dec in place; setting a slice to nil drops
+	// that request entirely (the actuator keeps its current state). It is
+	// also invoked once at t = 0 with an empty decision so always-on faults
+	// apply from the first step.
+	FilterDecision(now float64, cur ActuatorState, dec *Decision)
+	// FilterFan maps a requested fan level to the level actually applied.
+	FilterFan(now float64, level int) int
+	// Reset clears internal state between warm-start iterations.
+	Reset()
+}
+
 // FanController is optionally implemented by controllers that drive the fan
 // at the higher level (TECfan's outer loop). Others run at the fixed level
 // chosen by the experiment driver.
@@ -94,6 +131,13 @@ type Config struct {
 	WarmStartTol float64
 	// MaxWarmStarts bounds the convergence loop (default 5).
 	MaxWarmStarts int
+
+	// Sensors, when non-nil, corrupts every observation before the
+	// controller reads it.
+	Sensors SensorModel
+	// Actuators, when non-nil, intercepts every controller request before
+	// it is applied.
+	Actuators ActuatorModel
 }
 
 func (c *Config) fillDefaults() {
@@ -138,11 +182,29 @@ type Result struct {
 	FinalTemps []float64
 	WarmStarts int
 	// Completed reports whether every active core retired its budget
-	// before the MaxTimeFactor cap.
+	// before the MaxTimeFactor cap. An incomplete run is also reported as
+	// a *TimeCapError from Run, so truncation is never silent.
 	Completed bool
+	// Converged reports whether the warm-start loop met WarmStartTol
+	// before MaxWarmStarts ran out.
+	Converged bool
 
 	finalDVFS []int
 	finalAmps []float64
+}
+
+// TimeCapError reports that a run was stopped by the MaxTimeFactor safety
+// net before the workload completed — a livelocked or over-throttling
+// controller. The partial Result is still returned alongside it.
+type TimeCapError struct {
+	Time    float64 // simulation time at the cap, s
+	Retired float64 // instructions retired
+	Budget  float64 // instruction budget
+}
+
+func (e *TimeCapError) Error() string {
+	return fmt.Sprintf("sim: MaxTimeFactor cap hit at t=%.4gs with %.3g of %.3g instructions retired (livelocked or over-throttled controller)",
+		e.Time, e.Retired, e.Budget)
 }
 
 // Runner executes simulation runs for one configuration.
@@ -191,12 +253,26 @@ func (r *Runner) Run() (*Result, error) {
 	var res *Result
 	for ws := 0; ws < cfg.MaxWarmStarts; ws++ {
 		r.ctl.Reset()
+		if cfg.Sensors != nil {
+			cfg.Sensors.Reset()
+		}
+		if cfg.Actuators != nil {
+			cfg.Actuators.Reset()
+		}
 		res, err = r.runOnce(init, initDVFS, initAmps)
 		if err != nil {
+			var tce *TimeCapError
+			if errors.As(err, &tce) && res != nil {
+				// The cap is an explicit, inspectable error; the partial
+				// result rides along for diagnosis.
+				res.WarmStarts = ws + 1
+				return res, err
+			}
 			return nil, err
 		}
 		res.WarmStarts = ws + 1
 		if math.Abs(res.Metrics.PeakTemp-prevPeak) < cfg.WarmStartTol {
+			res.Converged = true
 			return res, nil
 		}
 		prevPeak = res.Metrics.PeakTemp
@@ -258,6 +334,16 @@ func (r *Runner) runOnce(init []float64, initDVFS []int, initAmps []float64) (*R
 		}
 	}
 	fanLevel := cfg.FanLevel
+	if cfg.Actuators != nil {
+		// Persistent actuator faults (a stuck fan, a device failed on)
+		// apply from the very first step, not the first control boundary.
+		fanLevel = cfg.Fan.Clamp(cfg.Actuators.FilterFan(0, fanLevel))
+		dec := Decision{}
+		cfg.Actuators.FilterDecision(0, r.actuatorState(dvfs, ts, fanLevel), &dec)
+		if err := r.applyDecision(dec, dvfs, ts); err != nil {
+			return nil, err
+		}
+	}
 	tr, err := cfg.Network.NewTransient(fanLevel, cfg.Step)
 	if err != nil {
 		return nil, err
@@ -342,6 +428,14 @@ func (r *Runner) runOnce(init []float64, initDVFS []int, initAmps []float64) (*R
 		tecPower := cfg.Network.TECPower(temps, ts)
 		chipPower := dynSum + tecPower + cfg.Fan.Power(fanLevel)
 		_, peak := cfg.Network.PeakDie(temps)
+		// Integrator sanity guard: a diverged thermal solve or non-physical
+		// power must surface as an error, not propagate into perf.Metrics.
+		if math.IsNaN(peak) || math.IsInf(peak, 0) {
+			return nil, fmt.Errorf("sim: non-finite peak temperature %v out of the integrator at t=%.4gs", peak, now)
+		}
+		if math.IsNaN(chipPower) || math.IsInf(chipPower, 0) || chipPower < 0 {
+			return nil, fmt.Errorf("sim: non-physical chip power %v W at t=%.4gs", chipPower, now)
+		}
 		acc.Add(cfg.Step, chipPower, ipsSum, peak, cfg.Threshold)
 
 		// Observation accumulation.
@@ -373,27 +467,15 @@ func (r *Runner) runOnce(init []float64, initDVFS []int, initAmps []float64) (*R
 				obs.TECOn = ts.OnMask()
 				obs.TECAmps = ts.Currents()
 			}
-			dec := r.ctl.Control(obs)
-			if dec.DVFS != nil {
-				if len(dec.DVFS) != nCores {
-					return nil, fmt.Errorf("sim: controller returned %d DVFS levels", len(dec.DVFS))
-				}
-				for i, l := range dec.DVFS {
-					dvfs[i] = cfg.DVFS.Clamp(l)
-				}
+			if cfg.Sensors != nil {
+				cfg.Sensors.Observe(obs)
 			}
-			if ts != nil {
-				switch {
-				case dec.TECAmps != nil:
-					if len(dec.TECAmps) != ts.Len() {
-						return nil, fmt.Errorf("sim: controller returned %d TEC currents", len(dec.TECAmps))
-					}
-					for l, amps := range dec.TECAmps {
-						ts.SetCurrent(l, amps)
-					}
-				case dec.TECOn != nil:
-					ts.SetMask(dec.TECOn)
-				}
+			dec := r.ctl.Control(obs)
+			if cfg.Actuators != nil {
+				cfg.Actuators.FilterDecision(now, r.actuatorState(dvfs, ts, fanLevel), &dec)
+			}
+			if err := r.applyDecision(dec, dvfs, ts); err != nil {
+				return nil, err
 			}
 			if cfg.RecordTrace {
 				pc, pt := cfg.Network.PeakDie(temps)
@@ -430,7 +512,14 @@ func (r *Runner) runOnce(init []float64, initDVFS []int, initAmps []float64) (*R
 				obs.TECOn = ts.OnMask()
 				obs.TECAmps = ts.Currents()
 			}
-			if nl := cfg.Fan.Clamp(fc.FanControl(obs)); nl != fanLevel {
+			if cfg.Sensors != nil {
+				cfg.Sensors.Observe(obs)
+			}
+			req := fc.FanControl(obs)
+			if cfg.Actuators != nil {
+				req = cfg.Actuators.FilterFan(now, req)
+			}
+			if nl := cfg.Fan.Clamp(req); nl != fanLevel {
 				fanLevel = nl
 				if tr, err = cfg.Network.NewTransient(fanLevel, cfg.Step); err != nil {
 					return nil, err
@@ -449,5 +538,49 @@ func (r *Runner) runOnce(init []float64, initDVFS []int, initAmps []float64) (*R
 	if ts != nil {
 		res.finalAmps = ts.Currents()
 	}
+	if !res.Completed {
+		return res, &TimeCapError{Time: now, Retired: totalDone, Budget: bench.TotalInst}
+	}
 	return res, nil
+}
+
+// actuatorState snapshots the currently applied actuator configuration for
+// an ActuatorModel.
+func (r *Runner) actuatorState(dvfs []int, ts *tec.State, fanLevel int) ActuatorState {
+	st := ActuatorState{
+		DVFS:     append([]int(nil), dvfs...),
+		FanLevel: fanLevel,
+	}
+	if ts != nil {
+		st.TECAmps = ts.Currents()
+	}
+	return st
+}
+
+// applyDecision validates and applies a (possibly fault-filtered) decision
+// to the live actuator state.
+func (r *Runner) applyDecision(dec Decision, dvfs []int, ts *tec.State) error {
+	cfg := &r.cfg
+	if dec.DVFS != nil {
+		if len(dec.DVFS) != len(dvfs) {
+			return fmt.Errorf("sim: controller returned %d DVFS levels", len(dec.DVFS))
+		}
+		for i, l := range dec.DVFS {
+			dvfs[i] = cfg.DVFS.Clamp(l)
+		}
+	}
+	if ts != nil {
+		switch {
+		case dec.TECAmps != nil:
+			if len(dec.TECAmps) != ts.Len() {
+				return fmt.Errorf("sim: controller returned %d TEC currents", len(dec.TECAmps))
+			}
+			for l, amps := range dec.TECAmps {
+				ts.SetCurrent(l, amps)
+			}
+		case dec.TECOn != nil:
+			ts.SetMask(dec.TECOn)
+		}
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -371,8 +372,10 @@ func TestObservationMutationIsHarmless(t *testing.T) {
 	}
 }
 
-// stuck pins every core to the lowest level forever, so the run hits the
-// MaxTimeFactor cap on a tight budget and reports Completed=false.
+// A deliberately livelocked run (the cap set below even the full-speed
+// runtime stands in for a controller that never lets the workload finish)
+// must hit MaxTimeFactor and report it as an explicit *TimeCapError, never
+// as silent truncation.
 func TestMaxTimeFactorCap(t *testing.T) {
 	e := newEnv()
 	b := testBench(2.0)
@@ -381,14 +384,202 @@ func TestMaxTimeFactorCap(t *testing.T) {
 	cfg.MaxWarmStarts = 1
 	r, _ := NewRunner(cfg, &noop{})
 	res, err := r.Run()
-	if err != nil {
-		t.Fatal(err)
+	if err == nil {
+		t.Fatal("capped run returned no error")
+	}
+	var tce *TimeCapError
+	if !errors.As(err, &tce) {
+		t.Fatalf("cap surfaced as %T (%v), want *TimeCapError", err, err)
+	}
+	if tce.Retired >= tce.Budget {
+		t.Fatalf("cap error claims completion: %+v", tce)
+	}
+	if res == nil {
+		t.Fatal("no partial result alongside the cap error")
 	}
 	if res.Completed {
 		t.Fatal("capped run reported completion")
 	}
 	if res.Metrics.Time <= 0 {
 		t.Fatal("no time accumulated before the cap")
+	}
+}
+
+// flipFlop behaves differently on alternate warm-start iterations (it counts
+// Reset calls), so consecutive peak temperatures never settle and the
+// warm-start loop cannot converge.
+type flipFlop struct{ resets int }
+
+func (f *flipFlop) Name() string { return "flipFlop" }
+func (f *flipFlop) Reset()       { f.resets++ }
+func (f *flipFlop) Control(obs *Observation) Decision {
+	if f.resets%2 == 0 {
+		return Decision{}
+	}
+	d := make([]int, len(obs.DVFS))
+	return Decision{DVFS: d}
+}
+
+// Warm-start must stop at MaxWarmStarts without convergence and say so.
+func TestWarmStartNonConvergence(t *testing.T) {
+	e := newEnv()
+	b := testBench(3.0)
+	cfg := e.config(b, 120)
+	cfg.MaxWarmStarts = 3
+	cfg.WarmStartTol = 0.01 // tighter than the flip-flop's peak swing
+	r, _ := NewRunner(cfg, &flipFlop{resets: -1})
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("oscillating controller reported warm-start convergence")
+	}
+	if res.WarmStarts != cfg.MaxWarmStarts {
+		t.Fatalf("stopped after %d warm starts, want %d", res.WarmStarts, cfg.MaxWarmStarts)
+	}
+	// A stable controller on the same setup must converge and say so.
+	r2, _ := NewRunner(e.config(b, 120), &noop{})
+	res2, err := r2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Converged {
+		t.Fatal("stable run did not report convergence")
+	}
+}
+
+// recordingSensors counts observations and scribbles a marker temperature.
+type recordingSensors struct {
+	calls  int
+	resets int
+}
+
+func (s *recordingSensors) Observe(obs *Observation) {
+	s.calls++
+	obs.Temps[0] = 33.25
+}
+func (s *recordingSensors) Reset() { s.resets++ }
+
+// markerReader verifies the controller sees the sensor model's output.
+type markerReader struct{ sawMarker bool }
+
+func (m *markerReader) Name() string { return "markerReader" }
+func (m *markerReader) Reset()       {}
+func (m *markerReader) Control(obs *Observation) Decision {
+	if obs.Temps[0] == 33.25 {
+		m.sawMarker = true
+	}
+	return Decision{}
+}
+
+func TestSensorModelInterceptsObservations(t *testing.T) {
+	e := newEnv()
+	b := testBench(2.0)
+	cfg := e.config(b, 120)
+	s := &recordingSensors{}
+	cfg.Sensors = s
+	mr := &markerReader{}
+	r, _ := NewRunner(cfg, mr)
+	clean, errClean := NewRunner(e.config(b, 120), &noop{})
+	if errClean != nil {
+		t.Fatal(errClean)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.calls == 0 || s.resets == 0 {
+		t.Fatalf("sensor model not driven: %d calls, %d resets", s.calls, s.resets)
+	}
+	if !mr.sawMarker {
+		t.Fatal("controller never saw the corrupted observation")
+	}
+	// Corruption must not leak into the physical run.
+	cres, err := clean.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Metrics.Energy-cres.Metrics.Energy)/cres.Metrics.Energy > 1e-9 {
+		t.Fatalf("sensor corruption changed physical energy: %v vs %v",
+			res.Metrics.Energy, cres.Metrics.Energy)
+	}
+}
+
+// vetoActuators drops every DVFS request and forces all TECs off.
+type vetoActuators struct{ filtered int }
+
+func (a *vetoActuators) FilterDecision(now float64, cur ActuatorState, dec *Decision) {
+	a.filtered++
+	dec.DVFS = nil
+	if dec.TECAmps != nil {
+		for i := range dec.TECAmps {
+			dec.TECAmps[i] = 0
+		}
+	}
+	if dec.TECOn != nil {
+		for i := range dec.TECOn {
+			dec.TECOn[i] = false
+		}
+	}
+}
+func (a *vetoActuators) FilterFan(now float64, level int) int { return level }
+func (a *vetoActuators) Reset()                               {}
+
+func TestActuatorModelVetoesDecisions(t *testing.T) {
+	e := newEnv()
+	b := testBench(2.0)
+	cfg := e.config(b, 120)
+	va := &vetoActuators{}
+	cfg.Actuators = va
+	// The throttler asks for minimum DVFS every period; with requests
+	// dropped the run must finish at full speed.
+	r, _ := NewRunner(cfg, throttler{})
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va.filtered == 0 {
+		t.Fatal("actuator model never consulted")
+	}
+	rFast, _ := NewRunner(e.config(b, 120), &noop{})
+	fast, err := rFast.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Metrics.Time-fast.Metrics.Time)/fast.Metrics.Time > 0.05 {
+		t.Fatalf("vetoed throttler ran in %.4gs, full-speed run %.4gs",
+			res.Metrics.Time, fast.Metrics.Time)
+	}
+}
+
+// stuckFan pins the physical fan to one level regardless of requests.
+type stuckFan struct{ level int }
+
+func (s stuckFan) FilterDecision(now float64, cur ActuatorState, dec *Decision) {}
+func (s stuckFan) FilterFan(now float64, level int) int                         { return s.level }
+func (s stuckFan) Reset()                                                       {}
+
+func TestActuatorModelSticksFan(t *testing.T) {
+	e := newEnv()
+	b := testBench(2.0)
+	cfg := e.config(b, 120)
+	cfg.FanPeriod = 500e-6
+	cfg.RecordTrace = true
+	cfg.MaxWarmStarts = 1
+	cfg.Actuators = stuckFan{level: 4}
+	fs := &fanStepper{}
+	r, _ := NewRunner(cfg, fs)
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.calls == 0 {
+		t.Fatal("FanControl never invoked")
+	}
+	last := res.Trace[len(res.Trace)-1]
+	if last.FanLevel != 4 {
+		t.Fatalf("stuck fan ended at level %d, want 4", last.FanLevel)
 	}
 }
 

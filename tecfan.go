@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"tecfan/internal/exp"
+	"tecfan/internal/fault"
 	"tecfan/internal/perf"
 	"tecfan/internal/power"
 	"tecfan/internal/sim"
@@ -18,29 +19,56 @@ type System struct {
 	env *exp.Env
 }
 
-// Option configures a System.
-type Option func(*exp.Env)
+// Option configures a System. Options validate their arguments and report
+// bad values as errors from New instead of silently falling back to defaults.
+type Option func(*exp.Env) error
 
 // WithScale shrinks every benchmark's instruction budget by the given factor
 // (1 = the paper's full length). Useful for fast exploratory runs.
 func WithScale(scale float64) Option {
-	return func(e *exp.Env) {
-		if scale > 0 {
-			e.Scale = scale
+	return func(e *exp.Env) error {
+		if scale <= 0 {
+			return fmt.Errorf("tecfan: scale must be positive, got %g", scale)
 		}
+		e.Scale = scale
+		return nil
 	}
 }
 
-// WithViolationBudget overrides the §IV-C fan-selection violation budget.
+// WithViolationBudget overrides the §IV-C fan-selection violation budget
+// (a fraction of run time in [0, 1)).
 func WithViolationBudget(b float64) Option {
-	return func(e *exp.Env) { e.ViolationBudget = b }
+	return func(e *exp.Env) error {
+		if b < 0 || b >= 1 {
+			return fmt.Errorf("tecfan: violation budget must be in [0, 1), got %g", b)
+		}
+		e.ViolationBudget = b
+		return nil
+	}
+}
+
+// WithFaultScenario injects a named built-in fault scenario (see Scenarios)
+// into every subsequent run; seed makes the fault-target selection
+// reproducible. The base scenario stays fault-free by definition.
+func WithFaultScenario(name string, seed int64) Option {
+	return func(e *exp.Env) error {
+		sc, err := fault.ByName(name)
+		if err != nil {
+			return err
+		}
+		e.Faults = &sc
+		e.FaultSeed = seed
+		return nil
+	}
 }
 
 // New builds the full-scale 16-core system.
 func New(opts ...Option) (*System, error) {
 	env := exp.NewEnv()
 	for _, o := range opts {
-		o(env)
+		if err := o(env); err != nil {
+			return nil, err
+		}
 	}
 	return &System{env: env}, nil
 }
@@ -62,10 +90,17 @@ type Report struct {
 	Normalized perf.NormalizedMetrics
 }
 
-// Policies lists the available controllers in the paper's order.
-func (s *System) Policies() []string {
-	return append([]string(nil), exp.PolicyOrder...)
-}
+// Policies lists the available controllers: the paper's five in presentation
+// order, then the fault-tolerant TECfan-FT variant.
+func (s *System) Policies() []string { return exp.AllPolicies() }
+
+// Scenarios lists the built-in fault scenarios accepted by WithFaultScenario
+// and the chaos sweep.
+func Scenarios() []string { return fault.Names() }
+
+// FanLevels returns the number of discrete fan speed levels (level 1 is the
+// fastest).
+func (s *System) FanLevels() int { return s.env.Fan.NumLevels() }
 
 // Benchmarks lists the Table I workload configurations as "name/threads".
 func (s *System) Benchmarks() []string {
@@ -214,6 +249,22 @@ func (s *System) WriteReport(w io.Writer, opt exp.ReportOptions) error {
 // ReportOptions re-exports the report configuration.
 type ReportOptions = exp.ReportOptions
 
+// Chaos sweeps fault scenario × policy under injection and reports, per
+// cell, violation/EPI deltas versus the fault-free run plus the
+// fault-tolerant controller's detection and recovery telemetry. Empty
+// option fields take defaults (TECfan + TECfan-FT across every built-in
+// scenario).
+func (s *System) Chaos(opt exp.ChaosOptions) (*exp.ChaosResult, error) {
+	return s.env.Chaos(opt)
+}
+
+// ChaosOptions and ChaosResult re-export the chaos-sweep configuration and
+// report types.
+type (
+	ChaosOptions = exp.ChaosOptions
+	ChaosResult  = exp.ChaosResult
+)
+
 // MixStudy runs TECfan on a heterogeneous half-lu/half-volrend chip and
 // reports where the TEC duty concentrates — the local-cooling premise.
 func (s *System) MixStudy() (*exp.MixResult, error) { return s.env.MixStudy() }
@@ -246,6 +297,10 @@ func WriteMappingStudy(w io.Writer, bench string, rows []exp.MappingRow) {
 func WriteTimescales(w io.Writer, rows []exp.StepResponse) {
 	exp.WriteTimescales(w, rows)
 }
-func WriteScaling(w io.Writer, rows []exp.ScalingRow)    { exp.WriteScaling(w, rows) }
+func WriteScaling(w io.Writer, rows []exp.ScalingRow) { exp.WriteScaling(w, rows) }
+func WriteChaos(w io.Writer, r *exp.ChaosResult)      { exp.WriteChaos(w, r) }
+func WriteChaosCSV(w io.Writer, r *exp.ChaosResult) error {
+	return exp.WriteChaosCSV(w, r)
+}
 func WriteMixStudy(w io.Writer, r *exp.MixResult)        { exp.WriteMixStudy(w, r) }
 func WriteOracleGap(w io.Writer, r *exp.OracleGapResult) { exp.WriteOracleGap(w, r) }

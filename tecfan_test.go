@@ -11,10 +11,10 @@ func TestNewAndListings(t *testing.T) {
 		t.Fatal(err)
 	}
 	ps := sys.Policies()
-	if len(ps) != 5 {
-		t.Fatalf("%d policies, want 5", len(ps))
+	if len(ps) != 6 {
+		t.Fatalf("%d policies, want the paper's 5 plus TECfan-FT", len(ps))
 	}
-	want := map[string]bool{"Fan-only": true, "Fan+TEC": true, "Fan+DVFS": true, "DVFS+TEC": true, "TECfan": true}
+	want := map[string]bool{"Fan-only": true, "Fan+TEC": true, "Fan+DVFS": true, "DVFS+TEC": true, "TECfan": true, "TECfan-FT": true}
 	for _, p := range ps {
 		delete(want, p)
 	}
@@ -106,9 +106,12 @@ func TestOptions(t *testing.T) {
 	if rep.Metrics.Time > 0.01 {
 		t.Fatalf("scale option ignored: %.4f s", rep.Metrics.Time)
 	}
-	// Non-positive scale is ignored rather than breaking the system.
-	if _, err := New(WithScale(-1)); err != nil {
-		t.Fatal(err)
+	// Non-positive scale is a configuration error, reported eagerly.
+	if _, err := New(WithScale(-1)); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+	if _, err := New(WithScale(0)); err == nil {
+		t.Fatal("zero scale accepted")
 	}
 }
 
