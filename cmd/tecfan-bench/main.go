@@ -9,11 +9,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"tecfan"
@@ -51,6 +54,11 @@ func main() {
 		fatal(err)
 	}
 
+	// Ctrl-C / SIGTERM cancels the in-flight experiment at its next control
+	// boundary; sweeps flush the rows they finished before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	run := func(name string, f func() error) {
 		if *which != "all" && *which != name {
 			return
@@ -64,25 +72,24 @@ func main() {
 	}
 
 	run("table1", func() error {
-		rows, err := sys.Table1()
-		if err != nil {
-			return err
+		rows, err := sys.Table1Context(ctx)
+		// Partial rows (an interrupted sweep) are still worth printing.
+		if len(rows) > 0 {
+			tecfan.WriteTable1(w, rows)
 		}
-		tecfan.WriteTable1(w, rows)
-		return nil
+		return err
 	})
 	run("fig4", func() error {
-		cases, err := sys.Fig4()
-		if err != nil {
-			return err
+		cases, err := sys.Fig4Context(ctx)
+		if len(cases) > 0 {
+			tecfan.WriteFig4(w, cases)
 		}
-		tecfan.WriteFig4(w, cases)
-		return nil
+		return err
 	})
 	// Fig. 5 and Fig. 6 share the same runs.
 	fig56 := func(writeBoth bool) func() error {
 		return func() error {
-			r, err := sys.Fig56()
+			r, err := sys.Fig56Context(ctx)
 			if err != nil {
 				return err
 			}
@@ -99,7 +106,7 @@ func main() {
 		run(*which, fig56(true))
 	default:
 		run("fig56", func() error {
-			r, err := sys.Fig56()
+			r, err := sys.Fig56Context(ctx)
 			if err != nil {
 				return err
 			}
@@ -109,7 +116,7 @@ func main() {
 		})
 	}
 	run("fig7", func() error {
-		rows, err := tecfan.Fig7(*traceSec)
+		rows, err := tecfan.Fig7Context(ctx, *traceSec)
 		if err != nil {
 			return err
 		}
@@ -128,7 +135,7 @@ func main() {
 	// for explicitly (never as part of "all").
 	if *which == "report" {
 		start := time.Now()
-		if err := sys.WriteReport(w, tecfan.ReportOptions{TraceSeconds: *traceSec}); err != nil {
+		if err := sys.WriteReportContext(ctx, w, tecfan.ReportOptions{TraceSeconds: *traceSec}); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(w, "(report in %v)\n", time.Since(start).Round(time.Millisecond))

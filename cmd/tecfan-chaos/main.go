@@ -12,11 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"tecfan"
 	"tecfan/internal/cmdutil"
@@ -63,12 +66,17 @@ func main() {
 		fatal(fmt.Errorf("unknown format %q (valid: md, csv)", *format))
 	}
 
-	res, err := sys.Chaos(tecfan.ChaosOptions{
+	// Ctrl-C / SIGTERM stops the sweep between rows (or mid-run at a control
+	// boundary); the rows finished so far are still reported.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, runErr := sys.ChaosContext(ctx, tecfan.ChaosOptions{
 		Bench: *bench, Threads: *threads,
 		Policies: pol, Scenarios: scen, Seed: *seed,
 	})
-	if err != nil {
-		fatal(err)
+	if runErr != nil && (res == nil || len(res.Rows) == 0) {
+		fatal(runErr)
 	}
 
 	var w io.Writer = os.Stdout
@@ -88,6 +96,9 @@ func main() {
 		tecfan.WriteChaos(w, res)
 	}
 
+	if runErr != nil {
+		fatal(fmt.Errorf("interrupted after %d rows: %w", len(res.Rows), runErr))
+	}
 	if n := res.Panics(); n > 0 {
 		fatal(fmt.Errorf("%d runs panicked", n))
 	}

@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"tecfan/internal/floorplan"
 	"tecfan/internal/linalg"
@@ -61,6 +64,13 @@ func main() {
 		edges := chip.Adjacency()
 		fmt.Printf("adjacency: %d edges, overlaps: %v, gap area: %.3f mm²\n",
 			len(edges), chip.Overlaps(), chip.Area()-chip.TotalComponentArea())
+		// Ctrl-C / SIGTERM skips the O(n²) band-structure analysis — the only
+		// step that grows with floorplan size.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := ctx.Err(); err != nil {
+			fatal(err)
+		}
 		// Band structure of the unit-adjacency matrix in file order — what
 		// the §III-E systolic array's width would be for this plan.
 		n := len(chip.Components)

@@ -9,10 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"tecfan/internal/fan"
 	"tecfan/internal/floorplan"
@@ -83,9 +86,17 @@ func main() {
 	}
 	level := fm.Clamp(*fanLevel - 1)
 
+	// Ctrl-C / SIGTERM aborts before the steady-state solve — the only step
+	// that takes real time (fine grids especially).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	switch *mode {
 	case "compact":
 		nw := thermal.NewNetwork(chip, fm, thermal.DefaultParams())
+		if err := ctx.Err(); err != nil {
+			fatal(err)
+		}
 		temps, err := nw.Steady(p, level, nil)
 		if err != nil {
 			fatal(err)
@@ -96,6 +107,9 @@ func main() {
 	case "grid":
 		g, err := thermal.NewGrid(chip, fm, thermal.DefaultParams(), *cell)
 		if err != nil {
+			fatal(err)
+		}
+		if err := ctx.Err(); err != nil {
 			fatal(err)
 		}
 		temps, err := g.Steady(p, level)

@@ -6,11 +6,14 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 
 	"tecfan"
 	"tecfan/internal/cmdutil"
@@ -37,12 +40,17 @@ func main() {
 	if *fanLevel < 1 || *fanLevel > sys.FanLevels() {
 		fatal(fmt.Errorf("fan level %d out of range (valid: 1..%d)", *fanLevel, sys.FanLevels()))
 	}
-	trace, err := sys.Trace(*bench, *threads, *policy, *fanLevel-1)
-	if err != nil {
-		fatal(err)
+	// Ctrl-C / SIGTERM cancels at the next control boundary; the samples
+	// recorded up to that point are still flushed, so an interrupted trace
+	// remains plottable.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	trace, runErr := sys.TraceContext(ctx, *bench, *threads, *policy, *fanLevel-1)
+	if runErr != nil && len(trace) == 0 {
+		fatal(runErr)
 	}
 	w := csv.NewWriter(os.Stdout)
-	defer w.Flush()
 	if err := w.Write([]string{"time_s", "peak_temp_c", "chip_power_w", "fan_level", "tecs_on", "mean_dvfs"}); err != nil {
 		fatal(err)
 	}
@@ -58,6 +66,10 @@ func main() {
 		if err := w.Write(rec); err != nil {
 			fatal(err)
 		}
+	}
+	w.Flush()
+	if runErr != nil {
+		fatal(fmt.Errorf("interrupted after %d samples: %w", len(trace), runErr))
 	}
 }
 

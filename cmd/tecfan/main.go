@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"tecfan"
 	"tecfan/internal/cmdutil"
@@ -39,7 +42,12 @@ func main() {
 		fatal(err)
 	}
 
-	rep, err := sys.Run(*bench, *threads, *policy)
+	// Ctrl-C / SIGTERM cancels the run at its next control boundary instead
+	// of leaving the process to be killed mid-simulation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := sys.RunContext(ctx, *bench, *threads, *policy)
 	if err != nil {
 		fatal(err)
 	}

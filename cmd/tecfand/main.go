@@ -1,0 +1,95 @@
+// Command tecfand is the crash-safe control-plane daemon: it serves an HTTP
+// API for submitting simulations and chaos sweeps as supervised jobs, each
+// checkpointing its full run state to -state-dir so a crash — SIGKILL
+// included — resumes on the next start with a result bitwise-identical to an
+// uninterrupted run.
+//
+// Usage:
+//
+//	tecfand -addr :8023 -state-dir /var/lib/tecfand
+//
+// Endpoints:
+//
+//	GET    /healthz           liveness
+//	GET    /readyz            readiness (503 while draining)
+//	POST   /jobs              submit a JobSpec; 202 {"id": ...}, 429 when full
+//	GET    /jobs              list jobs
+//	GET    /jobs/{id}         job status
+//	DELETE /jobs/{id}         cancel a job (checkpoints, then stops)
+//	GET    /jobs/{id}/result  durable result of a finished job
+//
+// SIGINT/SIGTERM drains gracefully: in-flight jobs are canceled at their next
+// control boundary, which persists a final checkpoint for the next
+// incarnation to resume from.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tecfan/internal/daemon"
+)
+
+func main() {
+	addr := flag.String("addr", ":8023", "HTTP listen address")
+	stateDir := flag.String("state-dir", "tecfand-state", "directory for job checkpoints and results")
+	workers := flag.Int("workers", 1, "concurrent job executors")
+	queueDepth := flag.Int("queue", 8, "admission queue depth (beyond it, 429)")
+	ckptEvery := flag.Int("checkpoint-every", 25, "checkpoint cadence in control periods")
+	maxAttempts := flag.Int("max-attempts", 3, "supervisor attempts per job before it fails")
+	watchdog := flag.Duration("watchdog", 2*time.Minute, "restart an attempt silent for this long (<0 disables)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for jobs to checkpoint out")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	s, err := daemon.New(daemon.Config{
+		StateDir:        *stateDir,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CheckpointEvery: *ckptEvery,
+		MaxAttempts:     *maxAttempts,
+		WatchdogTimeout: *watchdog,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("tecfand: listening on %s (state: %s)", *addr, *stateDir)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("tecfand: draining (in-flight jobs checkpoint at their next control boundary)")
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := s.Shutdown(shutCtx); err != nil {
+		log.Printf("tecfand: %v", err)
+	}
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("tecfand: http shutdown: %v", err)
+	}
+	log.Printf("tecfand: stopped")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tecfand:", err)
+	os.Exit(1)
+}

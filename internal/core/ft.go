@@ -544,7 +544,10 @@ func (f *FT) checkResponse(s *sim.Observation, raw []float64) {
 				(l < len(f.expAmps) && f.expAmps[l] > 0) {
 				driven = true
 			}
-			for comp := range pl.Cover {
+			// CoverList: residSum is a float accumulation, so the iteration
+			// order must be reproducible for checkpoint/resume determinism.
+			for _, ce := range pl.CoverList {
+				comp := ce.Comp
 				if comp < f.nDie && !f.distrust[comp] && finite(raw[comp]) {
 					residSum += raw[comp] - f.pred[comp] - f.commonResid
 					n++

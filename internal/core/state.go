@@ -1,0 +1,195 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"tecfan/internal/sim"
+)
+
+// This file implements sim.StateCodec for the two stateful controllers, so a
+// checkpointed run resumes with the exact controller memory it was
+// interrupted with. Encoding is gob, not JSON: fault scenarios legitimately
+// put NaN into retained readings (a dead sensor's lastRaw), and gob
+// round-trips every float64 bit pattern exactly — the property the
+// bitwise-identical-resume guarantee rests on.
+
+var (
+	_ sim.StateCodec = (*Controller)(nil)
+	_ sim.StateCodec = (*FT)(nil)
+)
+
+// controllerState is the serialized form of Controller's mutable state. The
+// configuration fields the FT layer drives at runtime (Disabled, Margin) ride
+// along; for a plain Controller they round-trip the configured values.
+type controllerState struct {
+	LastObs  *sim.Observation
+	Disabled []bool
+	Margin   float64
+}
+
+func (c *Controller) captureState() controllerState {
+	return controllerState{LastObs: c.lastObs, Disabled: c.Disabled, Margin: c.Margin}
+}
+
+func (c *Controller) restoreState(st controllerState) error {
+	if st.Disabled != nil && len(st.Disabled) != len(c.Est.Placements) {
+		return fmt.Errorf("core: state disables %d devices, controller has %d",
+			len(st.Disabled), len(c.Est.Placements))
+	}
+	c.lastObs = st.LastObs
+	if st.Disabled != nil {
+		c.Disabled = st.Disabled
+	}
+	c.Margin = st.Margin
+	return nil
+}
+
+// MarshalState implements sim.StateCodec.
+func (c *Controller) MarshalState() ([]byte, error) {
+	return gobEncode(c.captureState())
+}
+
+// UnmarshalState implements sim.StateCodec.
+func (c *Controller) UnmarshalState(data []byte) error {
+	var st controllerState
+	if err := gobDecode(data, &st); err != nil {
+		return fmt.Errorf("core: controller state: %w", err)
+	}
+	return c.restoreState(st)
+}
+
+// ftState is the serialized form of FT's mutable state: the persistent fault
+// log, the per-sensor detector filters, the prediction chain, the actuator
+// shadow, and the wrapped inner controller's state.
+type ftState struct {
+	Stats FTStats
+
+	Distrust []bool
+	LastRaw  []float64
+	LastGood []float64
+	Freeze   []int
+	Jumps    []int
+	ResidEW  []float64
+	HaveRaw  bool
+
+	Pred        []float64
+	PredValid   bool
+	Unpad       []float64
+	CommonResid float64
+
+	ExpDVFS      []int
+	ExpTECOn     []bool
+	ExpAmps      []float64
+	HaveShadow   bool
+	DVFSMismatch int
+	FanMismatch  int
+	TECMismatch  []int
+	BankNoResp   []int
+	Derated      []bool
+
+	FanReq      int
+	FanReqValid bool
+	Periods     int
+	FailSafe    bool
+
+	Inner controllerState
+}
+
+// MarshalState implements sim.StateCodec.
+func (f *FT) MarshalState() ([]byte, error) {
+	return gobEncode(ftState{
+		Stats:    f.stats,
+		Distrust: f.distrust, LastRaw: f.lastRaw, LastGood: f.lastGood,
+		Freeze: f.freeze, Jumps: f.jumps, ResidEW: f.residEW, HaveRaw: f.haveRaw,
+		Pred: f.pred, PredValid: f.predValid, Unpad: f.unpad, CommonResid: f.commonResid,
+		ExpDVFS: f.expDVFS, ExpTECOn: f.expTECOn, ExpAmps: f.expAmps,
+		HaveShadow: f.haveShadow, DVFSMismatch: f.dvfsMismatch, FanMismatch: f.fanMismatch,
+		TECMismatch: f.tecMismatch, BankNoResp: f.bankNoResp, Derated: f.derated,
+		FanReq: f.fanReq, FanReqValid: f.fanReqValid, Periods: f.periods,
+		FailSafe: f.failSafe,
+		Inner:    f.Inner.captureState(),
+	})
+}
+
+// UnmarshalState implements sim.StateCodec.
+func (f *FT) UnmarshalState(data []byte) error {
+	var st ftState
+	if err := gobDecode(data, &st); err != nil {
+		return fmt.Errorf("core: FT state: %w", err)
+	}
+	// gob omits zero-valued fields, so a snapshot taken before anything ever
+	// moved decodes slices as nil; normalize against the allocated shapes.
+	checkLen := func(what string, got, want int) error {
+		if got != 0 && got != want {
+			return fmt.Errorf("core: FT state %s has %d entries, want %d", what, got, want)
+		}
+		return nil
+	}
+	if err := checkLen("sensor", len(st.Distrust), f.nDie); err != nil {
+		return err
+	}
+	if err := checkLen("bank", len(st.Derated), f.nCores); err != nil {
+		return err
+	}
+	if err := checkLen("shadow", len(st.ExpDVFS), f.nCores); err != nil {
+		return err
+	}
+	cpBool := func(dst, src []bool) {
+		for i := range dst {
+			dst[i] = false
+		}
+		copy(dst, src)
+	}
+	cpF := func(dst, src []float64) {
+		for i := range dst {
+			dst[i] = 0
+		}
+		copy(dst, src)
+	}
+	cpI := func(dst, src []int) {
+		for i := range dst {
+			dst[i] = 0
+		}
+		copy(dst, src)
+	}
+	f.stats = st.Stats
+	cpBool(f.distrust, st.Distrust)
+	cpF(f.lastRaw, st.LastRaw)
+	cpF(f.lastGood, st.LastGood)
+	cpI(f.freeze, st.Freeze)
+	cpI(f.jumps, st.Jumps)
+	cpF(f.residEW, st.ResidEW)
+	f.haveRaw = st.HaveRaw
+	cpF(f.pred, st.Pred)
+	f.predValid = st.PredValid
+	cpF(f.unpad, st.Unpad)
+	f.commonResid = st.CommonResid
+	f.expDVFS = st.ExpDVFS
+	f.expTECOn = st.ExpTECOn
+	f.expAmps = st.ExpAmps
+	f.haveShadow = st.HaveShadow
+	f.dvfsMismatch = st.DVFSMismatch
+	f.fanMismatch = st.FanMismatch
+	cpI(f.tecMismatch, st.TECMismatch)
+	cpI(f.bankNoResp, st.BankNoResp)
+	cpBool(f.derated, st.Derated)
+	f.fanReq = st.FanReq
+	f.fanReqValid = st.FanReqValid
+	f.periods = st.Periods
+	f.failSafe = st.FailSafe
+	return f.Inner.restoreState(st.Inner)
+}
+
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}

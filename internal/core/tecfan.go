@@ -164,12 +164,14 @@ func (c *Controller) offTECOverHottestSpot(cand Candidate, est Estimate, thresho
 		if c.tecMaxed(cand, l) || c.disabled(l) {
 			continue
 		}
-		for comp, cover := range pl.Cover {
-			t := est.Temps[comp]
-			if t < bestT || (t == bestT && cover <= bestCover) {
+		// CoverList keeps the scan order deterministic: exact (t, cover)
+		// ties would otherwise resolve by randomized map order.
+		for _, ce := range pl.CoverList {
+			t := est.Temps[ce.Comp]
+			if t < bestT || (t == bestT && ce.Frac <= bestCover) {
 				continue
 			}
-			bestL, bestT, bestCover = l, t, cover
+			bestL, bestT, bestCover = l, t, ce.Frac
 		}
 	}
 	return bestL
@@ -260,8 +262,8 @@ func (c *Controller) onTECOverCoolestSpot(cand Candidate, est Estimate) int {
 			continue
 		}
 		spotMax := math.Inf(-1)
-		for comp := range pl.Cover {
-			if t := est.Temps[comp]; t > spotMax {
+		for _, ce := range pl.CoverList {
+			if t := est.Temps[ce.Comp]; t > spotMax {
 				spotMax = t
 			}
 		}

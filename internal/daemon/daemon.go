@@ -1,0 +1,618 @@
+// Package daemon is the crash-safe control plane for the TECfan stack: a
+// long-running HTTP server that executes simulations and chaos sweeps as
+// supervised jobs. Every job checkpoints its full run state (thermal field,
+// controller memory — including the fault-tolerant controller's fault log —
+// workload progress, RNG streams) through internal/checkpoint on a
+// configurable cadence, so a crash, SIGKILL, or power loss costs at most one
+// checkpoint interval of recomputation and never changes the result: resumed
+// runs are bitwise-identical to uninterrupted ones.
+//
+// The supervisor isolates panics per attempt, restarts failed attempts from
+// the latest checkpoint under exponential backoff with jitter, and a
+// watchdog cancels attempts whose control loop stops emitting heartbeats.
+// The admission queue is bounded: a full queue sheds load with 429 and a
+// Retry-After hint instead of buffering unboundedly. SIGTERM drains
+// gracefully — in-flight jobs are canceled at their next control boundary,
+// which persists a final checkpoint for the next incarnation to resume.
+package daemon
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config tunes the daemon. Zero values take the documented defaults.
+type Config struct {
+	// StateDir holds job checkpoints (<id>.ckpt) and results
+	// (<id>.result.json). Required.
+	StateDir string
+	// Workers is the number of concurrent job executors (default 1: the
+	// simulations are CPU-bound and single-threaded).
+	Workers int
+	// QueueDepth bounds the admission queue; submissions beyond it are shed
+	// with 429 (default 8).
+	QueueDepth int
+	// CheckpointEvery is the sim-level checkpoint cadence in control periods
+	// (default 25, i.e. every 50 ms of simulated time at the paper's 2 ms
+	// period). Chaos sweeps checkpoint per finished row regardless.
+	CheckpointEvery int
+	// MaxAttempts caps supervisor restarts per job, counting the first run
+	// (default 3).
+	MaxAttempts int
+	// BackoffBase/BackoffMax shape the restart backoff: base·2^(attempt-1)
+	// plus up to 50 % jitter, capped (defaults 200 ms / 10 s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// WatchdogTimeout restarts an attempt whose run loop has not emitted a
+	// checkpoint or row for this long (default 2 m; <0 disables).
+	WatchdogTimeout time.Duration
+	// Logf receives operational log lines (default log.Printf).
+	Logf func(format string, args ...any)
+
+	rng *rand.Rand // jitter source; tests may seed it
+}
+
+func (c *Config) fillDefaults() error {
+	if c.StateDir == "" {
+		return fmt.Errorf("daemon: StateDir is required")
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 25
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 200 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 10 * time.Second
+	}
+	if c.WatchdogTimeout == 0 {
+		c.WatchdogTimeout = 2 * time.Minute
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return nil
+}
+
+// JobKind selects what a job runs.
+type JobKind string
+
+const (
+	// KindTrace runs one benchmark under one policy at a fixed fan level
+	// with trace recording — the checkpoint-heavy workhorse.
+	KindTrace JobKind = "trace"
+	// KindChaos runs a chaos sweep, checkpointing per finished row.
+	KindChaos JobKind = "chaos"
+)
+
+// JobSpec is the client-facing description of a job. The same spec always
+// produces the same result: thresholds derive deterministically from the
+// base scenario when not given, and every random stream is seeded.
+type JobSpec struct {
+	// ID names the job; optional (a random one is assigned). Client-chosen
+	// IDs make results addressable across daemon restarts.
+	ID   string  `json:"id,omitempty"`
+	Kind JobKind `json:"kind"`
+
+	Bench   string  `json:"bench"`
+	Threads int     `json:"threads"`
+	Scale   float64 `json:"scale,omitempty"` // instruction-budget scale (default 1)
+
+	// Trace jobs.
+	Policy    string  `json:"policy,omitempty"`    // default "TECfan"
+	FanLevel  int     `json:"fan_level,omitempty"` // 0 = fastest
+	Threshold float64 `json:"threshold,omitempty"` // 0 = base-scenario peak
+	Scenario  string  `json:"scenario,omitempty"`  // optional fault scenario
+	Seed      int64   `json:"seed,omitempty"`      // fault-target/noise seed
+
+	// Chaos jobs.
+	Policies  []string `json:"policies,omitempty"`
+	Scenarios []string `json:"scenarios,omitempty"`
+}
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// JobView is the status record served over HTTP.
+type JobView struct {
+	ID       string   `json:"id"`
+	Kind     JobKind  `json:"kind"`
+	State    JobState `json:"state"`
+	Attempts int      `json:"attempts"`
+	Error    string   `json:"error,omitempty"`
+	// Resumed reports that this incarnation picked the job up from a
+	// previous process's checkpoint.
+	Resumed bool    `json:"resumed,omitempty"`
+	Spec    JobSpec `json:"spec"`
+}
+
+// job is the in-memory record.
+type job struct {
+	spec     JobSpec
+	state    JobState
+	attempts int
+	err      string
+	resumed  bool
+	cancel   context.CancelFunc // cancels the job (all attempts)
+	done     chan struct{}      // closed when the job reaches a terminal state
+}
+
+// Server is the control-plane daemon.
+type Server struct {
+	cfg Config
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string
+
+	queue    chan string
+	draining bool
+
+	// beats records the last liveness signal per running job for the
+	// watchdog; attemptCancel the per-attempt cancel it may fire.
+	beats         map[string]time.Time
+	attemptCancel map[string]context.CancelFunc
+
+	wg       sync.WaitGroup
+	rootCtx  context.Context
+	rootStop context.CancelFunc
+}
+
+// New builds a Server, creating StateDir if needed and resuming any
+// interrupted jobs found there.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+		return nil, fmt.Errorf("daemon: %w", err)
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:           cfg,
+		jobs:          map[string]*job{},
+		queue:         make(chan string, cfg.QueueDepth),
+		beats:         map[string]time.Time{},
+		attemptCancel: map[string]context.CancelFunc{},
+		rootCtx:       ctx,
+		rootStop:      stop,
+	}
+	if err := s.recover(); err != nil {
+		stop()
+		return nil, err
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	if cfg.WatchdogTimeout > 0 {
+		s.wg.Add(1)
+		go s.watchdog()
+	}
+	return s, nil
+}
+
+var idRe = regexp.MustCompile(`^[A-Za-z0-9_-]{1,64}$`)
+
+// Submit validates and enqueues a job. A full queue returns ErrQueueFull; a
+// draining server returns ErrDraining.
+func (s *Server) Submit(spec JobSpec) (string, error) {
+	if err := validateSpec(&spec); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return "", ErrDraining
+	}
+	if spec.ID == "" {
+		spec.ID = s.newID()
+	}
+	if _, exists := s.jobs[spec.ID]; exists {
+		s.mu.Unlock()
+		return "", fmt.Errorf("%w: %s", ErrDuplicateID, spec.ID)
+	}
+	j := &job{spec: spec, state: StateQueued, done: make(chan struct{})}
+	select {
+	case s.queue <- spec.ID:
+	default:
+		s.mu.Unlock()
+		return "", ErrQueueFull
+	}
+	s.jobs[spec.ID] = j
+	s.order = append(s.order, spec.ID)
+	s.mu.Unlock()
+	// Persist the bare spec immediately: a crash before the first checkpoint
+	// must still resume (restart) the job, not forget it.
+	if err := s.persistJob(spec, 0, nil, nil); err != nil {
+		s.cfg.Logf("daemon: persisting spec for %s: %v", spec.ID, err)
+	}
+	return spec.ID, nil
+}
+
+// Typed submission failures.
+var (
+	ErrQueueFull   = fmt.Errorf("daemon: queue full")
+	ErrDraining    = fmt.Errorf("daemon: draining")
+	ErrDuplicateID = fmt.Errorf("daemon: duplicate job id")
+)
+
+func validateSpec(spec *JobSpec) error {
+	if spec.ID != "" && !idRe.MatchString(spec.ID) {
+		return fmt.Errorf("daemon: invalid job id %q", spec.ID)
+	}
+	switch spec.Kind {
+	case KindTrace, KindChaos:
+	default:
+		return fmt.Errorf("daemon: unknown job kind %q", spec.Kind)
+	}
+	if spec.Bench == "" {
+		return fmt.Errorf("daemon: bench is required")
+	}
+	if spec.Threads <= 0 {
+		return fmt.Errorf("daemon: threads must be positive")
+	}
+	if spec.Scale < 0 {
+		return fmt.Errorf("daemon: scale must be non-negative")
+	}
+	if spec.Kind == KindTrace && spec.Policy == "" {
+		spec.Policy = "TECfan"
+	}
+	return nil
+}
+
+func (s *Server) newID() string {
+	// Collision-proof within the map we hold the lock on.
+	for {
+		id := fmt.Sprintf("job-%08x", s.cfg.rng.Uint32())
+		if _, ok := s.jobs[id]; !ok {
+			return id
+		}
+	}
+}
+
+// Cancel requests cancellation of a queued or running job.
+func (s *Server) Cancel(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("daemon: no such job %s", id)
+	}
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.err = "canceled before start"
+		close(j.done)
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return nil
+}
+
+// Job returns a job's status view.
+func (s *Server) Job(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return s.viewLocked(id, j), true
+}
+
+// Jobs lists every job in submission order.
+func (s *Server) Jobs() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.viewLocked(id, s.jobs[id]))
+	}
+	return out
+}
+
+func (s *Server) viewLocked(id string, j *job) JobView {
+	return JobView{
+		ID: id, Kind: j.spec.Kind, State: j.state, Attempts: j.attempts,
+		Error: j.err, Resumed: j.resumed, Spec: j.spec,
+	}
+}
+
+// Draining reports whether the server has begun shutdown.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains the daemon: no new submissions, running jobs are canceled
+// at their next control boundary (persisting a final checkpoint), and the
+// workers exit. It returns when every worker has stopped or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	close(s.queue)
+	for _, j := range s.jobs {
+		if j.state == StateRunning && j.cancel != nil {
+			j.cancel()
+		}
+	}
+	s.mu.Unlock()
+	s.rootStop()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("daemon: shutdown timed out: %w", ctx.Err())
+	}
+}
+
+// worker consumes the queue until drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for id := range s.queue {
+		s.mu.Lock()
+		j, ok := s.jobs[id]
+		if !ok || j.state != StateQueued {
+			s.mu.Unlock()
+			continue // canceled while queued
+		}
+		jobCtx, cancel := context.WithCancel(s.rootCtx)
+		j.state = StateRunning
+		j.cancel = cancel
+		s.mu.Unlock()
+		s.runSupervised(jobCtx, id, j)
+		cancel()
+	}
+}
+
+// runSupervised executes a job's attempts under the restart policy. Each
+// attempt resumes from the latest persisted checkpoint, so a panic or a
+// watchdog kill costs at most one checkpoint interval of recomputation.
+func (s *Server) runSupervised(jobCtx context.Context, id string, j *job) {
+	backoff := s.cfg.BackoffBase
+	for attempt := 1; ; attempt++ {
+		s.mu.Lock()
+		j.attempts = attempt
+		s.mu.Unlock()
+
+		attemptCtx, attemptCancel := context.WithCancel(jobCtx)
+		s.mu.Lock()
+		s.attemptCancel[id] = attemptCancel
+		s.beats[id] = time.Now()
+		s.mu.Unlock()
+
+		err := s.runAttempt(attemptCtx, id, j.spec)
+		attemptCancel()
+		s.mu.Lock()
+		delete(s.attemptCancel, id)
+		delete(s.beats, id)
+		s.mu.Unlock()
+
+		switch {
+		case err == nil:
+			s.finish(id, j, StateDone, "")
+			return
+		case jobCtx.Err() != nil:
+			// Job-level cancellation (client DELETE or daemon drain). The
+			// final checkpoint was persisted at the cancellation boundary.
+			s.finish(id, j, StateCanceled, err.Error())
+			return
+		case attempt >= s.cfg.MaxAttempts:
+			s.finish(id, j, StateFailed, fmt.Sprintf("attempt %d/%d: %v", attempt, s.cfg.MaxAttempts, err))
+			return
+		}
+		// Restartable failure: panic, watchdog cancel, or a transient error.
+		delay := backoff + time.Duration(s.jitter(float64(backoff)/2))
+		if delay > s.cfg.BackoffMax {
+			delay = s.cfg.BackoffMax
+		}
+		s.cfg.Logf("daemon: job %s attempt %d failed (%v); restarting from checkpoint in %s", id, attempt, err, delay)
+		select {
+		case <-time.After(delay):
+		case <-jobCtx.Done():
+			s.finish(id, j, StateCanceled, jobCtx.Err().Error())
+			return
+		}
+		if backoff *= 2; backoff > s.cfg.BackoffMax {
+			backoff = s.cfg.BackoffMax
+		}
+	}
+}
+
+func (s *Server) jitter(max float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg.rng.Float64() * max
+}
+
+func (s *Server) finish(id string, j *job, st JobState, msg string) {
+	s.mu.Lock()
+	j.state = st
+	j.err = msg
+	close(j.done)
+	s.mu.Unlock()
+	if st == StateDone {
+		// The result file is durable; the checkpoint has served its purpose.
+		_ = os.Remove(s.ckptPath(id))
+	}
+	s.cfg.Logf("daemon: job %s -> %s", id, st)
+}
+
+// heartbeat records attempt liveness; the run loop calls it from every
+// checkpoint and chaos-row emission.
+func (s *Server) heartbeat(id string) {
+	s.mu.Lock()
+	s.beats[id] = time.Now()
+	s.mu.Unlock()
+}
+
+// watchdog cancels attempts whose control loop has stalled — a hung solver,
+// a deadlock — converting the stall into a supervised restart from the
+// latest checkpoint.
+func (s *Server) watchdog() {
+	defer s.wg.Done()
+	interval := s.cfg.WatchdogTimeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.rootCtx.Done():
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		s.mu.Lock()
+		for id, last := range s.beats {
+			if now.Sub(last) > s.cfg.WatchdogTimeout {
+				if cancel, ok := s.attemptCancel[id]; ok {
+					s.cfg.Logf("daemon: watchdog: job %s silent for %s, canceling attempt", id, now.Sub(last).Round(time.Millisecond))
+					cancel()
+					s.beats[id] = now // one kick per timeout window
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires.
+func (s *Server) Wait(ctx context.Context, id string) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("daemon: no such job %s", id)
+	}
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) ckptPath(id string) string {
+	return filepath.Join(s.cfg.StateDir, id+".ckpt")
+}
+
+func (s *Server) resultPath(id string) string {
+	return filepath.Join(s.cfg.StateDir, id+".result.json")
+}
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	return mux
+}
+
+// isSpecOnly reports whether a persisted record carries no progress yet.
+func isSpecOnly(rec *persistedJob) bool {
+	return rec.Snap == nil && len(rec.Rows) == 0 && rec.Threshold == 0
+}
+
+// recover scans StateDir on startup: jobs with results load as done; jobs
+// with only a checkpoint re-enter the queue and resume where they left off.
+func (s *Server) recover() error {
+	entries, err := os.ReadDir(s.cfg.StateDir)
+	if err != nil {
+		return fmt.Errorf("daemon: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".ckpt") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".ckpt")
+		rec, err := s.loadJob(id)
+		if err != nil {
+			// An unreadable checkpoint (torn write before the atomic rename
+			// landed, version skew after an upgrade) is not a crash: log,
+			// quarantine, move on.
+			s.cfg.Logf("daemon: ignoring unreadable checkpoint %s: %v", name, err)
+			_ = os.Rename(filepath.Join(s.cfg.StateDir, name), filepath.Join(s.cfg.StateDir, name+".bad"))
+			continue
+		}
+		if _, err := os.Stat(s.resultPath(id)); err == nil {
+			// Finished before the previous incarnation died; the checkpoint
+			// outlived its usefulness.
+			_ = os.Remove(s.ckptPath(id))
+			continue
+		}
+		j := &job{spec: rec.Spec, state: StateQueued, resumed: true, done: make(chan struct{})}
+		select {
+		case s.queue <- id:
+			s.jobs[id] = j
+			s.order = append(s.order, id)
+			s.cfg.Logf("daemon: resuming job %s from checkpoint (progress: %v)", id, !isSpecOnly(rec))
+		default:
+			return fmt.Errorf("daemon: %d interrupted jobs exceed queue depth %d", len(entries), s.cfg.QueueDepth)
+		}
+	}
+	// Results without live jobs stay on disk and are served directly; list
+	// them so GET /jobs shows history across restarts.
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".result.json") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".result.json")
+		if _, ok := s.jobs[id]; ok {
+			continue
+		}
+		j := &job{spec: JobSpec{ID: id}, state: StateDone, resumed: true, done: make(chan struct{})}
+		close(j.done)
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+	}
+	return nil
+}

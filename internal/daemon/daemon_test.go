@@ -1,0 +1,492 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastConfig is a test-sized daemon: millisecond backoff, quiet logs.
+func fastConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		StateDir:        t.TempDir(),
+		CheckpointEvery: 1,
+		BackoffBase:     time.Millisecond,
+		BackoffMax:      10 * time.Millisecond,
+		WatchdogTimeout: -1, // off unless a test wants it
+		Logf:            t.Logf,
+		rng:             rand.New(rand.NewSource(1)),
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s
+}
+
+// traceSpec is the small real simulation job used by end-to-end tests.
+func traceSpec(id string) JobSpec {
+	return JobSpec{
+		ID: id, Kind: KindTrace,
+		Bench: "cholesky", Threads: 16, Policy: "TECfan-FT", Scale: 0.2,
+	}
+}
+
+func waitState(t *testing.T, s *Server, id string, want JobState) JobView {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Wait(ctx, id); err != nil {
+		t.Fatalf("waiting for %s: %v", id, err)
+	}
+	v, ok := s.Job(id)
+	if !ok {
+		t.Fatalf("job %s vanished", id)
+	}
+	if v.State != want {
+		t.Fatalf("job %s state = %s (%s), want %s", id, v.State, v.Error, want)
+	}
+	return v
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := newTestServer(t, fastConfig(t))
+	bad := []JobSpec{
+		{},                                     // no kind
+		{Kind: "nope", Bench: "x", Threads: 1}, // unknown kind
+		{Kind: KindTrace, Threads: 1},          // no bench
+		{Kind: KindTrace, Bench: "x"},          // no threads
+		{Kind: KindTrace, Bench: "x", Threads: 1, ID: "bad id!"}, // invalid id
+	}
+	for _, spec := range bad {
+		if _, err := s.Submit(spec); err == nil {
+			t.Errorf("Submit(%+v) accepted", spec)
+		}
+	}
+}
+
+// TestJobLifecycleHTTP drives the full happy path over the wire: submit a
+// real simulation job, poll status, fetch the durable result.
+func TestJobLifecycleHTTP(t *testing.T) {
+	s := newTestServer(t, fastConfig(t))
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+
+	body, _ := json.Marshal(traceSpec("http-e2e"))
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct{ ID string }
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.ID != "http-e2e" {
+		t.Fatalf("submit = %d id=%q", resp.StatusCode, sub.ID)
+	}
+
+	// A result request before completion answers 409 with the status.
+	if resp, err = http.Get(srv.URL + "/jobs/http-e2e/result"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict && resp.StatusCode != http.StatusOK {
+		t.Fatalf("early result = %d", resp.StatusCode)
+	}
+
+	waitState(t, s, "http-e2e", StateDone)
+
+	if resp, err = http.Get(srv.URL + "/jobs/http-e2e/result"); err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Threshold float64 `json:"threshold"`
+		Completed bool    `json:"completed"`
+		Trace     []struct{ Time float64 }
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !res.Completed || res.Threshold <= 0 || len(res.Trace) == 0 {
+		t.Fatalf("result = %d completed=%v threshold=%v trace=%d points",
+			resp.StatusCode, res.Completed, res.Threshold, len(res.Trace))
+	}
+
+	if resp, err = http.Get(srv.URL + "/jobs/nope"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /jobs/nope = %d", resp.StatusCode)
+	}
+}
+
+// TestQueueSheddingHTTP fills the bounded queue behind a deliberately slow
+// job and asserts the overflow submission is shed with 429 + Retry-After.
+func TestQueueSheddingHTTP(t *testing.T) {
+	block := make(chan struct{})
+	testRunHook = func(ctx context.Context, id string, spec JobSpec) error {
+		select {
+		case <-block:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	defer func() { testRunHook = nil }()
+
+	cfg := fastConfig(t)
+	cfg.Workers = 1
+	cfg.QueueDepth = 2
+	s := newTestServer(t, cfg)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	submit := func(id string) *http.Response {
+		body, _ := json.Marshal(traceSpec(id))
+		resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// First job occupies the worker; wait until it leaves the queue.
+	if resp := submit("slow"); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit slow = %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, _ := s.Job("slow"); v.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slow job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Two more fill the queue; the third overflows.
+	for _, id := range []string{"q1", "q2"} {
+		if resp := submit(id); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %s = %d", id, resp.StatusCode)
+		}
+	}
+	resp := submit("overflow")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	close(block)
+	for _, id := range []string{"slow", "q1", "q2"} {
+		waitState(t, s, id, StateDone)
+	}
+}
+
+// TestSupervisorPanicRestart: a job that panics on its first attempt is
+// isolated and restarted, and succeeds on the second attempt.
+func TestSupervisorPanicRestart(t *testing.T) {
+	var attempts atomic.Int32
+	testRunHook = func(ctx context.Context, id string, spec JobSpec) error {
+		if attempts.Add(1) == 1 {
+			panic("first attempt explodes")
+		}
+		return nil
+	}
+	defer func() { testRunHook = nil }()
+
+	s := newTestServer(t, fastConfig(t))
+	id, err := s.Submit(traceSpec("panicky"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitState(t, s, id, StateDone)
+	if v.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", v.Attempts)
+	}
+}
+
+// TestSupervisorGivesUp: a job that fails every attempt ends failed after
+// MaxAttempts, not in an infinite restart loop.
+func TestSupervisorGivesUp(t *testing.T) {
+	var attempts atomic.Int32
+	testRunHook = func(ctx context.Context, id string, spec JobSpec) error {
+		attempts.Add(1)
+		return errors.New("always broken")
+	}
+	defer func() { testRunHook = nil }()
+
+	cfg := fastConfig(t)
+	cfg.MaxAttempts = 3
+	s := newTestServer(t, cfg)
+	id, err := s.Submit(traceSpec("doomed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitState(t, s, id, StateFailed)
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("ran %d attempts, want 3", got)
+	}
+	if !strings.Contains(v.Error, "always broken") {
+		t.Fatalf("terminal error %q does not carry the cause", v.Error)
+	}
+}
+
+// TestWatchdogRestartsStalledAttempt: an attempt that stops heartbeating is
+// canceled by the watchdog and the job is restarted.
+func TestWatchdogRestartsStalledAttempt(t *testing.T) {
+	var attempts atomic.Int32
+	testRunHook = func(ctx context.Context, id string, spec JobSpec) error {
+		if attempts.Add(1) == 1 {
+			<-ctx.Done() // stall silently until the watchdog fires
+			return ctx.Err()
+		}
+		return nil
+	}
+	defer func() { testRunHook = nil }()
+
+	cfg := fastConfig(t)
+	cfg.WatchdogTimeout = 50 * time.Millisecond
+	s := newTestServer(t, cfg)
+	id, err := s.Submit(traceSpec("stalled"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitState(t, s, id, StateDone)
+	if v.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (watchdog restart)", v.Attempts)
+	}
+}
+
+// TestDrainShedsAndCancels: after Shutdown begins, readiness flips, new
+// submissions are refused, and running jobs are canceled.
+func TestDrainShedsAndCancels(t *testing.T) {
+	started := make(chan struct{})
+	testRunHook = func(ctx context.Context, id string, spec JobSpec) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	defer func() { testRunHook = nil }()
+
+	s := newTestServer(t, fastConfig(t))
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	if _, err := s.Submit(traceSpec("inflight")); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while drained = %d, want 503", resp.StatusCode)
+	}
+	if _, err := s.Submit(traceSpec("late")); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit while drained = %v, want ErrDraining", err)
+	}
+	v, _ := s.Job("inflight")
+	if v.State != StateCanceled {
+		t.Fatalf("in-flight job state after drain = %s, want canceled", v.State)
+	}
+}
+
+// TestRestartResumesAndMatches is the in-process kill-and-resume drill: run a
+// job partway on one daemon, drain it (persisting the cancellation
+// checkpoint), bring up a second daemon on the same state dir, and require
+// its finished result to be byte-identical to an uninterrupted daemon's.
+func TestRestartResumesAndMatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	spec := traceSpec("drill")
+
+	// Uninterrupted reference on its own state dir.
+	refDir := t.TempDir()
+	refCfg := fastConfig(t)
+	refCfg.StateDir = refDir
+	ref := newTestServer(t, refCfg)
+	if _, err := ref.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, ref, "drill", StateDone)
+	want, err := os.ReadFile(ref.resultPath("drill"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted: drain once the first mid-run checkpoint lands.
+	dir := t.TempDir()
+	cfg1 := fastConfig(t)
+	cfg1.StateDir = dir
+	s1, err := New(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		rec, err := s1.loadJob("drill")
+		if err == nil && rec.Snap != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no mid-run checkpoint appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s1.Job("drill"); v.State == StateDone {
+		t.Skip("job finished before the drain landed; nothing to resume")
+	}
+
+	// Second incarnation resumes from the checkpoint and finishes.
+	cfg2 := fastConfig(t)
+	cfg2.StateDir = dir
+	s2 := newTestServer(t, cfg2)
+	v := waitState(t, s2, "drill", StateDone)
+	if !v.Resumed {
+		t.Fatal("restarted job not marked resumed")
+	}
+	got, err := os.ReadFile(s2.resultPath("drill"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed result differs from uninterrupted run (%d vs %d bytes)", len(got), len(want))
+	}
+	// The served checkpoint is cleaned up once the result is durable.
+	if _, err := os.Stat(s2.ckptPath("drill")); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint survived completion: %v", err)
+	}
+}
+
+// TestRecoverIgnoresCorruptCheckpoint: a torn checkpoint on disk must not
+// prevent startup — it is quarantined and logged.
+func TestRecoverIgnoresCorruptCheckpoint(t *testing.T) {
+	cfg := fastConfig(t)
+	if err := os.WriteFile(cfg.StateDir+"/torn.ckpt", []byte("TECFCKPT but torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, cfg)
+	if _, ok := s.Job("torn"); ok {
+		t.Fatal("corrupt checkpoint produced a job")
+	}
+	if _, err := os.Stat(cfg.StateDir + "/torn.ckpt.bad"); err != nil {
+		t.Fatalf("corrupt checkpoint not quarantined: %v", err)
+	}
+}
+
+// TestChaosJobEndToEnd runs a tiny chaos sweep through the daemon and checks
+// the durable result parses with the expected rows.
+func TestChaosJobEndToEnd(t *testing.T) {
+	s := newTestServer(t, fastConfig(t))
+	id, err := s.Submit(JobSpec{
+		ID: "chaos", Kind: KindChaos,
+		Bench: "cholesky", Threads: 16, Scale: 0.001,
+		Policies: []string{"TECfan-FT"}, Scenarios: []string{"sensor-dropout", "tec-fail-off"},
+		Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, id, StateDone)
+	data, err := os.ReadFile(s.resultPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Rows []struct{ Scenario, Policy string }
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("chaos result has %d rows, want 2: %s", len(res.Rows), data)
+	}
+}
+
+// TestDuplicateID: a client-chosen id collides with an existing job.
+func TestDuplicateID(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	testRunHook = func(ctx context.Context, id string, spec JobSpec) error {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return nil
+	}
+	defer func() { testRunHook = nil }()
+	s := newTestServer(t, fastConfig(t))
+	if _, err := s.Submit(traceSpec("dup")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(traceSpec("dup")); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate submit = %v, want ErrDuplicateID", err)
+	}
+}
+
+// sanity: the config defaulting never leaves a zero that matters.
+func TestConfigDefaults(t *testing.T) {
+	c := Config{StateDir: t.TempDir()}
+	if err := c.fillDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Workers < 1 || c.QueueDepth < 1 || c.CheckpointEvery < 1 ||
+		c.MaxAttempts < 1 || c.BackoffBase <= 0 || c.BackoffMax <= 0 ||
+		c.WatchdogTimeout == 0 || c.Logf == nil || c.rng == nil {
+		t.Fatalf("defaults incomplete: %+v", c)
+	}
+	if err := (&Config{}).fillDefaults(); err == nil {
+		t.Fatal("empty StateDir accepted")
+	}
+}

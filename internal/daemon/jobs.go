@@ -1,0 +1,236 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tecfan/internal/checkpoint"
+	"tecfan/internal/exp"
+	"tecfan/internal/fault"
+	"tecfan/internal/perf"
+	"tecfan/internal/sim"
+	"tecfan/internal/workload"
+)
+
+// persistedJob is the gob payload inside a job's checkpoint envelope. It
+// carries everything the next incarnation needs: the spec (so the job is
+// re-runnable even with zero progress), the derived threshold (so a restarted
+// trace job does not re-derive it against a drifted base scenario — it cannot
+// drift, but pinning it makes that a non-question), and the progress itself —
+// a sim snapshot for trace jobs, finished rows for chaos sweeps.
+type persistedJob struct {
+	Spec      JobSpec
+	Threshold float64
+	Snap      *sim.Snapshot
+	Rows      []exp.ChaosRow
+}
+
+func (s *Server) persistJob(spec JobSpec, threshold float64, snap *sim.Snapshot, rows []exp.ChaosRow) error {
+	var buf bytes.Buffer
+	rec := persistedJob{Spec: spec, Threshold: threshold, Snap: snap, Rows: rows}
+	if err := gob.NewEncoder(&buf).Encode(&rec); err != nil {
+		return fmt.Errorf("daemon: encoding job %s: %w", spec.ID, err)
+	}
+	return checkpoint.WriteFile(s.ckptPath(spec.ID), buf.Bytes())
+}
+
+func (s *Server) loadJob(id string) (*persistedJob, error) {
+	payload, err := checkpoint.ReadFile(s.ckptPath(id))
+	if err != nil {
+		return nil, err
+	}
+	var rec persistedJob
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("daemon: decoding job %s: %w", id, err)
+	}
+	return &rec, nil
+}
+
+// testRunHook, when non-nil, replaces job execution entirely — the seam the
+// supervisor tests use to inject panics and stalls without faking a
+// simulation that misbehaves on cue.
+var testRunHook func(ctx context.Context, id string, spec JobSpec) error
+
+// runAttempt executes one supervised attempt of a job, resuming from the
+// persisted checkpoint when one carries progress. Panics are recovered into
+// errors so the supervisor treats them like any other restartable failure.
+func (s *Server) runAttempt(ctx context.Context, id string, spec JobSpec) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("daemon: job %s panicked: %v", id, r)
+		}
+	}()
+	if testRunHook != nil {
+		return testRunHook(ctx, id, spec)
+	}
+	rec, lerr := s.loadJob(id)
+	if lerr != nil {
+		// First run after a crash that beat the spec persist, or a corrupt
+		// checkpoint: start from the spec we hold in memory.
+		rec = &persistedJob{Spec: spec}
+	}
+	switch spec.Kind {
+	case KindTrace:
+		return s.runTrace(ctx, id, spec, rec)
+	case KindChaos:
+		return s.runChaos(ctx, id, spec, rec)
+	default:
+		return fmt.Errorf("daemon: job %s: unknown kind %q", id, spec.Kind)
+	}
+}
+
+// traceResult is the durable result of a trace job. The full per-period
+// trace is included deliberately: the CI crash drill byte-compares a resumed
+// run's result file against an uninterrupted run's, and the trace is where
+// non-determinism would hide.
+type traceResult struct {
+	Spec       JobSpec          `json:"spec"`
+	Threshold  float64          `json:"threshold"`
+	Completed  bool             `json:"completed"`
+	Metrics    perf.Metrics     `json:"metrics"`
+	FinalTemps []float64        `json:"final_temps"`
+	Trace      []sim.TracePoint `json:"trace"`
+}
+
+func (s *Server) runTrace(ctx context.Context, id string, spec JobSpec, rec *persistedJob) error {
+	env := exp.NewEnv()
+	if spec.Scale > 0 {
+		env.Scale = spec.Scale
+	}
+	if spec.Scenario != "" {
+		sc, err := fault.ByName(spec.Scenario)
+		if err != nil {
+			return err
+		}
+		env.Faults = &sc
+		env.FaultSeed = spec.Seed
+	}
+	b, err := workload.ByName(spec.Bench, spec.Threads, env.Leak)
+	if err != nil {
+		return err
+	}
+	sb := env.Scaled(b)
+
+	threshold := rec.Threshold
+	if threshold == 0 {
+		threshold = spec.Threshold
+	}
+	if threshold == 0 {
+		// Derive from the base scenario, then pin it in the checkpoint so
+		// every future attempt runs against the identical threshold.
+		base, err := env.BaseScenarioContext(ctx, sb)
+		if err != nil {
+			return fmt.Errorf("daemon: job %s base scenario: %w", id, err)
+		}
+		threshold = base.Metrics.PeakTemp
+	}
+	if err := s.persistJob(spec, threshold, rec.Snap, nil); err != nil {
+		return err
+	}
+
+	cfg := env.SimConfig(sb, threshold, spec.FanLevel)
+	cfg.RecordTrace = true
+	cfg.CheckpointEvery = s.cfg.CheckpointEvery
+	cfg.OnCheckpoint = func(snap *sim.Snapshot) error {
+		s.heartbeat(id)
+		return s.persistJob(spec, threshold, snap, nil)
+	}
+	ctl := env.Controllers()[spec.Policy]
+	if ctl == nil {
+		return fmt.Errorf("daemon: job %s: unknown policy %q (valid: %v)", id, spec.Policy, exp.AllPolicies())
+	}
+	r, err := sim.NewRunner(cfg, ctl)
+	if err != nil {
+		return err
+	}
+	var res *sim.Result
+	if rec.Snap != nil {
+		res, err = r.Resume(ctx, rec.Snap)
+	} else {
+		res, err = r.RunContext(ctx)
+	}
+	if err != nil {
+		return err
+	}
+	return s.writeResult(id, traceResult{
+		Spec: spec, Threshold: threshold, Completed: res.Completed,
+		Metrics: res.Metrics, FinalTemps: res.FinalTemps, Trace: res.Trace,
+	})
+}
+
+func (s *Server) runChaos(ctx context.Context, id string, spec JobSpec, rec *persistedJob) error {
+	env := exp.NewEnv()
+	if spec.Scale > 0 {
+		env.Scale = spec.Scale
+	}
+	rows := append([]exp.ChaosRow(nil), rec.Rows...)
+	opt := exp.ChaosOptions{
+		Bench: spec.Bench, Threads: spec.Threads,
+		Policies: spec.Policies, Scenarios: spec.Scenarios, Seed: spec.Seed,
+		Done: rec.Rows,
+		OnRow: func(row exp.ChaosRow) {
+			s.heartbeat(id)
+			rows = appendRow(rows, row)
+			if err := s.persistJob(spec, 0, nil, rows); err != nil {
+				s.cfg.Logf("daemon: job %s: persisting row %s/%s: %v", id, row.Scenario, row.Policy, err)
+			}
+		},
+	}
+	res, err := env.ChaosContext(ctx, opt)
+	if err != nil {
+		// Partial rows are already persisted row-by-row; surface the error
+		// for the supervisor to classify (cancel vs restartable).
+		return err
+	}
+	return s.writeResult(id, res)
+}
+
+// appendRow adds a row, replacing any earlier row for the same cell — OnRow
+// replays Done rows, and a row must not appear twice in the checkpoint.
+func appendRow(rows []exp.ChaosRow, row exp.ChaosRow) []exp.ChaosRow {
+	for i := range rows {
+		if rows[i].Scenario == row.Scenario && rows[i].Policy == row.Policy {
+			rows[i] = row
+			return rows
+		}
+	}
+	return append(rows, row)
+}
+
+// writeResult durably persists the job's result as JSON: temp file, fsync,
+// atomic rename — the same discipline as the checkpoints, because a result
+// half-written at crash time would be served as truth after restart.
+func (s *Server) writeResult(id string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("daemon: encoding result %s: %w", id, err)
+	}
+	data = append(data, '\n')
+	path := s.resultPath(id)
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("daemon: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("daemon: writing %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("daemon: syncing %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("daemon: closing %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("daemon: %w", err)
+	}
+	return nil
+}

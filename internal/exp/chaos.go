@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -28,6 +29,15 @@ type ChaosOptions struct {
 	Scenarios []string
 	// Seed drives fault-target selection and noise streams.
 	Seed int64
+	// Done carries rows already computed by an earlier, interrupted sweep
+	// (matched by scenario + policy): they are emitted verbatim instead of
+	// re-run, and a policy whose every row is done skips its fan-level
+	// selection entirely. This is the row-level resume seam the control-plane
+	// daemon checkpoints through.
+	Done []ChaosRow
+	// OnRow, when non-nil, observes every finished row in emission order —
+	// including rows replayed from Done — before the sweep completes.
+	OnRow func(ChaosRow)
 }
 
 // ChaosRow is one (scenario, policy) cell of the sweep.
@@ -100,6 +110,14 @@ func (r *ChaosResult) Rejected() int {
 // when the faulted violation ratio stays within 2× the fault-free ratio
 // plus ChaosAbsSlack, or when the controller demonstrably entered fail-safe.
 func (e *Env) Chaos(opt ChaosOptions) (*ChaosResult, error) {
+	return e.ChaosContext(context.Background(), opt)
+}
+
+// ChaosContext is Chaos under a context. On error — a failed baseline or
+// cancellation — the result holding every completed row returns alongside
+// it, never nil, so an interrupted sweep's rows survive for resume (see
+// ChaosOptions.Done) or reporting.
+func (e *Env) ChaosContext(ctx context.Context, opt ChaosOptions) (*ChaosResult, error) {
 	b, err := workload.ByName(opt.Bench, opt.Threads, e.Leak)
 	if err != nil {
 		return nil, err
@@ -143,24 +161,63 @@ func (e *Env) Chaos(opt ChaosOptions) (*ChaosResult, error) {
 	}
 	clean := env
 	clean.Faults = nil
-	base, err := e.BaseScenario(sb)
+	out := &ChaosResult{Bench: opt.Bench, Threads: opt.Threads, Seed: opt.Seed}
+	base, err := e.BaseScenarioContext(ctx, sb)
 	if err != nil {
-		return nil, fmt.Errorf("chaos base scenario: %w", err)
+		return out, fmt.Errorf("chaos base scenario: %w", err)
 	}
 	threshold := base.Metrics.PeakTemp
-	out := &ChaosResult{Bench: opt.Bench, Threads: opt.Threads, Threshold: threshold, Seed: opt.Seed}
+	out.Threshold = threshold
 
+	done := map[[2]string]ChaosRow{}
+	for _, row := range opt.Done {
+		done[[2]string{row.Scenario, row.Policy}] = row
+	}
+	emit := func(row ChaosRow) {
+		out.Rows = append(out.Rows, row)
+		if opt.OnRow != nil {
+			opt.OnRow(row)
+		}
+	}
 	for _, name := range policies {
-		level, cleanRes, err := clean.SelectFanLevel(sb, name, threshold)
+		// A policy whose every (scenario, policy) cell was already computed
+		// replays from Done without paying for fan-level selection again.
+		missing := 0
+		for _, sc := range scenarios {
+			if _, ok := done[[2]string{sc.Name, name}]; !ok {
+				missing++
+			}
+		}
+		if missing == 0 {
+			for _, sc := range scenarios {
+				emit(done[[2]string{sc.Name, name}])
+			}
+			continue
+		}
+		level, cleanRes, err := clean.SelectFanLevelContext(ctx, sb, name, threshold)
 		if err != nil {
-			return nil, fmt.Errorf("chaos fault-free %s: %w", name, err)
+			return out, fmt.Errorf("chaos fault-free %s: %w", name, err)
 		}
 		for _, sc := range scenarios {
-			row := env.chaosOne(sb, name, sc, threshold, level, opt.Seed)
+			if row, ok := done[[2]string{sc.Name, name}]; ok {
+				emit(row)
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return out, fmt.Errorf("chaos %s/%s: %w", sc.Name, name, err)
+			}
+			row := env.chaosOne(ctx, sb, name, sc, threshold, level, opt.Seed)
 			row.BaseViolation = cleanRes.Metrics.ViolationRatio
 			row.BaseEPI = cleanRes.Metrics.EPI
 			row.Accepted, row.Reason = chaosAccept(row)
-			out.Rows = append(out.Rows, row)
+			emit(row)
+			if row.Err != "" && ctx.Err() != nil {
+				// The row failed because the sweep was canceled, not because
+				// the scenario misbehaved: stop instead of cascading spurious
+				// failure rows, and drop the poisoned row.
+				out.Rows = out.Rows[:len(out.Rows)-1]
+				return out, fmt.Errorf("chaos %s/%s: %w", sc.Name, name, ctx.Err())
+			}
 		}
 	}
 	return out, nil
@@ -168,7 +225,7 @@ func (e *Env) Chaos(opt ChaosOptions) (*ChaosResult, error) {
 
 // chaosOne executes one faulted run, converting panics into a recorded
 // failure row instead of tearing the sweep down.
-func (e *Env) chaosOne(b *workload.Benchmark, name string, sc fault.Scenario, threshold float64, level int, seed int64) (row ChaosRow) {
+func (e *Env) chaosOne(ctx context.Context, b *workload.Benchmark, name string, sc fault.Scenario, threshold float64, level int, seed int64) (row ChaosRow) {
 	row = ChaosRow{
 		Scenario: sc.Name, Desc: sc.Desc, Policy: name, FanLevel: level,
 		DetectionLatency: -1, Recovery: -1,
@@ -189,7 +246,7 @@ func (e *Env) chaosOne(b *workload.Benchmark, name string, sc fault.Scenario, th
 		row.Err = err.Error()
 		return row
 	}
-	res, err := r.Run()
+	res, err := r.RunContext(ctx)
 	if err != nil {
 		row.Err = err.Error()
 		row.TimeCapped = timeCapped(err)

@@ -15,6 +15,7 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -120,21 +121,38 @@ func (e *Env) FaultLayout(b *workload.Benchmark) fault.Layout {
 	}
 }
 
+// SimConfig assembles the sim.Config this environment would run b under —
+// the seam the control-plane daemon uses to attach checkpointing before
+// building its own runner. The benchmark should already be scaled (see
+// Scaled).
+func (e *Env) SimConfig(b *workload.Benchmark, threshold float64, fanLevel int) sim.Config {
+	return e.config(b, threshold, fanLevel)
+}
+
+// Scaled exposes the benchmark scaling used by every driver.
+func (e *Env) Scaled(b *workload.Benchmark) *workload.Benchmark { return e.scaled(b) }
+
 // runOne executes a single policy run at a fixed fan level.
-func (e *Env) runOne(b *workload.Benchmark, ctl sim.Controller, threshold float64, fanLevel int, trace bool) (*sim.Result, error) {
+func (e *Env) runOne(ctx context.Context, b *workload.Benchmark, ctl sim.Controller, threshold float64, fanLevel int, trace bool) (*sim.Result, error) {
 	cfg := e.config(b, threshold, fanLevel)
 	cfg.RecordTrace = trace
 	r, err := sim.NewRunner(cfg, ctl)
 	if err != nil {
 		return nil, err
 	}
-	return r.Run()
+	return r.RunContext(ctx)
 }
 
 // RunTraced runs one policy at a fixed fan level with per-control-period
 // trace recording — the raw series behind the Fig. 4 panels.
 func (e *Env) RunTraced(b *workload.Benchmark, ctl sim.Controller, threshold float64, fanLevel int) (*sim.Result, error) {
-	return e.runOne(b, ctl, threshold, fanLevel, true)
+	return e.RunTracedContext(context.Background(), b, ctl, threshold, fanLevel)
+}
+
+// RunTracedContext is RunTraced under a context: cancellation surfaces within
+// one control period, with the partial result alongside the error.
+func (e *Env) RunTracedContext(ctx context.Context, b *workload.Benchmark, ctl sim.Controller, threshold float64, fanLevel int) (*sim.Result, error) {
+	return e.runOne(ctx, b, ctl, threshold, fanLevel, true)
 }
 
 // Controllers returns fresh instances of the §V-A baseline policies plus
@@ -167,6 +185,12 @@ func AllPolicies() []string { return append(append([]string(nil), PolicyOrder...
 // estimates energy before moving the fan, converges to. Returns the chosen
 // level and its run result.
 func (e *Env) SelectFanLevel(b *workload.Benchmark, name string, threshold float64) (int, *sim.Result, error) {
+	return e.SelectFanLevelContext(context.Background(), b, name, threshold)
+}
+
+// SelectFanLevelContext is SelectFanLevel under a context; cancellation
+// aborts the sweep mid-level.
+func (e *Env) SelectFanLevelContext(ctx context.Context, b *workload.Benchmark, name string, threshold float64) (int, *sim.Result, error) {
 	chosen := 0
 	var chosenRes *sim.Result
 	for level := 0; level < e.Fan.NumLevels(); level++ {
@@ -174,7 +198,7 @@ func (e *Env) SelectFanLevel(b *workload.Benchmark, name string, threshold float
 		if ctl == nil {
 			return 0, nil, fmt.Errorf("exp: unknown policy %q", name)
 		}
-		res, err := e.runOne(b, ctl, threshold, level, false)
+		res, err := e.runOne(ctx, b, ctl, threshold, level, false)
 		if err != nil {
 			if timeCapped(err) {
 				break // this level over-throttles; slower ones only get worse
@@ -194,7 +218,7 @@ func (e *Env) SelectFanLevel(b *workload.Benchmark, name string, threshold float
 	if chosenRes == nil {
 		// Even the fastest fan violates: report level 0 anyway.
 		ctl := e.Controllers()[name]
-		res, err := e.runOne(b, ctl, threshold, 0, false)
+		res, err := e.runOne(ctx, b, ctl, threshold, 0, false)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -240,9 +264,14 @@ func (e *Env) withinBudget(res *sim.Result) bool {
 // is the benchmark's own Table I peak (the base scenario defines it). The
 // base scenario is fault-free by definition, even on an Env with Faults set.
 func (e *Env) BaseScenario(b *workload.Benchmark) (*sim.Result, error) {
+	return e.BaseScenarioContext(context.Background(), b)
+}
+
+// BaseScenarioContext is BaseScenario under a context.
+func (e *Env) BaseScenarioContext(ctx context.Context, b *workload.Benchmark) (*sim.Result, error) {
 	clean := *e
 	clean.Faults = nil
-	return clean.runOne(b, policy.FanOnly{}, b.TargetPeak, 0, false)
+	return clean.runOne(ctx, b, policy.FanOnly{}, b.TargetPeak, 0, false)
 }
 
 // Metrics shorthand.

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -31,28 +32,32 @@ type Fig4Case struct {
 }
 
 // Fig4 reproduces §V-B over all Table I benchmarks.
-func (e *Env) Fig4() ([]Fig4Case, error) {
+func (e *Env) Fig4() ([]Fig4Case, error) { return e.Fig4Context(context.Background()) }
+
+// Fig4Context is Fig4 under a context. On error — including cancellation —
+// the cases completed so far return alongside it.
+func (e *Env) Fig4Context(ctx context.Context) ([]Fig4Case, error) {
 	var out []Fig4Case
 	for _, b := range workload.Table1(e.Leak) {
 		sb := e.scaled(b)
 		// First pass at level 1 establishes T_th = measured base peak.
-		pre, err := e.runOne(sb, policy.FanOnly{}, b.TargetPeak, 0, false)
+		pre, err := e.runOne(ctx, sb, policy.FanOnly{}, b.TargetPeak, 0, false)
 		if err != nil {
-			return nil, fmt.Errorf("fig4 %s pre: %w", b.Name, err)
+			return out, fmt.Errorf("fig4 %s pre: %w", b.Name, err)
 		}
 		th := pre.Metrics.PeakTemp
 
-		l1, err := e.runOne(sb, policy.FanOnly{}, th, 0, true)
+		l1, err := e.runOne(ctx, sb, policy.FanOnly{}, th, 0, true)
 		if err != nil {
-			return nil, fmt.Errorf("fig4 %s L1: %w", b.Name, err)
+			return out, fmt.Errorf("fig4 %s L1: %w", b.Name, err)
 		}
-		l2, err := e.runOne(sb, policy.FanOnly{}, th, 1, true)
+		l2, err := e.runOne(ctx, sb, policy.FanOnly{}, th, 1, true)
 		if err != nil {
-			return nil, fmt.Errorf("fig4 %s L2: %w", b.Name, err)
+			return out, fmt.Errorf("fig4 %s L2: %w", b.Name, err)
 		}
-		ft, err := e.runOne(sb, &policy.FanTEC{Placements: e.TECs}, th, 1, true)
+		ft, err := e.runOne(ctx, sb, &policy.FanTEC{Placements: e.TECs}, th, 1, true)
 		if err != nil {
-			return nil, fmt.Errorf("fig4 %s Fan+TEC: %w", b.Name, err)
+			return out, fmt.Errorf("fig4 %s Fan+TEC: %w", b.Name, err)
 		}
 
 		c := Fig4Case{

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -28,22 +29,27 @@ type Fig56Result struct {
 // §V-D energy/performance comparison (Fig. 6) over the four 16-thread
 // benchmarks: each policy runs at its §IV-C fan level; metrics are
 // normalized to the base scenario.
-func (e *Env) Fig56() (*Fig56Result, error) {
+func (e *Env) Fig56() (*Fig56Result, error) { return e.Fig56Context(context.Background()) }
+
+// Fig56Context is Fig56 under a context. On error — a failed cell or
+// cancellation — the result holding every completed cell returns alongside
+// it, never nil, so partial sweeps stay renderable.
+func (e *Env) Fig56Context(ctx context.Context) (*Fig56Result, error) {
 	out := &Fig56Result{Base: map[string]perf.Metrics{}}
 	for _, b := range workload.Fig56Benchmarks(e.Leak) {
 		sb := e.scaled(b)
-		base, err := e.BaseScenario(sb)
+		base, err := e.BaseScenarioContext(ctx, sb)
 		if err != nil {
-			return nil, fmt.Errorf("fig56 base %s: %w", b.Name, err)
+			return out, fmt.Errorf("fig56 base %s: %w", b.Name, err)
 		}
 		out.Base[b.Name] = base.Metrics
 		// T_th is the measured base-scenario peak (§IV-C) — the paper sets
 		// the threshold from its own base runs, not from a fixed constant.
 		threshold := base.Metrics.PeakTemp
 		for _, name := range PolicyOrder {
-			level, res, err := e.SelectFanLevel(sb, name, threshold)
+			level, res, err := e.SelectFanLevelContext(ctx, sb, name, threshold)
 			if err != nil {
-				return nil, fmt.Errorf("fig56 %s/%s: %w", b.Name, name, err)
+				return out, fmt.Errorf("fig56 %s/%s: %w", b.Name, name, err)
 			}
 			out.Runs = append(out.Runs, PolicyRun{
 				Policy:    name,

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -17,7 +18,11 @@ type Fig7Row struct {
 
 // Fig7 runs the 4-core server comparison. seconds is the per-core trace
 // length (600 = the paper's 10 minutes).
-func Fig7(seconds int) ([]Fig7Row, error) {
+func Fig7(seconds int) ([]Fig7Row, error) { return Fig7Context(context.Background(), seconds) }
+
+// Fig7Context is Fig7 under a context; cancellation aborts between policies
+// or at the next simulated control period.
+func Fig7Context(ctx context.Context, seconds int) ([]Fig7Row, error) {
 	m := server.NewMachine()
 	traces := server.PaperTraces()
 	if seconds < len(traces[0]) {
@@ -35,7 +40,7 @@ func Fig7(seconds int) ([]Fig7Row, error) {
 	var rows []Fig7Row
 	var base *server.Result
 	for _, p := range policies {
-		res, err := m.Run(traces, p, server.RunConfig{})
+		res, err := m.RunContext(ctx, traces, p, server.RunConfig{})
 		if err != nil {
 			return nil, fmt.Errorf("fig7 %s: %w", p.Name(), err)
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -25,13 +26,18 @@ type Table1Row struct {
 }
 
 // Table1 reproduces the base scenario for all eight Table I rows.
-func (e *Env) Table1() ([]Table1Row, error) {
+func (e *Env) Table1() ([]Table1Row, error) { return e.Table1Context(context.Background()) }
+
+// Table1Context is Table1 under a context. On error — a failed row or
+// cancellation — the rows completed so far return alongside it, so a caller
+// can still render or persist the partial table.
+func (e *Env) Table1Context(ctx context.Context) ([]Table1Row, error) {
 	var rows []Table1Row
 	for _, b := range workload.Table1(e.Leak) {
 		sb := e.scaled(b)
-		res, err := e.BaseScenario(sb)
+		res, err := e.BaseScenarioContext(ctx, sb)
 		if err != nil {
-			return nil, fmt.Errorf("table1 %s-%d: %w", b.Name, b.Threads, err)
+			return rows, fmt.Errorf("table1 %s-%d: %w", b.Name, b.Threads, err)
 		}
 		rows = append(rows, Table1Row{
 			Workload:  b.Name,

@@ -20,6 +20,8 @@
 package fault
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"math"
 	"math/rand"
@@ -133,6 +135,7 @@ type Injector struct {
 	faults   []active
 
 	rng    *rand.Rand
+	draws  int64           // NormFloat64 calls since Reset, for state restore
 	frozen map[int]float64 // stuck sensor → captured reading
 }
 
@@ -181,7 +184,15 @@ func pickTargets(rng *rand.Rand, n, count int) []int {
 // warm-start iterations replay the same fault sequence.
 func (in *Injector) Reset() {
 	in.rng = rand.New(rand.NewSource(in.seed + 1))
+	in.draws = 0
 	in.frozen = map[int]float64{}
+}
+
+// normFloat64 draws from the noise stream, counting draws so a checkpointed
+// run can re-seek the stream to the exact same position on restore.
+func (in *Injector) normFloat64() float64 {
+	in.draws++
+	return in.rng.NormFloat64()
 }
 
 // Scenario returns the materialized scenario.
@@ -221,7 +232,7 @@ func (in *Injector) CorruptTemps(now float64, temps []float64) {
 				}
 				temps[s] = v
 			case SensorNoise:
-				temps[s] += in.rng.NormFloat64() * a.Param
+				temps[s] += in.normFloat64() * a.Param
 			case SensorDropout:
 				temps[s] = math.NaN()
 			case SensorOffset:
@@ -359,4 +370,46 @@ func (in *Injector) Describe() []string {
 		out = append(out, line)
 	}
 	return out
+}
+
+// injectorState is the serialized per-run state of an Injector: the noise
+// stream position (as a draw count to replay from the seed) and the captured
+// stuck-sensor readings. The materialized scenario itself is configuration,
+// reproduced by constructing the Injector identically.
+type injectorState struct {
+	Draws  int64
+	Frozen map[int]float64
+}
+
+// MarshalState captures the injector's per-run state (sim.StateCodec form;
+// the sim adapter delegates here).
+func (in *Injector) MarshalState() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(injectorState{Draws: in.draws, Frozen: in.frozen})
+	if err != nil {
+		return nil, fmt.Errorf("fault: encoding injector state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalState restores a state captured by MarshalState: the RNG is
+// re-seeded and wound forward by the recorded draw count, so the continued
+// noise stream is bit-for-bit the one the interrupted run would have drawn.
+func (in *Injector) UnmarshalState(data []byte) error {
+	var st injectorState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("fault: decoding injector state: %w", err)
+	}
+	if st.Draws < 0 {
+		return fmt.Errorf("fault: negative draw count %d", st.Draws)
+	}
+	in.Reset()
+	for i := int64(0); i < st.Draws; i++ {
+		in.rng.NormFloat64()
+	}
+	in.draws = st.Draws
+	if st.Frozen != nil {
+		in.frozen = st.Frozen
+	}
+	return nil
 }

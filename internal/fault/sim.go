@@ -43,3 +43,14 @@ func (s *SimFaults) FilterFan(now float64, level int) int {
 
 // Reset implements both interfaces.
 func (s *SimFaults) Reset() { s.In.Reset() }
+
+// MarshalState implements sim.StateCodec by delegating to the injector: the
+// per-run noise-stream position and stuck-sensor memory are the only mutable
+// state. SimFaults serves as both the sensor and actuator seam of a run, so
+// a snapshot carries this blob twice; restoring it twice is idempotent.
+func (s *SimFaults) MarshalState() ([]byte, error) { return s.In.MarshalState() }
+
+// UnmarshalState implements sim.StateCodec.
+func (s *SimFaults) UnmarshalState(data []byte) error { return s.In.UnmarshalState(data) }
+
+var _ sim.StateCodec = (*SimFaults)(nil)

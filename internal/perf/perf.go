@@ -97,6 +97,35 @@ func (a *Accumulator) EPI() float64 {
 // EDP returns the energy-delay product E·t (J·s), the Fig. 6(d) metric.
 func (a *Accumulator) EDP() float64 { return a.Energy * a.Time }
 
+// AccumulatorState is the full serializable state of an Accumulator,
+// including the unexported running maxima, for checkpoint/restore.
+type AccumulatorState struct {
+	Energy       float64
+	Instructions float64
+	Time         float64
+	ViolationT   float64
+	Samples      int
+	PeakTemp     float64
+	MaxPower     float64
+	SumPower     float64
+}
+
+// State exports the accumulator for checkpointing.
+func (a *Accumulator) State() AccumulatorState {
+	return AccumulatorState{
+		Energy: a.Energy, Instructions: a.Instructions, Time: a.Time,
+		ViolationT: a.ViolationT, Samples: a.Samples, PeakTemp: a.PeakTemp,
+		MaxPower: a.maxPower, SumPower: a.sumPower,
+	}
+}
+
+// SetState loads a previously exported accumulator state.
+func (a *Accumulator) SetState(st AccumulatorState) {
+	a.Energy, a.Instructions, a.Time = st.Energy, st.Instructions, st.Time
+	a.ViolationT, a.Samples, a.PeakTemp = st.ViolationT, st.Samples, st.PeakTemp
+	a.maxPower, a.sumPower = st.MaxPower, st.SumPower
+}
+
 // Metrics is the flattened result record used by the experiment drivers.
 type Metrics struct {
 	Time           float64 // s

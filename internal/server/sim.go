@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -311,6 +312,13 @@ type RunConfig struct {
 // level zeroed) until every backlog drains, which is how execution delay
 // materializes for under-provisioned policies.
 func (m *Machine) Run(traces [][]float64, p Policy, rc RunConfig) (*Result, error) {
+	return m.RunContext(context.Background(), traces, p, rc)
+}
+
+// RunContext is Run under a context: cancellation is observed at every
+// control period (1 s of simulated time) and aborts the run with a wrapped
+// context error.
+func (m *Machine) RunContext(ctx context.Context, traces [][]float64, p Policy, rc RunConfig) (*Result, error) {
 	nCores := m.Chip.NumCores()
 	if len(traces) != nCores {
 		return nil, fmt.Errorf("server: %d traces for %d cores", len(traces), nCores)
@@ -369,6 +377,9 @@ func (m *Machine) Run(traces [][]float64, p Policy, rc RunConfig) (*Result, erro
 	period := 0
 	var drainTime float64
 	for ; period < maxPeriods; period++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("server: canceled at t=%.4gs: %w", float64(period)*rc.Period, err)
+		}
 		inTrace := period < traceLen
 		for c := 0; c < nCores; c++ {
 			if inTrace {

@@ -15,6 +15,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -103,6 +104,17 @@ type FanController interface {
 	FanControl(obs *Observation) int
 }
 
+// StateCodec is optionally implemented by controllers, sensor models, and
+// actuator models whose internal state must survive checkpoint/restore.
+// MarshalState captures the complete mutable state; UnmarshalState replaces
+// the receiver's state wholesale (no merging), so a restored run continues
+// bitwise-identically to the uninterrupted one. Stateless components simply
+// don't implement it.
+type StateCodec interface {
+	MarshalState() ([]byte, error)
+	UnmarshalState(data []byte) error
+}
+
 // Config assembles one simulation run.
 type Config struct {
 	Chip      *floorplan.Chip
@@ -138,6 +150,15 @@ type Config struct {
 	// Actuators, when non-nil, intercepts every controller request before
 	// it is applied.
 	Actuators ActuatorModel
+
+	// CheckpointEvery takes a state snapshot every N control periods
+	// (0 = never). Snapshots are also taken once at the cancellation point
+	// when the run context is canceled, so graceful shutdown always leaves a
+	// resumable checkpoint behind.
+	CheckpointEvery int
+	// OnCheckpoint receives every snapshot; a non-nil error aborts the run.
+	// The snapshot is freshly allocated and safe to retain or serialize.
+	OnCheckpoint func(*Snapshot) error
 }
 
 func (c *Config) fillDefaults() {
@@ -207,6 +228,39 @@ func (e *TimeCapError) Error() string {
 		e.Time, e.Retired, e.Budget)
 }
 
+// Snapshot is the complete mid-run state captured at a control boundary: the
+// thermal field, actuator configuration, workload progress, metric
+// accumulators, warm-start loop position, and the opaque serialized state of
+// every StateCodec component. Resume on an identically configured Runner
+// continues the run bitwise-identically to an uninterrupted one.
+type Snapshot struct {
+	// SimTime/StepIdx locate the boundary the snapshot was taken at.
+	SimTime float64
+	StepIdx int
+	// WarmStart is the 0-based warm-start iteration in progress; PrevPeak is
+	// the previous iteration's peak temperature (+Inf on the first).
+	WarmStart int
+	PrevPeak  float64
+
+	Temps    []float64
+	DVFS     []int
+	TEC      *tec.StateSnapshot // nil when the run has no TECs
+	FanLevel int
+
+	InstDone  []float64
+	TotalDone float64
+
+	Acc   perf.AccumulatorState
+	Trace []TracePoint
+
+	// Serialized StateCodec blobs; nil when the component is stateless (or
+	// absent). Sensors and Actuators may hold identical blobs when one
+	// object implements both seams — restoring both is then idempotent.
+	Controller []byte
+	Sensors    []byte
+	Actuators  []byte
+}
+
 // Runner executes simulation runs for one configuration.
 type Runner struct {
 	cfg Config
@@ -238,33 +292,148 @@ func NewRunner(cfg Config, ctl Controller) (*Runner, error) {
 // peak temperatures of consecutive runs differ by less than 0.5 °C, so the
 // reported run reflects steady controller behaviour, not its cold-start
 // descent.
-func (r *Runner) Run() (*Result, error) {
-	cfg := &r.cfg
-	// Initial condition: steady state at mean power with initial actuators —
-	// the "default uniform initial temperature" of §IV-B, improved to the
-	// nearby steady state so the convergence loop is short.
-	init, err := r.initialTemps()
-	if err != nil {
+func (r *Runner) Run() (*Result, error) { return r.RunContext(context.Background()) }
+
+// RunContext is Run under a context: cancellation is observed at every
+// control boundary (within one control period of simulated work), the
+// partial Result is returned alongside the wrapped context error, and — when
+// checkpointing is configured — a final snapshot is emitted at the
+// cancellation point so the run can be resumed later.
+func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
+	return r.run(ctx, nil)
+}
+
+// Resume continues a run from a Snapshot previously emitted through
+// Config.OnCheckpoint. The Runner must be configured identically to the one
+// that produced the snapshot (same chip, benchmark, thresholds, periods) and
+// hold fresh controller/sensor/actuator instances of the same types; their
+// serialized state is restored before simulation restarts. The continued run
+// is bitwise-identical to the uninterrupted one.
+func (r *Runner) Resume(ctx context.Context, snap *Snapshot) (*Result, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("sim: nil snapshot")
+	}
+	if err := r.validateSnapshot(snap); err != nil {
 		return nil, err
 	}
+	if err := restoreCodec("controller", r.ctl, snap.Controller); err != nil {
+		return nil, err
+	}
+	if err := restoreCodec("sensors", r.cfg.Sensors, snap.Sensors); err != nil {
+		return nil, err
+	}
+	if err := restoreCodec("actuators", r.cfg.Actuators, snap.Actuators); err != nil {
+		return nil, err
+	}
+	return r.run(ctx, snap)
+}
+
+// validateSnapshot rejects snapshots whose shape cannot belong to this
+// runner's configuration before any state is overwritten.
+func (r *Runner) validateSnapshot(snap *Snapshot) error {
+	cfg := &r.cfg
+	if n := cfg.Network.NumNodes(); len(snap.Temps) != n {
+		return fmt.Errorf("sim: snapshot has %d node temperatures, want %d", len(snap.Temps), n)
+	}
+	if n := cfg.Chip.NumCores(); len(snap.DVFS) != n || len(snap.InstDone) != n {
+		return fmt.Errorf("sim: snapshot DVFS/progress for %d/%d cores, want %d",
+			len(snap.DVFS), len(snap.InstDone), n)
+	}
+	if (snap.TEC != nil) != (cfg.TECs != nil) {
+		return fmt.Errorf("sim: snapshot TEC state mismatches configuration")
+	}
+	if snap.FanLevel < 0 || snap.FanLevel >= cfg.Fan.NumLevels() {
+		return fmt.Errorf("sim: snapshot fan level %d out of range", snap.FanLevel)
+	}
+	if snap.WarmStart < 0 || snap.WarmStart >= cfg.MaxWarmStarts {
+		return fmt.Errorf("sim: snapshot warm-start %d outside [0, %d)", snap.WarmStart, cfg.MaxWarmStarts)
+	}
+	if snap.StepIdx < 0 || snap.SimTime < 0 ||
+		math.IsNaN(snap.SimTime) || math.IsInf(snap.SimTime, 0) {
+		return fmt.Errorf("sim: snapshot position t=%v step=%d invalid", snap.SimTime, snap.StepIdx)
+	}
+	return nil
+}
+
+// restoreCodec loads a serialized state blob into a component. A blob
+// without a StateCodec (or the reverse) means the resume-side component is
+// not the type that produced the snapshot — an error, never a silent skip.
+func restoreCodec(what string, comp any, blob []byte) error {
+	codec, ok := comp.(StateCodec)
+	if blob == nil {
+		if ok {
+			return fmt.Errorf("sim: snapshot carries no %s state but the %s is stateful", what, what)
+		}
+		return nil
+	}
+	if !ok {
+		return fmt.Errorf("sim: snapshot carries %s state but the %s cannot restore it", what, what)
+	}
+	if err := codec.UnmarshalState(blob); err != nil {
+		return fmt.Errorf("sim: restoring %s state: %w", what, err)
+	}
+	return nil
+}
+
+// marshalCodec captures a component's state blob (nil for stateless ones).
+func marshalCodec(what string, comp any) ([]byte, error) {
+	codec, ok := comp.(StateCodec)
+	if !ok {
+		return nil, nil
+	}
+	blob, err := codec.MarshalState()
+	if err != nil {
+		return nil, fmt.Errorf("sim: capturing %s state: %w", what, err)
+	}
+	return blob, nil
+}
+
+// run drives the warm-start loop, starting fresh or from a snapshot.
+func (r *Runner) run(ctx context.Context, snap *Snapshot) (*Result, error) {
+	cfg := &r.cfg
+	var init []float64
 	var initDVFS []int
 	var initAmps []float64
-	var prevPeak float64 = math.Inf(1)
+	prevPeak := math.Inf(1)
+	ws0 := 0
+	if snap != nil {
+		ws0, prevPeak = snap.WarmStart, snap.PrevPeak
+	} else {
+		// Initial condition: steady state at mean power with initial
+		// actuators — the "default uniform initial temperature" of §IV-B,
+		// improved to the nearby steady state so the convergence loop is
+		// short.
+		var err error
+		init, err = r.initialTemps()
+		if err != nil {
+			return nil, err
+		}
+	}
 	var res *Result
-	for ws := 0; ws < cfg.MaxWarmStarts; ws++ {
-		r.ctl.Reset()
-		if cfg.Sensors != nil {
-			cfg.Sensors.Reset()
+	var err error
+	for ws := ws0; ws < cfg.MaxWarmStarts; ws++ {
+		if snap == nil {
+			// A resumed iteration restores state instead of resetting it.
+			r.ctl.Reset()
+			if cfg.Sensors != nil {
+				cfg.Sensors.Reset()
+			}
+			if cfg.Actuators != nil {
+				cfg.Actuators.Reset()
+			}
 		}
-		if cfg.Actuators != nil {
-			cfg.Actuators.Reset()
-		}
-		res, err = r.runOnce(init, initDVFS, initAmps)
+		res, err = r.runOnce(ctx, init, initDVFS, initAmps, ws, prevPeak, snap)
+		snap = nil
 		if err != nil {
 			var tce *TimeCapError
 			if errors.As(err, &tce) && res != nil {
 				// The cap is an explicit, inspectable error; the partial
 				// result rides along for diagnosis.
+				res.WarmStarts = ws + 1
+				return res, err
+			}
+			if res != nil {
+				// Cancellation: the partial result rides along too.
 				res.WarmStarts = ws + 1
 				return res, err
 			}
@@ -309,45 +478,21 @@ func (r *Runner) initialTemps() ([]float64, error) {
 }
 
 // runOnce simulates one full benchmark execution from the given initial
-// temperatures and (optionally) carried-over actuator state.
-func (r *Runner) runOnce(init []float64, initDVFS []int, initAmps []float64) (*Result, error) {
+// temperatures and (optionally) carried-over actuator state, or — when snap
+// is non-nil — continues a checkpointed execution from its exact mid-run
+// state. ws and prevPeak are the warm-start loop position, recorded into any
+// snapshot taken so a resumed run rejoins the loop where it left off.
+func (r *Runner) runOnce(ctx context.Context, init []float64, initDVFS []int, initAmps []float64, ws int, prevPeak float64, snap *Snapshot) (*Result, error) {
 	cfg := &r.cfg
 	chip := cfg.Chip
 	nComp := len(chip.Components)
 	nCores := chip.NumCores()
 	bench := cfg.Bench
 
-	temps := append([]float64(nil), init...)
+	var temps []float64
 	dvfs := make([]int, nCores)
-	for i := range dvfs {
-		dvfs[i] = cfg.InitDVFS
-	}
-	if initDVFS != nil {
-		copy(dvfs, initDVFS)
-	}
 	var ts *tec.State
-	if cfg.TECs != nil {
-		ts = tec.NewState(cfg.TECs)
-		// Carried-over devices re-engage within the first 20 µs step.
-		for l, amps := range initAmps {
-			ts.SetCurrent(l, amps)
-		}
-	}
 	fanLevel := cfg.FanLevel
-	if cfg.Actuators != nil {
-		// Persistent actuator faults (a stuck fan, a device failed on)
-		// apply from the very first step, not the first control boundary.
-		fanLevel = cfg.Fan.Clamp(cfg.Actuators.FilterFan(0, fanLevel))
-		dec := Decision{}
-		cfg.Actuators.FilterDecision(0, r.actuatorState(dvfs, ts, fanLevel), &dec)
-		if err := r.applyDecision(dec, dvfs, ts); err != nil {
-			return nil, err
-		}
-	}
-	tr, err := cfg.Network.NewTransient(fanLevel, cfg.Step)
-	if err != nil {
-		return nil, err
-	}
 
 	// Completion follows the paper's Eq. (12)/(13) semantics: execution
 	// time is inversely proportional to the aggregate chip IPS, i.e. the
@@ -359,10 +504,69 @@ func (r *Runner) runOnce(init []float64, initDVFS []int, initAmps []float64) (*R
 	instPerCore := bench.InstPerCore()
 	var totalDone float64
 
+	var acc perf.Accumulator
+	var trace []TracePoint
+	now := 0.0
+	stepIdx := 0
+
+	if snap != nil {
+		temps = append([]float64(nil), snap.Temps...)
+		copy(dvfs, snap.DVFS)
+		if cfg.TECs != nil {
+			ts = tec.NewState(cfg.TECs)
+			if err := ts.RestoreSnapshot(*snap.TEC); err != nil {
+				return nil, err
+			}
+		}
+		fanLevel = snap.FanLevel
+		copy(instDone, snap.InstDone)
+		totalDone = snap.TotalDone
+		for core := range progress {
+			progress[core] = instDone[core] / instPerCore
+			if progress[core] > 1 {
+				progress[core] = 1
+			}
+		}
+		acc.SetState(snap.Acc)
+		trace = append(trace, snap.Trace...)
+		now, stepIdx = snap.SimTime, snap.StepIdx
+	} else {
+		temps = append([]float64(nil), init...)
+		for i := range dvfs {
+			dvfs[i] = cfg.InitDVFS
+		}
+		if initDVFS != nil {
+			copy(dvfs, initDVFS)
+		}
+		if cfg.TECs != nil {
+			ts = tec.NewState(cfg.TECs)
+			// Carried-over devices re-engage within the first 20 µs step.
+			for l, amps := range initAmps {
+				ts.SetCurrent(l, amps)
+			}
+		}
+		if cfg.Actuators != nil {
+			// Persistent actuator faults (a stuck fan, a device failed on)
+			// apply from the very first step, not the first control boundary.
+			fanLevel = cfg.Fan.Clamp(cfg.Actuators.FilterFan(0, fanLevel))
+			dec := Decision{}
+			cfg.Actuators.FilterDecision(0, r.actuatorState(dvfs, ts, fanLevel), &dec)
+			if err := r.applyDecision(dec, dvfs, ts); err != nil {
+				return nil, err
+			}
+		}
+	}
+	tr, err := cfg.Network.NewTransient(fanLevel, cfg.Step)
+	if err != nil {
+		return nil, err
+	}
+
 	dyn := make([]float64, nComp)
 	leak := make([]float64, nComp)
 	total := make([]float64, nComp)
-	// Per-control-period accumulators for the observation.
+	// Per-control-period accumulators for the observation. Snapshots are
+	// taken only at control boundaries, right after these are zeroed, so a
+	// resumed run correctly starts them empty.
 	obsDyn := make([]float64, nComp)
 	obsIPS := make([]float64, nCores)
 	coreIPS := make([]float64, nCores)
@@ -371,17 +575,46 @@ func (r *Runner) runOnce(init []float64, initDVFS []int, initAmps []float64) (*R
 	// ratio, times the safety factor.
 	maxTime := cfg.MaxTimeFactor * (bench.TargetTimeMS / 1000) / cfg.DVFS.FreqRatio(cfg.DVFS.Max(), 0)
 
-	var acc perf.Accumulator
-	var trace []TracePoint
 	stepsPerCtl := int(math.Round(cfg.ControlPeriod / cfg.Step))
 	if stepsPerCtl < 1 {
 		stepsPerCtl = 1
 	}
 	stepsPerFan := int(math.Round(cfg.FanPeriod / cfg.Step))
 
-	now := 0.0
-	stepIdx := 0
 	done := func() bool { return totalDone >= bench.TotalInst }
+
+	// snapshot captures the complete loop state at the current (control
+	// boundary) position.
+	snapshot := func() (*Snapshot, error) {
+		s := &Snapshot{
+			SimTime:   now,
+			StepIdx:   stepIdx,
+			WarmStart: ws,
+			PrevPeak:  prevPeak,
+			Temps:     append([]float64(nil), temps...),
+			DVFS:      append([]int(nil), dvfs...),
+			FanLevel:  fanLevel,
+			InstDone:  append([]float64(nil), instDone...),
+			TotalDone: totalDone,
+			Acc:       acc.State(),
+			Trace:     append([]TracePoint(nil), trace...),
+		}
+		if ts != nil {
+			tsnap := ts.Snapshot()
+			s.TEC = &tsnap
+		}
+		var err error
+		if s.Controller, err = marshalCodec("controller", r.ctl); err != nil {
+			return nil, err
+		}
+		if s.Sensors, err = marshalCodec("sensors", cfg.Sensors); err != nil {
+			return nil, err
+		}
+		if s.Actuators, err = marshalCodec("actuators", cfg.Actuators); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
 
 	for !done() && now < maxTime {
 		// Power evaluation at the current state.
@@ -523,6 +756,42 @@ func (r *Runner) runOnce(init []float64, initDVFS []int, initAmps []float64) (*R
 				fanLevel = nl
 				if tr, err = cfg.Network.NewTransient(fanLevel, cfg.Step); err != nil {
 					return nil, err
+				}
+			}
+		}
+
+		// Cancellation and checkpointing, at control boundaries only: this
+		// bounds the response to a cancel at one control period, and places
+		// every snapshot right after the observation accumulators were
+		// zeroed, so a resumed run restarts them empty — bitwise-identical
+		// to the uninterrupted execution.
+		if stepIdx%stepsPerCtl == 0 {
+			if err := ctx.Err(); err != nil {
+				if cfg.OnCheckpoint != nil {
+					if s, serr := snapshot(); serr == nil {
+						_ = cfg.OnCheckpoint(s) // best effort on the way out
+					}
+				}
+				res := &Result{
+					Metrics:    acc.Snapshot(),
+					Trace:      trace,
+					FinalTemps: temps,
+					Completed:  false,
+					finalDVFS:  append([]int(nil), dvfs...),
+				}
+				if ts != nil {
+					res.finalAmps = ts.Currents()
+				}
+				return res, fmt.Errorf("sim: canceled at t=%.4gs: %w", now, err)
+			}
+			if cfg.CheckpointEvery > 0 && cfg.OnCheckpoint != nil &&
+				(stepIdx/stepsPerCtl)%cfg.CheckpointEvery == 0 {
+				s, err := snapshot()
+				if err != nil {
+					return nil, err
+				}
+				if err := cfg.OnCheckpoint(s); err != nil {
+					return nil, fmt.Errorf("sim: checkpoint at t=%.4gs: %w", now, err)
 				}
 			}
 		}

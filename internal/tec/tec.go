@@ -106,6 +106,18 @@ type Placement struct {
 	// Cover maps global component indices to the fraction of the DEVICE
 	// area overlapping that component; fractions sum to ≤ 1.
 	Cover map[int]float64
+	// CoverList is Cover as a component-ordered slice. Numeric code must
+	// accumulate over this list, never over the map: Go randomizes map
+	// iteration order, and floating-point sums taken in varying order drift
+	// in the last ulp, which breaks bitwise-reproducible (and hence
+	// checkpoint/resumable) simulation.
+	CoverList []CoverEntry
+}
+
+// CoverEntry is one (component, overlap fraction) pair of a placement.
+type CoverEntry struct {
+	Comp int
+	Frac float64
 }
 
 // Array builds the 3×3 placements for every core of a chip. Following the
@@ -177,7 +189,9 @@ func UniformArray(chip *floorplan.Chip, dev Device) []Placement {
 	return out
 }
 
-// computeCover fills p.Cover with the per-component overlap fractions.
+// computeCover fills p.Cover with the per-component overlap fractions and
+// mirrors them into the component-ordered CoverList (chip.Components is
+// scanned in index order, so no extra sort is needed).
 func (p *Placement) computeCover(chip *floorplan.Chip) {
 	devArea := p.Device.Width * p.Device.Height
 	for i, c := range chip.Components {
@@ -188,6 +202,7 @@ func (p *Placement) computeCover(chip *floorplan.Chip) {
 		oy := math.Min(p.Y+p.Device.Height, c.Y+c.H) - math.Max(p.Y, c.Y)
 		if ox > 0 && oy > 0 {
 			p.Cover[i] = ox * oy / devArea
+			p.CoverList = append(p.CoverList, CoverEntry{Comp: i, Frac: ox * oy / devArea})
 		}
 	}
 }
@@ -320,4 +335,36 @@ func (s *State) Clone() *State {
 		engageAt:   append([]float64(nil), s.engageAt...),
 		now:        s.now,
 	}
+}
+
+// StateSnapshot is the serializable drive state of a TEC array: per-device
+// currents, engagement deadlines, and the engagement clock. It captures
+// everything NewState + replayed commands would reconstruct, so a restored
+// run continues bitwise-identically.
+type StateSnapshot struct {
+	Current  []float64
+	EngageAt []float64
+	Now      float64
+}
+
+// Snapshot exports the mutable state for checkpointing.
+func (s *State) Snapshot() StateSnapshot {
+	return StateSnapshot{
+		Current:  append([]float64(nil), s.current...),
+		EngageAt: append([]float64(nil), s.engageAt...),
+		Now:      s.now,
+	}
+}
+
+// RestoreSnapshot loads a previously exported state. The snapshot must match
+// the placement count the state was built over.
+func (s *State) RestoreSnapshot(snap StateSnapshot) error {
+	if len(snap.Current) != len(s.placements) || len(snap.EngageAt) != len(s.placements) {
+		return fmt.Errorf("tec: snapshot for %d/%d devices, state has %d",
+			len(snap.Current), len(snap.EngageAt), len(s.placements))
+	}
+	copy(s.current, snap.Current)
+	copy(s.engageAt, snap.EngageAt)
+	s.now = snap.Now
+	return nil
 }

@@ -254,7 +254,10 @@ func (nw *Network) peltierRHS(rhs, t []float64, ts *tec.State) {
 		joule := p.Device.JouleHeat(i)
 		rhs[sp] += 0.5 * joule
 		pump := ts.Engaged(l)
-		for comp, frac := range p.Cover {
+		// CoverList, not the Cover map: rhs[sp] accumulates across covered
+		// components, and map-order float sums are not reproducible.
+		for _, ce := range p.CoverList {
+			comp, frac := ce.Comp, ce.Frac
 			rhs[comp] += 0.5 * joule * frac
 			if pump {
 				q := p.Device.PumpCoefficient(i) * frac * (t[comp] + 273.15)
@@ -419,8 +422,8 @@ func (nw *Network) TECPower(t []float64, ts *tec.State) float64 {
 		p := ts.Placement(l)
 		sp := nw.SpreaderNode(p.Core)
 		var cold float64
-		for comp, frac := range p.Cover {
-			cold += t[comp] * frac
+		for _, ce := range p.CoverList {
+			cold += t[ce.Comp] * ce.Frac
 		}
 		dTheta := t[sp] - cold
 		if dTheta < 0 {

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Crash drill for the tecfand control-plane daemon: run a job to completion
+# on one daemon, SIGKILL a second daemon mid-run on the same job, restart it,
+# and require the resumed job's result to be byte-identical to the
+# uninterrupted one. This is the end-to-end proof that checkpoint/restore
+# loses nothing and changes nothing.
+#
+# Usage: scripts/crash_drill.sh
+# Env:   DRILL_SCALE (default 5) — instruction-budget scale of the drill job;
+#        big enough that the kill reliably lands mid-run.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SCALE="${DRILL_SCALE:-5}"
+SPEC="{\"id\":\"drill\",\"kind\":\"trace\",\"bench\":\"cholesky\",\"threads\":16,\"policy\":\"TECfan-FT\",\"scale\":$SCALE}"
+
+say() { echo "crash_drill: $*"; }
+die() { say "FAIL: $*"; exit 1; }
+
+cd "$ROOT"
+go build -o "$WORK/tecfand" ./cmd/tecfand
+
+start_daemon() { # state_dir port log_file
+  "$WORK/tecfand" -addr "127.0.0.1:$2" -state-dir "$1" -checkpoint-every 1 \
+    >"$3" 2>&1 &
+  local pid=$!
+  disown "$pid" # keep bash from reporting the deliberate SIGKILLs
+  PIDS+=("$pid")
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://127.0.0.1:$2/healthz" >/dev/null 2>&1; then
+      echo "$pid"
+      return 0
+    fi
+    sleep 0.1
+  done
+  die "daemon on port $2 never became healthy ($(cat "$3"))"
+}
+
+wait_done() { # port timeout_s
+  for _ in $(seq 1 $((10 * $2))); do
+    state="$(curl -fsS "http://127.0.0.1:$1/jobs/drill" | jq -r .state)"
+    case "$state" in
+      done) return 0 ;;
+      failed|canceled) die "job reached state $state" ;;
+    esac
+    sleep 0.1
+  done
+  die "job not done after $2 s"
+}
+
+# --- Reference: uninterrupted run. ---------------------------------------
+say "reference run"
+start_daemon "$WORK/ref-state" 18023 "$WORK/ref.log" >/dev/null
+curl -fsS -X POST -d "$SPEC" http://127.0.0.1:18023/jobs | jq -e '.id == "drill"' >/dev/null
+wait_done 18023 300
+curl -fsS http://127.0.0.1:18023/jobs/drill/result >"$WORK/ref.json"
+[ -s "$WORK/ref.json" ] || die "empty reference result"
+
+# --- Victim: SIGKILL once a mid-run checkpoint has landed. ---------------
+say "victim run (will be killed)"
+VICTIM_PID="$(start_daemon "$WORK/state" 18024 "$WORK/victim.log")"
+curl -fsS -X POST -d "$SPEC" http://127.0.0.1:18024/jobs >/dev/null
+
+CKPT="$WORK/state/drill.ckpt"
+killed=0
+for _ in $(seq 1 3000); do
+  # The spec-only checkpoint is ~200 bytes; one carrying a sim snapshot is
+  # kilobytes. Size is the cheapest outside-the-process progress signal.
+  size="$(stat -c %s "$CKPT" 2>/dev/null || echo 0)"
+  if [ "$size" -gt 4096 ]; then
+    kill -9 "$VICTIM_PID"
+    killed=1
+    say "SIGKILL after checkpoint of $size bytes"
+    break
+  fi
+  if [ -f "$WORK/state/drill.result.json" ]; then
+    die "job finished before the kill landed; raise DRILL_SCALE"
+  fi
+  sleep 0.01
+done
+[ "$killed" = 1 ] || die "no mid-run checkpoint appeared"
+[ ! -f "$WORK/state/drill.result.json" ] || die "result exists despite mid-run kill"
+
+# --- Restart: the next incarnation must resume and finish. ---------------
+say "restarting"
+start_daemon "$WORK/state" 18025 "$WORK/restart.log" >/dev/null
+curl -fsS http://127.0.0.1:18025/jobs/drill | jq -e '.resumed == true' >/dev/null \
+  || die "restarted job not marked resumed"
+wait_done 18025 300
+curl -fsS http://127.0.0.1:18025/jobs/drill/result >"$WORK/got.json"
+
+cmp -s "$WORK/ref.json" "$WORK/got.json" \
+  || die "resumed result differs from uninterrupted run ($(wc -c <"$WORK/ref.json") vs $(wc -c <"$WORK/got.json") bytes)"
+say "PASS: resumed result is byte-identical ($(wc -c <"$WORK/ref.json") bytes)"

@@ -1,6 +1,7 @@
 package tecfan
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -116,17 +117,23 @@ func (s *System) Benchmarks() []string {
 // the temperature threshold, the fan level follows the §IV-C selection, and
 // the report carries raw and base-normalized metrics.
 func (s *System) Run(bench string, threads int, policyName string) (*Report, error) {
+	return s.RunContext(context.Background(), bench, threads, policyName)
+}
+
+// RunContext is Run under a context: cancellation aborts the in-flight
+// simulation within one control period of simulated work.
+func (s *System) RunContext(ctx context.Context, bench string, threads int, policyName string) (*Report, error) {
 	b, err := workload.ByName(bench, threads, s.env.Leak)
 	if err != nil {
 		return nil, err
 	}
 	sb := s.scaled(b)
-	base, err := s.env.BaseScenario(sb)
+	base, err := s.env.BaseScenarioContext(ctx, sb)
 	if err != nil {
 		return nil, err
 	}
 	threshold := base.Metrics.PeakTemp
-	level, res, err := s.env.SelectFanLevel(sb, policyName, threshold)
+	level, res, err := s.env.SelectFanLevelContext(ctx, sb, policyName, threshold)
 	if err != nil {
 		return nil, err
 	}
@@ -156,12 +163,19 @@ func (s *System) scaled(b *workload.Benchmark) *workload.Benchmark {
 // returns the per-control-period samples (time, peak temperature, chip
 // power, TECs on, mean DVFS) — the raw material of the Fig. 4 time series.
 func (s *System) Trace(bench string, threads int, policyName string, fanLevel int) ([]sim.TracePoint, error) {
+	return s.TraceContext(context.Background(), bench, threads, policyName, fanLevel)
+}
+
+// TraceContext is Trace under a context. On cancellation the samples recorded
+// so far return alongside the error, so an interrupted trace is still
+// plottable.
+func (s *System) TraceContext(ctx context.Context, bench string, threads int, policyName string, fanLevel int) ([]sim.TracePoint, error) {
 	b, err := workload.ByName(bench, threads, s.env.Leak)
 	if err != nil {
 		return nil, err
 	}
 	sb := s.scaled(b)
-	base, err := s.env.BaseScenario(sb)
+	base, err := s.env.BaseScenarioContext(ctx, sb)
 	if err != nil {
 		return nil, err
 	}
@@ -169,8 +183,11 @@ func (s *System) Trace(bench string, threads int, policyName string, fanLevel in
 	if ctl == nil {
 		return nil, fmt.Errorf("tecfan: unknown policy %q", policyName)
 	}
-	res, err := s.env.RunTraced(sb, ctl, base.Metrics.PeakTemp, fanLevel)
+	res, err := s.env.RunTracedContext(ctx, sb, ctl, base.Metrics.PeakTemp, fanLevel)
 	if err != nil {
+		if res != nil {
+			return res.Trace, err
+		}
 		return nil, err
 	}
 	return res.Trace, nil
@@ -179,15 +196,38 @@ func (s *System) Trace(bench string, threads int, policyName string, fanLevel in
 // Table1 regenerates the paper's Table I.
 func (s *System) Table1() ([]exp.Table1Row, error) { return s.env.Table1() }
 
+// Table1Context is Table1 under a context; completed rows return alongside
+// any error.
+func (s *System) Table1Context(ctx context.Context) ([]exp.Table1Row, error) {
+	return s.env.Table1Context(ctx)
+}
+
 // Fig4 regenerates the §V-B comparison.
 func (s *System) Fig4() ([]exp.Fig4Case, error) { return s.env.Fig4() }
+
+// Fig4Context is Fig4 under a context; completed cases return alongside any
+// error.
+func (s *System) Fig4Context(ctx context.Context) ([]exp.Fig4Case, error) {
+	return s.env.Fig4Context(ctx)
+}
 
 // Fig56 regenerates the §V-C/§V-D comparisons.
 func (s *System) Fig56() (*exp.Fig56Result, error) { return s.env.Fig56() }
 
+// Fig56Context is Fig56 under a context; the partial result returns alongside
+// any error.
+func (s *System) Fig56Context(ctx context.Context) (*exp.Fig56Result, error) {
+	return s.env.Fig56Context(ctx)
+}
+
 // Fig7 regenerates the §V-E server comparison; seconds is the per-core
 // trace length (600 = the paper's 10 minutes).
 func Fig7(seconds int) ([]exp.Fig7Row, error) { return exp.Fig7(seconds) }
+
+// Fig7Context is Fig7 under a context.
+func Fig7Context(ctx context.Context, seconds int) ([]exp.Fig7Row, error) {
+	return exp.Fig7Context(ctx, seconds)
+}
 
 // HardwareCost regenerates the §III-E systolic cost analysis.
 func (s *System) HardwareCost() (*exp.HardwareCostReport, error) { return s.env.HardwareCost() }
@@ -246,6 +286,11 @@ func (s *System) WriteReport(w io.Writer, opt exp.ReportOptions) error {
 	return s.env.WriteReport(w, opt)
 }
 
+// WriteReportContext is WriteReport under a context.
+func (s *System) WriteReportContext(ctx context.Context, w io.Writer, opt exp.ReportOptions) error {
+	return s.env.WriteReportContext(ctx, w, opt)
+}
+
 // ReportOptions re-exports the report configuration.
 type ReportOptions = exp.ReportOptions
 
@@ -257,6 +302,16 @@ type ReportOptions = exp.ReportOptions
 func (s *System) Chaos(opt exp.ChaosOptions) (*exp.ChaosResult, error) {
 	return s.env.Chaos(opt)
 }
+
+// ChaosContext is Chaos under a context; the partial result — every
+// completed row — returns alongside any error.
+func (s *System) ChaosContext(ctx context.Context, opt exp.ChaosOptions) (*exp.ChaosResult, error) {
+	return s.env.ChaosContext(ctx, opt)
+}
+
+// Env exposes the underlying experiment environment for advanced embedders
+// (the control-plane daemon builds checkpointed runners through it).
+func (s *System) Env() *exp.Env { return s.env }
 
 // ChaosOptions and ChaosResult re-export the chaos-sweep configuration and
 // report types.
