@@ -11,12 +11,20 @@
 // Endpoints:
 //
 //	GET    /healthz           liveness
-//	GET    /readyz            readiness (503 while draining)
-//	POST   /jobs              submit a JobSpec; 202 {"id": ...}, 429 when full
+//	GET    /livez             liveness (conventional pair to /readyz)
+//	GET    /readyz            readiness (503 while draining / queue full /
+//	                          state dir unwritable)
+//	POST   /jobs              submit a JobSpec; 202 {"id": ...}, 429 when shed.
+//	                          An Idempotency-Key header makes the submission
+//	                          safely retryable: a replayed key answers 200
+//	                          with the original id and "deduplicated": true.
 //	GET    /jobs              list jobs
 //	GET    /jobs/{id}         job status
 //	DELETE /jobs/{id}         cancel a job (checkpoints, then stops)
 //	GET    /jobs/{id}/result  durable result of a finished job
+//
+// Every request carries an X-Request-ID (client-supplied or minted) that is
+// echoed in the response and threaded into the job log for correlation.
 //
 // SIGINT/SIGTERM drains gracefully: in-flight jobs are canceled at their next
 // control boundary, which persists a final checkpoint for the next
@@ -35,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"tecfan/internal/cmdutil"
 	"tecfan/internal/daemon"
 )
 
@@ -47,7 +56,37 @@ func main() {
 	maxAttempts := flag.Int("max-attempts", 3, "supervisor attempts per job before it fails")
 	watchdog := flag.Duration("watchdog", 2*time.Minute, "restart an attempt silent for this long (<0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for jobs to checkpoint out")
+	submitRate := flag.Float64("submit-rate", 50, "token-bucket submission rate per second (<0 disables admission control)")
+	submitBurst := flag.Int("submit-burst", 100, "token-bucket submission burst")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request handler deadline (<0 disables)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
+	maxHeaderBytes := flag.Int("max-header-bytes", 1<<16, "http.Server MaxHeaderBytes")
 	flag.Parse()
+
+	for _, err := range []error{
+		cmdutil.CheckAddr("addr", *addr),
+		cmdutil.CheckPositiveInt("workers", *workers),
+		cmdutil.CheckPositiveInt("queue", *queueDepth),
+		cmdutil.CheckPositiveInt("checkpoint-every", *ckptEvery),
+		cmdutil.CheckPositiveInt("max-attempts", *maxAttempts),
+		cmdutil.CheckPositiveInt("max-header-bytes", *maxHeaderBytes),
+		cmdutil.CheckPositiveDuration("drain-timeout", *drainTimeout),
+		cmdutil.CheckPositiveDuration("read-header-timeout", *readHeaderTimeout),
+		cmdutil.CheckPositiveDuration("write-timeout", *writeTimeout),
+		cmdutil.CheckPositiveDuration("idle-timeout", *idleTimeout),
+	} {
+		if err != nil {
+			fatal(err)
+		}
+	}
+	// The WriteTimeout must outlast the handler's own deadline, or slow-but-
+	// legitimate responses (large result files) are cut off before the
+	// request-timeout middleware can answer 503 cleanly.
+	if *requestTimeout > 0 && *writeTimeout <= *requestTimeout {
+		fatal(fmt.Errorf("-write-timeout (%v) must exceed -request-timeout (%v)", *writeTimeout, *requestTimeout))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -59,12 +98,22 @@ func main() {
 		CheckpointEvery: *ckptEvery,
 		MaxAttempts:     *maxAttempts,
 		WatchdogTimeout: *watchdog,
+		SubmitRate:      *submitRate,
+		SubmitBurst:     *submitBurst,
+		RequestTimeout:  *requestTimeout,
 	})
 	if err != nil {
 		fatal(err)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    *maxHeaderBytes,
+	}
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("tecfand: listening on %s (state: %s)", *addr, *stateDir)

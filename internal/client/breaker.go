@@ -1,0 +1,190 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's phase.
+type BreakerState int
+
+const (
+	// BreakerClosed passes every request, counting consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects every request until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a bounded budget of probe requests; enough
+	// successes close the breaker, any failure reopens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// ErrCircuitOpen reports a request rejected by the breaker without touching
+// the network. Match with errors.Is; errors.As against *OpenError recovers
+// the suggested wait.
+var ErrCircuitOpen = errors.New("client: circuit breaker open")
+
+// OpenError is the concrete rejection: RetryIn is how long until the breaker
+// will next admit a probe (zero when the half-open probe budget is the
+// limiting factor rather than the cooldown clock).
+type OpenError struct {
+	State   BreakerState
+	RetryIn time.Duration
+}
+
+func (e *OpenError) Error() string {
+	return fmt.Sprintf("%v (%s, retry in %s)", ErrCircuitOpen, e.State, e.RetryIn)
+}
+
+func (e *OpenError) Unwrap() error { return ErrCircuitOpen }
+
+// BreakerConfig tunes the circuit breaker. Zero values take the defaults.
+type BreakerConfig struct {
+	// FailureThreshold is the run of consecutive transport failures that
+	// opens the breaker (default 5).
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open before admitting probes
+	// (default 2 s).
+	Cooldown time.Duration
+	// ProbeBudget caps in-flight half-open probes (default 1): a struggling
+	// server gets a trickle, not the full retry storm.
+	ProbeBudget int
+	// SuccessThreshold is the probe successes required to close (default 2).
+	SuccessThreshold int
+	// Disabled turns the breaker into a pass-through.
+	Disabled bool
+
+	now func() time.Time // test seam
+}
+
+func (c *BreakerConfig) fillDefaults() {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	if c.ProbeBudget <= 0 {
+		c.ProbeBudget = 1
+	}
+	if c.SuccessThreshold <= 0 {
+		c.SuccessThreshold = 2
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+}
+
+// Breaker is a classic closed/open/half-open circuit breaker guarding the
+// transport. "Failure" means the server could not be reached or answered a
+// 5xx; application-level errors (4xx) count as successes — the wire works.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int
+	successes int
+	probes    int // in-flight half-open probes
+	openedAt  time.Time
+}
+
+// NewBreaker builds a breaker in the closed state.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg.fillDefaults()
+	return &Breaker{cfg: cfg}
+}
+
+// State reports the current phase (for tests and operator logging).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow asks permission to attempt a request. A nil return admits the
+// request and MUST be paired with exactly one Record call. A non-nil return
+// is an *OpenError wrapping ErrCircuitOpen.
+func (b *Breaker) Allow() error {
+	if b.cfg.Disabled {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		wait := b.cfg.Cooldown - b.cfg.now().Sub(b.openedAt)
+		if wait > 0 {
+			return &OpenError{State: BreakerOpen, RetryIn: wait}
+		}
+		// Cooldown served: transition to half-open and admit this request
+		// as the first probe.
+		b.state = BreakerHalfOpen
+		b.successes = 0
+		b.probes = 1
+		return nil
+	case BreakerHalfOpen:
+		if b.probes >= b.cfg.ProbeBudget {
+			return &OpenError{State: BreakerHalfOpen, RetryIn: 0}
+		}
+		b.probes++
+		return nil
+	}
+	return nil
+}
+
+// Record reports the outcome of a request admitted by Allow.
+func (b *Breaker) Record(success bool) {
+	if b.cfg.Disabled {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if success {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.state = BreakerOpen
+			b.openedAt = b.cfg.now()
+		}
+	case BreakerHalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if !success {
+			// One failed probe is proof enough: reopen and restart the
+			// cooldown clock.
+			b.state = BreakerOpen
+			b.openedAt = b.cfg.now()
+			return
+		}
+		b.successes++
+		if b.successes >= b.cfg.SuccessThreshold {
+			b.state = BreakerClosed
+			b.failures = 0
+		}
+	case BreakerOpen:
+		// A straggler from before the breaker opened; its outcome carries no
+		// new information.
+	}
+}

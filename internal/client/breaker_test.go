@@ -1,0 +1,145 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testBreaker(clk *fakeClock) *Breaker {
+	return NewBreaker(BreakerConfig{
+		FailureThreshold: 3,
+		Cooldown:         time.Second,
+		ProbeBudget:      2,
+		SuccessThreshold: 2,
+		now:              clk.now,
+	})
+}
+
+// TestBreakerTransitions walks the full state machine under a scripted
+// fault schedule: closed → open on the failure run, fast-fail while open,
+// half-open after cooldown with a bounded probe budget, reopen on a failed
+// probe, and close again after enough successful probes.
+func TestBreakerTransitions(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := testBreaker(clk)
+
+	if b.State() != BreakerClosed {
+		t.Fatalf("initial state = %v", b.State())
+	}
+	// Interleaved success resets the consecutive-failure count.
+	for _, ok := range []bool{false, false, true, false, false} {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed Allow = %v", err)
+		}
+		b.Record(ok)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after interrupted failure run = %v, want closed", b.State())
+	}
+	// The third consecutive failure opens it.
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failure threshold = %v, want open", b.State())
+	}
+
+	// Open: rejects with the cooldown remainder.
+	err := b.Allow()
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open Allow = %v, want ErrCircuitOpen", err)
+	}
+	var oe *OpenError
+	if !errors.As(err, &oe) || oe.RetryIn <= 0 || oe.RetryIn > time.Second {
+		t.Fatalf("open rejection = %+v", oe)
+	}
+
+	// Cooldown served: half-open admits ProbeBudget probes, rejects beyond.
+	clk.advance(time.Second + time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("first probe refused: %v", err)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe refused: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("probe beyond budget = %v, want ErrCircuitOpen", err)
+	}
+
+	// A failed probe reopens immediately and restarts the cooldown.
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	b.Record(true) // straggler from the pre-open era: ignored
+	if b.State() != BreakerOpen {
+		t.Fatalf("straggler success changed state to %v", b.State())
+	}
+
+	// Recover: cooldown, then SuccessThreshold successful probes close it.
+	clk.advance(time.Second + time.Millisecond)
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("recovery probe %d refused: %v", i, err)
+		}
+		b.Record(true)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probes = %v, want closed", b.State())
+	}
+	// And the failure count restarted: one failure does not re-open.
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatalf("single post-recovery failure opened the breaker")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Disabled: true, FailureThreshold: 1})
+	for i := 0; i < 10; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("disabled breaker rejected: %v", err)
+		}
+		b.Record(false)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("disabled breaker state = %v", b.State())
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s, want)
+		}
+	}
+}

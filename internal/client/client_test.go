@@ -1,0 +1,322 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tecfan/internal/daemon"
+)
+
+// sleepRecorder replaces the client's sleep with an instant recorder.
+type sleepRecorder struct {
+	mu     sync.Mutex
+	delays []time.Duration
+}
+
+func (r *sleepRecorder) sleep(ctx context.Context, d time.Duration) error {
+	r.mu.Lock()
+	r.delays = append(r.delays, d)
+	r.mu.Unlock()
+	return ctx.Err()
+}
+
+func (r *sleepRecorder) all() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]time.Duration(nil), r.delays...)
+}
+
+func testClient(t *testing.T, url string, rec *sleepRecorder, mut func(*Config)) *Client {
+	t.Helper()
+	cfg := Config{
+		BaseURL:     url,
+		MaxRetries:  4,
+		BackoffBase: 50 * time.Millisecond,
+		BackoffMax:  time.Second,
+		Seed:        1,
+		Logf:        t.Logf,
+	}
+	if rec != nil {
+		cfg.sleep = rec.sleep
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty BaseURL accepted")
+	}
+	if _, err := New(Config{BaseURL: "http://x", MaxRetries: -1}); err == nil {
+		t.Fatal("negative MaxRetries accepted")
+	}
+}
+
+// TestRetryAfterHonored: a 429 with Retry-After pauses for the server's
+// hint, not the client's own (much smaller) backoff.
+func TestRetryAfterHonored(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "3")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_, _ = w.Write([]byte(`{"error":"shed"}`))
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		_, _ = w.Write([]byte(`{"id":"job-1"}`))
+	}))
+	defer srv.Close()
+
+	rec := &sleepRecorder{}
+	c := testClient(t, srv.URL, rec, nil)
+	id, _, err := c.SubmitWithKey(context.Background(), "tok", daemon.JobSpec{Kind: daemon.KindTrace, Bench: "cholesky", Threads: 16})
+	if err != nil || id != "job-1" {
+		t.Fatalf("submit = %q, %v", id, err)
+	}
+	delays := rec.all()
+	if len(delays) != 1 || delays[0] != 3*time.Second {
+		t.Fatalf("slept %v, want exactly the server's 3s hint", delays)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+}
+
+// TestBackoffFullJitterBounds: without a Retry-After hint, retry i sleeps
+// uniform [0, min(max, base·2^i)) — never beyond the cap.
+func TestBackoffFullJitterBounds(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	rec := &sleepRecorder{}
+	c := testClient(t, srv.URL, rec, func(cfg *Config) {
+		cfg.MaxRetries = 6
+		cfg.Breaker.Disabled = true
+	})
+	_, err := c.Jobs(context.Background())
+	if err == nil {
+		t.Fatal("always-503 server produced a success")
+	}
+	delays := rec.all()
+	if len(delays) != 6 {
+		t.Fatalf("recorded %d delays, want 6", len(delays))
+	}
+	base, max := 50*time.Millisecond, time.Second
+	for i, d := range delays {
+		ceil := base << i
+		if ceil > max {
+			ceil = max
+		}
+		if d < 0 || d > ceil {
+			t.Errorf("retry %d slept %s, want within [0, %s]", i, d, ceil)
+		}
+	}
+}
+
+// TestIdempotencyKeyStableAcrossRetries: every retry of one submission
+// carries the same Idempotency-Key — the property server-side dedup needs.
+func TestIdempotencyKeyStableAcrossRetries(t *testing.T) {
+	var mu sync.Mutex
+	var keys []string
+	var calls int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		keys = append(keys, r.Header.Get("Idempotency-Key"))
+		calls++
+		n := calls
+		mu.Unlock()
+		if n < 3 {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		_, _ = w.Write([]byte(`{"id":"job-7"}`))
+	}))
+	defer srv.Close()
+
+	c := testClient(t, srv.URL, &sleepRecorder{}, nil)
+	id, err := c.Submit(context.Background(), daemon.JobSpec{Kind: daemon.KindTrace, Bench: "cholesky", Threads: 16})
+	if err != nil || id != "job-7" {
+		t.Fatalf("submit = %q, %v", id, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(keys) != 3 {
+		t.Fatalf("server saw %d attempts, want 3", len(keys))
+	}
+	for i, k := range keys {
+		if k == "" || k != keys[0] {
+			t.Fatalf("attempt %d key %q differs from first %q", i, k, keys[0])
+		}
+	}
+	if _, _, err := c.SubmitWithKey(context.Background(), "", daemon.JobSpec{}); err == nil {
+		t.Fatal("empty idempotency key accepted")
+	}
+}
+
+// TestPermanentErrorsNotRetried: 4xx application errors surface immediately.
+func TestPermanentErrorsNotRetried(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		_, _ = w.Write([]byte(`{"error":"bad spec"}`))
+	}))
+	defer srv.Close()
+
+	c := testClient(t, srv.URL, &sleepRecorder{}, nil)
+	_, err := c.Job(context.Background(), "nope")
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusBadRequest || se.Msg != "bad spec" {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("400 was retried: %d calls", calls.Load())
+	}
+}
+
+// TestBreakerOpensUnderFaultSchedule: consecutive transport failures open
+// the breaker, after which calls fail fast without touching the server;
+// once the server heals and the cooldown passes, probes close it again.
+func TestBreakerOpensUnderFaultSchedule(t *testing.T) {
+	var healthy atomic.Bool
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write([]byte(`[]`))
+	}))
+	defer srv.Close()
+
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	c := testClient(t, srv.URL, &sleepRecorder{}, func(cfg *Config) {
+		cfg.MaxRetries = 2
+		cfg.Breaker = BreakerConfig{
+			FailureThreshold: 3,
+			Cooldown:         10 * time.Second,
+			ProbeBudget:      1,
+			SuccessThreshold: 1,
+			now:              clk.now,
+		}
+	})
+
+	// Fault phase: each call makes up to 3 attempts; the threshold trips
+	// during the first call.
+	if _, err := c.Jobs(context.Background()); err == nil {
+		t.Fatal("faulty phase succeeded")
+	}
+	if got := c.Breaker().State(); got != BreakerOpen {
+		t.Fatalf("breaker after failures = %v, want open", got)
+	}
+	seen := calls.Load()
+	if _, err := c.Jobs(context.Background()); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open-breaker call = %v, want ErrCircuitOpen", err)
+	}
+	if calls.Load() != seen {
+		t.Fatal("open breaker still let requests reach the server")
+	}
+
+	// Heal phase: cooldown elapses, one probe closes it, traffic flows.
+	healthy.Store(true)
+	clk.advance(11 * time.Second)
+	if _, err := c.Jobs(context.Background()); err != nil {
+		t.Fatalf("post-heal call failed: %v", err)
+	}
+	if got := c.Breaker().State(); got != BreakerClosed {
+		t.Fatalf("breaker after heal = %v, want closed", got)
+	}
+}
+
+// TestWaitPollsToTerminal: Wait keeps polling through transient errors and
+// returns the terminal view.
+func TestWaitPollsToTerminal(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.WriteHeader(http.StatusInternalServerError) // daemon mid-restart
+		case 2:
+			_ = json.NewEncoder(w).Encode(daemon.JobView{ID: "j", State: daemon.StateRunning})
+		default:
+			_ = json.NewEncoder(w).Encode(daemon.JobView{ID: "j", State: daemon.StateDone})
+		}
+	}))
+	defer srv.Close()
+
+	c := testClient(t, srv.URL, &sleepRecorder{}, func(cfg *Config) { cfg.MaxRetries = 0 })
+	v, err := c.Wait(context.Background(), "j", time.Millisecond)
+	if err != nil || v.State != daemon.StateDone {
+		t.Fatalf("Wait = %+v, %v", v, err)
+	}
+}
+
+// TestWaitUnknownJobSurfaces404: a 404 is not transient; Wait must not spin
+// on a job that does not exist.
+func TestWaitUnknownJobSurfaces404(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		_, _ = w.Write([]byte(`{"error":"no such job"}`))
+	}))
+	defer srv.Close()
+	c := testClient(t, srv.URL, &sleepRecorder{}, nil)
+	_, err := c.Wait(context.Background(), "ghost", time.Millisecond)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusNotFound {
+		t.Fatalf("Wait on unknown job = %v, want 404 StatusError", err)
+	}
+}
+
+// TestResultNotDone maps the daemon's 409 polling answer to ErrNotDone.
+func TestResultNotDone(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusConflict)
+		_ = json.NewEncoder(w).Encode(daemon.JobView{ID: "j", State: daemon.StateRunning})
+	}))
+	defer srv.Close()
+	c := testClient(t, srv.URL, &sleepRecorder{}, nil)
+	if _, err := c.Result(context.Background(), "j"); !errors.Is(err, ErrNotDone) {
+		t.Fatalf("Result on running job = %v, want ErrNotDone", err)
+	}
+}
+
+// TestPerAttemptDeadline: a hung server costs one RequestTimeout per
+// attempt, not forever.
+func TestPerAttemptDeadline(t *testing.T) {
+	hang := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-hang
+	}))
+	defer srv.Close()
+	defer close(hang) // LIFO: unpark handlers before srv.Close waits on them
+	c := testClient(t, srv.URL, &sleepRecorder{}, func(cfg *Config) {
+		cfg.RequestTimeout = 50 * time.Millisecond
+		cfg.MaxRetries = 1
+	})
+	start := time.Now()
+	_, err := c.Jobs(context.Background())
+	if err == nil {
+		t.Fatal("hung server produced a success")
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("two bounded attempts took %s", el)
+	}
+}

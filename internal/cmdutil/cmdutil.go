@@ -6,7 +6,9 @@ package cmdutil
 
 import (
 	"fmt"
+	"net"
 	"strings"
+	"time"
 )
 
 // System is the slice of the tecfan.System surface the helpers need; taking
@@ -38,6 +40,52 @@ func CheckPolicy(sys System, name string) error {
 		}
 	}
 	return fmt.Errorf("unknown policy %q (valid: %s)", name, strings.Join(valid, ", "))
+}
+
+// CheckAddr validates a host:port listen/dial address eagerly, so a typo
+// fails at flag parse time rather than as a bind error after state is built.
+func CheckAddr(flagName, addr string) error {
+	if addr == "" {
+		return fmt.Errorf("-%s must not be empty", flagName)
+	}
+	if _, _, err := net.SplitHostPort(addr); err != nil {
+		return fmt.Errorf("-%s: %q is not host:port: %v", flagName, addr, err)
+	}
+	return nil
+}
+
+// CheckPositiveDuration rejects zero and negative durations for flags where
+// "no timeout" is not a sensible interpretation.
+func CheckPositiveDuration(flagName string, d time.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("-%s must be > 0, got %v", flagName, d)
+	}
+	return nil
+}
+
+// CheckNonNegativeDuration rejects negative durations for flags where zero
+// means "disabled".
+func CheckNonNegativeDuration(flagName string, d time.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("-%s must be >= 0, got %v", flagName, d)
+	}
+	return nil
+}
+
+// CheckPositiveInt rejects values below 1 for counts that must exist.
+func CheckPositiveInt(flagName string, n int) error {
+	if n < 1 {
+		return fmt.Errorf("-%s must be >= 1, got %d", flagName, n)
+	}
+	return nil
+}
+
+// CheckProbability rejects values outside [0, 1].
+func CheckProbability(flagName string, p float64) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("-%s must be within [0, 1], got %g", flagName, p)
+	}
+	return nil
 }
 
 // PrintLists prints the valid benchmarks and policies — the body of every

@@ -1,0 +1,83 @@
+package cmdutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+type fakeSystem struct{}
+
+func (fakeSystem) Benchmarks() []string { return []string{"cholesky/16", "fft/4"} }
+func (fakeSystem) Policies() []string   { return []string{"TECfan", "fan-only"} }
+
+func TestCheckBench(t *testing.T) {
+	sys := fakeSystem{}
+	if err := CheckBench(sys, "cholesky", 16); err != nil {
+		t.Errorf("valid bench rejected: %v", err)
+	}
+	err := CheckBench(sys, "cholesky", 8)
+	if err == nil || !strings.Contains(err.Error(), "cholesky/16") {
+		t.Errorf("invalid thread count: err = %v, want the valid list", err)
+	}
+}
+
+func TestCheckPolicy(t *testing.T) {
+	sys := fakeSystem{}
+	if err := CheckPolicy(sys, "TECfan"); err != nil {
+		t.Errorf("valid policy rejected: %v", err)
+	}
+	if err := CheckPolicy(sys, "nope"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestCheckAddr(t *testing.T) {
+	for _, addr := range []string{":8023", "127.0.0.1:0", "localhost:9999"} {
+		if err := CheckAddr("addr", addr); err != nil {
+			t.Errorf("CheckAddr(%q) = %v, want nil", addr, err)
+		}
+	}
+	for _, addr := range []string{"", "nohost", "1.2.3.4"} {
+		if err := CheckAddr("addr", addr); err == nil {
+			t.Errorf("CheckAddr(%q) accepted", addr)
+		}
+	}
+}
+
+func TestCheckDurations(t *testing.T) {
+	if err := CheckPositiveDuration("t", time.Second); err != nil {
+		t.Error(err)
+	}
+	if err := CheckPositiveDuration("t", 0); err == nil {
+		t.Error("zero accepted as positive duration")
+	}
+	if err := CheckNonNegativeDuration("t", 0); err != nil {
+		t.Error(err)
+	}
+	if err := CheckNonNegativeDuration("t", -time.Second); err == nil {
+		t.Error("negative accepted as non-negative duration")
+	}
+}
+
+func TestCheckPositiveInt(t *testing.T) {
+	if err := CheckPositiveInt("n", 1); err != nil {
+		t.Error(err)
+	}
+	if err := CheckPositiveInt("n", 0); err == nil {
+		t.Error("zero accepted as positive int")
+	}
+}
+
+func TestCheckProbability(t *testing.T) {
+	for _, p := range []float64{0, 0.5, 1} {
+		if err := CheckProbability("p", p); err != nil {
+			t.Errorf("CheckProbability(%g) = %v", p, err)
+		}
+	}
+	for _, p := range []float64{-0.01, 1.01} {
+		if err := CheckProbability("p", p); err == nil {
+			t.Errorf("CheckProbability(%g) accepted", p)
+		}
+	}
+}

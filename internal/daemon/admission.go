@@ -1,0 +1,136 @@
+package daemon
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"regexp"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// tokenBucket is the submission admission controller: a classic token
+// bucket refilled continuously at rate tokens/second up to burst. take
+// spends one token or reports how long until one is available, which the
+// HTTP layer turns into 429 + Retry-After — bounded, honest shedding
+// instead of a queue that melts under a retry storm.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// newTokenBucket builds a full bucket; rate < 0 disables admission control.
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	if rate < 0 {
+		return nil
+	}
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), now: now}
+}
+
+// take spends a token. When the bucket is empty it returns false and the
+// wait until the next token exists.
+func (b *tokenBucket) take() (bool, time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if b.rate == 0 {
+		return false, time.Hour // rate 0 with an empty bucket never refills
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// retryAfterSeconds rounds a wait up to whole seconds for the Retry-After
+// header (minimum 1: "0" would invite an immediate identical retry).
+func retryAfterSeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// requestIDKey is the context key the middleware stores the request id
+// under.
+type requestIDKey struct{}
+
+var requestIDRe = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// reqSeq numbers generated request ids within this process.
+var reqSeq atomic.Uint64
+
+// withRequestID accepts a well-formed client X-Request-ID or mints one,
+// echoes it on the response, and stores it in the request context so
+// handlers can weave it into the job log. The id is how an operator joins a
+// client-side retry trace to the daemon-side job history.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get("X-Request-ID")
+		if !requestIDRe.MatchString(rid) {
+			rid = s.newRequestID()
+		}
+		w.Header().Set("X-Request-ID", rid)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, rid)))
+	})
+}
+
+func (s *Server) newRequestID() string {
+	s.mu.Lock()
+	n := s.cfg.rng.Uint32()
+	s.mu.Unlock()
+	return "req-" + itoaHex(uint64(n)) + "-" + itoaHex(reqSeq.Add(1))
+}
+
+// itoaHex is a tiny allocation-free hex formatter for request ids.
+func itoaHex(v uint64) string {
+	const digits = "0123456789abcdef"
+	if v == 0 {
+		return "0"
+	}
+	var buf [16]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(buf[i:])
+}
+
+// requestID recovers the middleware-assigned id from a request context.
+func requestID(r *http.Request) string {
+	if v, ok := r.Context().Value(requestIDKey{}).(string); ok {
+		return v
+	}
+	return ""
+}
+
+// withRequestTimeout bounds each request's handling with a context
+// deadline, so one wedged handler cannot hold a connection (and its
+// goroutine) forever.
+func withRequestTimeout(next http.Handler, d time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}

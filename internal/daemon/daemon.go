@@ -28,6 +28,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"tecfan/internal/checkpoint"
 )
 
 // Config tunes the daemon. Zero values take the documented defaults.
@@ -55,10 +57,23 @@ type Config struct {
 	// WatchdogTimeout restarts an attempt whose run loop has not emitted a
 	// checkpoint or row for this long (default 2 m; <0 disables).
 	WatchdogTimeout time.Duration
+	// SubmitRate and SubmitBurst shape the token-bucket admission control on
+	// POST /jobs: sustained submissions per second and the burst above it
+	// (defaults 50/s, burst 100; SubmitRate < 0 disables the bucket).
+	SubmitRate  float64
+	SubmitBurst int
+	// RequestTimeout bounds each HTTP request's handling (default 30 s;
+	// < 0 disables).
+	RequestTimeout time.Duration
+	// IdemMaxEntries caps the durable idempotency table (default 4096,
+	// evicting oldest-first beyond it).
+	IdemMaxEntries int
 	// Logf receives operational log lines (default log.Printf).
 	Logf func(format string, args ...any)
 
-	rng *rand.Rand // jitter source; tests may seed it
+	rng   *rand.Rand                                       // jitter source; tests may seed it
+	now   func() time.Time                                 // clock; tests may fake it
+	sleep func(ctx context.Context, d time.Duration) error // restart-backoff timer; tests may record it
 }
 
 func (c *Config) fillDefaults() error {
@@ -86,13 +101,44 @@ func (c *Config) fillDefaults() error {
 	if c.WatchdogTimeout == 0 {
 		c.WatchdogTimeout = 2 * time.Minute
 	}
+	if c.SubmitRate == 0 {
+		c.SubmitRate = 50
+	}
+	if c.SubmitBurst <= 0 {
+		c.SubmitBurst = 100
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.IdemMaxEntries <= 0 {
+		c.IdemMaxEntries = checkpoint.DefaultIdemMaxEntries
+	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
 	if c.rng == nil {
 		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if c.sleep == nil {
+		c.sleep = sleepCtx
+	}
 	return nil
+}
+
+// sleepCtx is the production restart-backoff timer: a real sleep that a
+// canceled context cuts short.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // JobKind selects what a job runs.
@@ -153,17 +199,21 @@ type JobView struct {
 	// previous process's checkpoint.
 	Resumed bool    `json:"resumed,omitempty"`
 	Spec    JobSpec `json:"spec"`
+	// RequestID is the X-Request-ID of the submission that created the job,
+	// tying every job-log line back to the client call that caused it.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // job is the in-memory record.
 type job struct {
-	spec     JobSpec
-	state    JobState
-	attempts int
-	err      string
-	resumed  bool
-	cancel   context.CancelFunc // cancels the job (all attempts)
-	done     chan struct{}      // closed when the job reaches a terminal state
+	spec      JobSpec
+	state     JobState
+	attempts  int
+	err       string
+	resumed   bool
+	requestID string             // X-Request-ID of the creating submission
+	cancel    context.CancelFunc // cancels the job (all attempts)
+	done      chan struct{}      // closed when the job reaches a terminal state
 }
 
 // Server is the control-plane daemon.
@@ -176,6 +226,14 @@ type Server struct {
 
 	queue    chan string
 	draining bool
+
+	// idem is the durable idempotency table; idemMu serializes tokened
+	// submissions so two concurrent retries of the same POST cannot both
+	// miss the table and enqueue twice.
+	idem   *checkpoint.IdemStore
+	idemMu sync.Mutex
+
+	admit *tokenBucket
 
 	// beats records the last liveness signal per running job for the
 	// watchdog; attemptCancel the per-attempt cancel it may fire.
@@ -196,11 +254,17 @@ func New(cfg Config) (*Server, error) {
 	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
 		return nil, fmt.Errorf("daemon: %w", err)
 	}
+	idem, err := checkpoint.OpenIdemStore(filepath.Join(cfg.StateDir, "idempotency.idem"), cfg.IdemMaxEntries)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: %w", err)
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:           cfg,
 		jobs:          map[string]*job{},
 		queue:         make(chan string, cfg.QueueDepth),
+		idem:          idem,
+		admit:         newTokenBucket(cfg.SubmitRate, cfg.SubmitBurst, cfg.now),
 		beats:         map[string]time.Time{},
 		attemptCancel: map[string]context.CancelFunc{},
 		rootCtx:       ctx,
@@ -210,6 +274,7 @@ func New(cfg Config) (*Server, error) {
 		stop()
 		return nil, err
 	}
+	s.sweepIdempotency()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -221,11 +286,69 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-var idRe = regexp.MustCompile(`^[A-Za-z0-9_-]{1,64}$`)
+var (
+	idRe    = regexp.MustCompile(`^[A-Za-z0-9_-]{1,64}$`)
+	tokenRe = regexp.MustCompile(`^[A-Za-z0-9._-]{1,128}$`)
+)
 
 // Submit validates and enqueues a job. A full queue returns ErrQueueFull; a
 // draining server returns ErrDraining.
 func (s *Server) Submit(spec JobSpec) (string, error) {
+	return s.submit(spec, "")
+}
+
+// SubmitIdempotent submits a job under a client idempotency token: a token
+// the daemon has seen before — in this incarnation or any earlier one, the
+// table is durable — returns the original job's id with dup=true instead of
+// enqueuing a second copy. requestID is the submission's X-Request-ID, woven
+// into the job log.
+//
+// Ordering is the exactly-once argument: the token is recorded durably
+// BEFORE the job is enqueued and its spec persisted. A crash between the two
+// leaves a token pointing at a job that never existed; startup sweeps such
+// orphans (sweepIdempotency), so the client's retry submits afresh — one
+// run, not zero, not two. The reverse order would leave a persisted job the
+// retry could not be matched to, and the retry would enqueue a duplicate.
+func (s *Server) SubmitIdempotent(spec JobSpec, token, requestID string) (id string, dup bool, err error) {
+	if token == "" {
+		id, err = s.submit(spec, requestID)
+		return id, false, err
+	}
+	if !tokenRe.MatchString(token) {
+		return "", false, fmt.Errorf("daemon: invalid idempotency token %q", token)
+	}
+	if err := validateSpec(&spec); err != nil {
+		// Reject garbage before burning a durable table entry on it.
+		return "", false, err
+	}
+	s.idemMu.Lock()
+	defer s.idemMu.Unlock()
+	if prior, ok := s.idem.Get(token); ok {
+		s.cfg.Logf("daemon: request %s: idempotency token replay -> job %s", requestID, prior)
+		return prior, true, nil
+	}
+	if spec.ID == "" {
+		s.mu.Lock()
+		spec.ID = s.newID()
+		s.mu.Unlock()
+	}
+	if err := s.idem.Put(token, spec.ID); err != nil {
+		return "", false, fmt.Errorf("daemon: recording idempotency token: %w", err)
+	}
+	id, err = s.submit(spec, requestID)
+	if err != nil {
+		// The reservation must not outlive the refusal, or every retry of a
+		// shed submission would be "deduplicated" into a job that was never
+		// accepted.
+		if derr := s.idem.Delete(token); derr != nil {
+			s.cfg.Logf("daemon: rolling back idempotency token: %v", derr)
+		}
+		return "", false, err
+	}
+	return id, false, nil
+}
+
+func (s *Server) submit(spec JobSpec, requestID string) (string, error) {
 	if err := validateSpec(&spec); err != nil {
 		return "", err
 	}
@@ -241,7 +364,7 @@ func (s *Server) Submit(spec JobSpec) (string, error) {
 		s.mu.Unlock()
 		return "", fmt.Errorf("%w: %s", ErrDuplicateID, spec.ID)
 	}
-	j := &job{spec: spec, state: StateQueued, done: make(chan struct{})}
+	j := &job{spec: spec, state: StateQueued, requestID: requestID, done: make(chan struct{})}
 	select {
 	case s.queue <- spec.ID:
 	default:
@@ -257,6 +380,23 @@ func (s *Server) Submit(spec JobSpec) (string, error) {
 		s.cfg.Logf("daemon: persisting spec for %s: %v", spec.ID, err)
 	}
 	return spec.ID, nil
+}
+
+// sweepIdempotency drops tokens whose job left no trace on disk: the crash
+// landed between the token write and the job-spec write, so the submission
+// never happened — the client's retry must be allowed to start it fresh.
+func (s *Server) sweepIdempotency() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for token, id := range s.idem.All() {
+		if _, ok := s.jobs[id]; ok {
+			continue
+		}
+		s.cfg.Logf("daemon: sweeping orphaned idempotency token for job %s (crash before spec persisted)", id)
+		if err := s.idem.Delete(token); err != nil {
+			s.cfg.Logf("daemon: sweeping idempotency token: %v", err)
+		}
+	}
 }
 
 // Typed submission failures.
@@ -346,7 +486,7 @@ func (s *Server) Jobs() []JobView {
 func (s *Server) viewLocked(id string, j *job) JobView {
 	return JobView{
 		ID: id, Kind: j.spec.Kind, State: j.state, Attempts: j.attempts,
-		Error: j.err, Resumed: j.resumed, Spec: j.spec,
+		Error: j.err, Resumed: j.resumed, Spec: j.spec, RequestID: j.requestID,
 	}
 }
 
@@ -409,7 +549,6 @@ func (s *Server) worker() {
 // attempt resumes from the latest persisted checkpoint, so a panic or a
 // watchdog kill costs at most one checkpoint interval of recomputation.
 func (s *Server) runSupervised(jobCtx context.Context, id string, j *job) {
-	backoff := s.cfg.BackoffBase
 	for attempt := 1; ; attempt++ {
 		s.mu.Lock()
 		j.attempts = attempt
@@ -418,7 +557,7 @@ func (s *Server) runSupervised(jobCtx context.Context, id string, j *job) {
 		attemptCtx, attemptCancel := context.WithCancel(jobCtx)
 		s.mu.Lock()
 		s.attemptCancel[id] = attemptCancel
-		s.beats[id] = time.Now()
+		s.beats[id] = s.cfg.now()
 		s.mu.Unlock()
 
 		err := s.runAttempt(attemptCtx, id, j.spec)
@@ -442,47 +581,67 @@ func (s *Server) runSupervised(jobCtx context.Context, id string, j *job) {
 			return
 		}
 		// Restartable failure: panic, watchdog cancel, or a transient error.
-		delay := backoff + time.Duration(s.jitter(float64(backoff)/2))
-		if delay > s.cfg.BackoffMax {
-			delay = s.cfg.BackoffMax
-		}
+		delay := s.restartDelay(attempt)
 		s.cfg.Logf("daemon: job %s attempt %d failed (%v); restarting from checkpoint in %s", id, attempt, err, delay)
-		select {
-		case <-time.After(delay):
-		case <-jobCtx.Done():
-			s.finish(id, j, StateCanceled, jobCtx.Err().Error())
+		if serr := s.cfg.sleep(jobCtx, delay); serr != nil {
+			s.finish(id, j, StateCanceled, serr.Error())
 			return
-		}
-		if backoff *= 2; backoff > s.cfg.BackoffMax {
-			backoff = s.cfg.BackoffMax
 		}
 	}
 }
 
-func (s *Server) jitter(max float64) float64 {
+// restartDelay draws the jittered supervised-restart delay for a 1-based
+// attempt number, holding the rng's lock.
+func (s *Server) restartDelay(attempt int) time.Duration {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.cfg.rng.Float64() * max
+	return backoffDelay(s.cfg.rng, s.cfg.BackoffBase, s.cfg.BackoffMax, attempt)
+}
+
+// backoffDelay computes the restart backoff: base·2^(attempt-1) capped at
+// max, plus up to 50 % jitter, the sum capped at max again — so every delay
+// lies in [base, max] regardless of attempt number or rng draw.
+func backoffDelay(rng *rand.Rand, base, max time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	d += time.Duration(rng.Float64() * float64(d) / 2)
+	if d > max {
+		d = max
+	}
+	if d < base {
+		d = base
+	}
+	return d
 }
 
 func (s *Server) finish(id string, j *job, st JobState, msg string) {
 	s.mu.Lock()
 	j.state = st
 	j.err = msg
+	rid := j.requestID
 	close(j.done)
 	s.mu.Unlock()
 	if st == StateDone {
 		// The result file is durable; the checkpoint has served its purpose.
 		_ = os.Remove(s.ckptPath(id))
 	}
-	s.cfg.Logf("daemon: job %s -> %s", id, st)
+	if rid != "" {
+		s.cfg.Logf("daemon: job %s -> %s (request %s)", id, st, rid)
+	} else {
+		s.cfg.Logf("daemon: job %s -> %s", id, st)
+	}
 }
 
 // heartbeat records attempt liveness; the run loop calls it from every
 // checkpoint and chaos-row emission.
 func (s *Server) heartbeat(id string) {
 	s.mu.Lock()
-	s.beats[id] = time.Now()
+	s.beats[id] = s.cfg.now()
 	s.mu.Unlock()
 }
 
@@ -503,7 +662,7 @@ func (s *Server) watchdog() {
 			return
 		case <-t.C:
 		}
-		now := time.Now()
+		now := s.cfg.now()
 		s.mu.Lock()
 		for id, last := range s.beats {
 			if now.Sub(last) > s.cfg.WatchdogTimeout {
@@ -542,17 +701,23 @@ func (s *Server) resultPath(id string) string {
 	return filepath.Join(s.cfg.StateDir, id+".result.json")
 }
 
-// Handler returns the daemon's HTTP API.
+// Handler returns the daemon's HTTP API, wrapped in the request-ID and
+// per-request-timeout middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /livez", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
-	return mux
+	var h http.Handler = mux
+	if s.cfg.RequestTimeout > 0 {
+		h = withRequestTimeout(h, s.cfg.RequestTimeout)
+	}
+	return s.withRequestID(h)
 }
 
 // isSpecOnly reports whether a persisted record carries no progress yet.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"os"
+	"strconv"
 )
 
 // maxBodyBytes bounds a submission body; a JobSpec is a few hundred bytes.
@@ -22,24 +23,61 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
 }
 
-// handleHealthz is pure liveness: the process is up and serving.
+// handleHealthz is pure liveness: the process is up and serving. It backs
+// both /healthz (historical) and /livez (the conventional pair to /readyz).
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleReadyz is readiness: a draining daemon answers 503 so load balancers
-// stop sending it work while in-flight jobs checkpoint out.
+// handleReadyz is readiness: 503 with the reasons while the daemon cannot
+// usefully accept work — draining, admission queue full, or the checkpoint
+// state dir unwritable (a daemon that cannot checkpoint must not take jobs
+// it would lose). Load balancers and drill scripts gate on it.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	var reasons []string
 	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		reasons = append(reasons, "draining")
+	}
+	if len(s.queue) >= cap(s.queue) {
+		reasons = append(reasons, "queue full")
+	}
+	if err := s.stateDirWritable(); err != nil {
+		reasons = append(reasons, "state dir unwritable: "+err.Error())
+	}
+	if len(reasons) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "unready", "reasons": reasons,
+		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ready", "queue_depth": len(s.queue), "queue_cap": cap(s.queue),
+	})
 }
 
-// handleSubmit admits a job. A full queue sheds the request with 429 and a
-// Retry-After hint rather than buffering unboundedly.
+// stateDirWritable probes that a checkpoint could land right now.
+func (s *Server) stateDirWritable() error {
+	f, err := os.CreateTemp(s.cfg.StateDir, ".readyz-probe-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	_ = f.Close()
+	return os.Remove(name)
+}
+
+// handleSubmit admits a job. The token bucket and the bounded queue both
+// shed with 429 and a Retry-After hint rather than buffering unboundedly;
+// an Idempotency-Key header makes the submission safely retryable — a
+// replayed token returns the original job with 200 instead of enqueuing a
+// duplicate.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(r)
+	if ok, wait := s.admit.take(); !ok {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(wait)))
+		writeError(w, http.StatusTooManyRequests, "daemon: submission rate limit")
+		return
+	}
 	var spec JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
@@ -47,9 +85,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
 		return
 	}
-	id, err := s.Submit(spec)
+	token := r.Header.Get("Idempotency-Key")
+	id, dup, err := s.SubmitIdempotent(spec, token, rid)
 	switch {
+	case err == nil && dup:
+		writeJSON(w, http.StatusOK, map[string]any{"id": id, "deduplicated": true})
 	case err == nil:
+		s.cfg.Logf("daemon: request %s: job %s submitted (idempotency=%q)", rid, id, token)
 		writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Network-chaos soak drill for the tecfand control plane: run the daemon
+# behind the tecfan-netchaos proxy under an aggressive fault schedule
+# (latency + jitter, connection blackholing, mid-stream resets, a repeating
+# partition window), hammer it with concurrent clients that retry under
+# idempotency keys, SIGKILL the daemon mid-drill and restart it on the same
+# state dir. Acceptance:
+#   - every submitted job completes exactly once (replayed submissions are
+#     deduplicated, both in flight and after the kill/restart);
+#   - every result is byte-identical to a fault-free reference run.
+#
+# Usage: scripts/netchaos_drill.sh
+# Env:   DRILL_JOBS  (default 6)    — fixed-id jobs (one anonymous job is
+#                                     always added on top);
+#        DRILL_SCALE (default 0.02) — instruction-budget scale per job.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+JOBS="${DRILL_JOBS:-6}"
+SCALE="${DRILL_SCALE:-0.02}"
+DAEMON_PORT=18031
+PROXY_PORT=18032
+
+say() { echo "netchaos_drill: $*"; }
+die() { say "FAIL: $*"; exit 1; }
+
+cd "$ROOT"
+go build -o "$WORK/tecfand" ./cmd/tecfand
+go build -o "$WORK/tecfan-netchaos" ./cmd/tecfan-netchaos
+go build -o "$WORK/netchaosdrill" ./scripts/netchaosdrill
+
+start_daemon() { # state_dir log_file
+  "$WORK/tecfand" -addr "127.0.0.1:$DAEMON_PORT" -state-dir "$1" \
+    -workers 2 -queue 32 -checkpoint-every 1 >"$2" 2>&1 &
+  local pid=$!
+  disown "$pid" # keep bash from reporting the deliberate SIGKILL
+  PIDS+=("$pid")
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://127.0.0.1:$DAEMON_PORT/readyz" >/dev/null 2>&1; then
+      echo "$pid"
+      return 0
+    fi
+    sleep 0.1
+  done
+  die "daemon never became ready ($(cat "$2"))"
+}
+
+# --- Reference pass: no proxy, no faults. --------------------------------
+say "reference pass ($JOBS jobs, scale $SCALE)"
+start_daemon "$WORK/ref-state" "$WORK/ref-daemon.log" >/dev/null
+"$WORK/netchaosdrill" -mode ref -daemon "http://127.0.0.1:$DAEMON_PORT" \
+  -jobs "$JOBS" -scale "$SCALE" -out "$WORK/ref-results"
+kill -9 "${PIDS[0]}" 2>/dev/null || true
+
+# --- Chaos pass: daemon behind the proxy, kill/restart mid-drill. --------
+say "chaos pass"
+VICTIM_PID="$(start_daemon "$WORK/state" "$WORK/daemon.log")"
+"$WORK/tecfan-netchaos" -listen "127.0.0.1:$PROXY_PORT" \
+  -target "127.0.0.1:$DAEMON_PORT" -seed 42 \
+  -latency 2ms -jitter 5ms -drop 0.15 -reset 0.10 \
+  -partition "300ms-500ms" -period 2s >"$WORK/proxy.log" 2>&1 &
+PROXY_PID=$!
+disown "$PROXY_PID" # cleanup kills it deliberately; keep bash quiet about it
+PIDS+=("$PROXY_PID")
+
+KILLFILE="$WORK/kill-now"
+RESTARTEDFILE="$WORK/restarted"
+"$WORK/netchaosdrill" -mode chaos -daemon "http://127.0.0.1:$PROXY_PORT" \
+  -jobs "$JOBS" -scale "$SCALE" -out "$WORK/chaos-results" \
+  -kill-file "$KILLFILE" -restarted-file "$RESTARTEDFILE" \
+  >"$WORK/driver.log" 2>&1 &
+DRIVER_PID=$!
+PIDS+=("$DRIVER_PID")
+
+# Kill handshake: the driver creates KILLFILE once the drill is mid-flight.
+for _ in $(seq 1 3000); do
+  [ -f "$KILLFILE" ] && break
+  kill -0 "$DRIVER_PID" 2>/dev/null || { cat "$WORK/driver.log"; die "driver exited before the kill point"; }
+  sleep 0.1
+done
+[ -f "$KILLFILE" ] || die "driver never reached the kill point"
+say "SIGKILL daemon mid-drill"
+kill -9 "$VICTIM_PID"
+sleep 0.5
+say "restarting daemon on the same state dir"
+start_daemon "$WORK/state" "$WORK/daemon-restart.log" >/dev/null
+touch "$RESTARTEDFILE"
+
+if ! wait "$DRIVER_PID"; then
+  cat "$WORK/driver.log"
+  die "chaos driver failed"
+fi
+cat "$WORK/driver.log"
+
+# --- Byte-compare every fixed-id result against the reference. -----------
+for i in $(seq 0 $((JOBS - 1))); do
+  ref="$WORK/ref-results/drill-$i.json"
+  got="$WORK/chaos-results/drill-$i.json"
+  [ -s "$ref" ] || die "missing reference result drill-$i"
+  [ -s "$got" ] || die "missing chaos result drill-$i"
+  cmp -s "$ref" "$got" \
+    || die "drill-$i result differs from fault-free reference ($(wc -c <"$ref") vs $(wc -c <"$got") bytes)"
+done
+say "PASS: $JOBS jobs + 1 anonymous, exactly once, byte-identical under chaos + kill/restart"

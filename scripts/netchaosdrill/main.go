@@ -1,0 +1,249 @@
+// Command netchaosdrill is the driver behind scripts/netchaos_drill.sh: it
+// plays the client side of the network-chaos soak drill against a tecfand
+// daemon, either directly (-mode ref, the fault-free reference) or through
+// the tecfan-netchaos proxy (-mode chaos).
+//
+// In chaos mode it submits every job twice with the same idempotency key
+// (simulating a client that lost the first response), coordinates a
+// mid-drill daemon SIGKILL with the shell script through marker files, and
+// after the restart replays every submission a third time — all replays
+// must answer deduplicated with the original job id, proving the dedup
+// table survived the kill. Results are written to -out for the script to
+// byte-compare against the reference run.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"tecfan/internal/client"
+	"tecfan/internal/daemon"
+)
+
+func main() {
+	mode := flag.String("mode", "", "ref (fault-free) or chaos (through the proxy, with kill/restart)")
+	daemonURL := flag.String("daemon", "", "base URL of the daemon (or of the chaos proxy in front of it)")
+	jobs := flag.Int("jobs", 6, "number of fixed-id drill jobs")
+	scale := flag.Float64("scale", 0.02, "instruction-budget scale of each job")
+	out := flag.String("out", "", "directory to write per-job result files into")
+	killFile := flag.String("kill-file", "", "chaos mode: file to create when the script should SIGKILL the daemon")
+	restartedFile := flag.String("restarted-file", "", "chaos mode: file whose appearance means the daemon is back")
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall drill deadline")
+	flag.Parse()
+
+	if *daemonURL == "" || *out == "" || (*mode != "ref" && *mode != "chaos") {
+		fatal(fmt.Errorf("usage: -mode ref|chaos -daemon URL -out DIR required"))
+	}
+	if *mode == "chaos" && (*killFile == "" || *restartedFile == "") {
+		fatal(fmt.Errorf("chaos mode needs -kill-file and -restarted-file"))
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	var err error
+	if *mode == "ref" {
+		err = runRef(ctx, *daemonURL, *jobs, *scale, *out)
+	} else {
+		err = runChaos(ctx, *daemonURL, *jobs, *scale, *out, *killFile, *restartedFile)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func spec(id string, scale float64) daemon.JobSpec {
+	return daemon.JobSpec{
+		ID:      id,
+		Kind:    daemon.KindTrace,
+		Bench:   "cholesky",
+		Threads: 16,
+		Policy:  "TECfan-FT",
+		Scale:   scale,
+	}
+}
+
+func newClient(daemonURL string, seed int64) (*client.Client, error) {
+	return client.New(client.Config{
+		BaseURL:        daemonURL,
+		RequestTimeout: 5 * time.Second,
+		MaxRetries:     60,
+		BackoffBase:    25 * time.Millisecond,
+		BackoffMax:     500 * time.Millisecond,
+		Seed:           seed,
+		Breaker: client.BreakerConfig{
+			FailureThreshold: 10,
+			Cooldown:         250 * time.Millisecond,
+			ProbeBudget:      2,
+			SuccessThreshold: 1,
+		},
+		Logf: log.Printf,
+	})
+}
+
+// runRef is the fault-free pass: submit, wait, save every result.
+func runRef(ctx context.Context, daemonURL string, jobs int, scale float64, out string) error {
+	c, err := newClient(daemonURL, 1)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < jobs; i++ {
+		id := fmt.Sprintf("drill-%d", i)
+		if _, err := c.Submit(ctx, spec(id, scale)); err != nil {
+			return fmt.Errorf("submit %s: %w", id, err)
+		}
+	}
+	for i := 0; i < jobs; i++ {
+		id := fmt.Sprintf("drill-%d", i)
+		if err := saveResult(ctx, c, id, out); err != nil {
+			return err
+		}
+	}
+	log.Printf("netchaosdrill: reference pass done (%d jobs)", jobs)
+	return nil
+}
+
+// runChaos is the adversarial pass. Submission rounds:
+//
+//	round 1: N concurrent clients submit drill-i twice under key-drill-i,
+//	         plus one anonymous job (server-assigned id) under its own key —
+//	         the in-flight replay must dedup.
+//	kill:    once at least one job is done, signal the script to SIGKILL
+//	         the daemon and wait for the restart marker.
+//	round 2: replay every submission with the same keys against the
+//	         restarted daemon — dedup must have survived the kill.
+func runChaos(ctx context.Context, daemonURL string, jobs int, scale float64, out, killFile, restartedFile string) error {
+	type submission struct {
+		key  string
+		spec daemon.JobSpec
+		id   string // filled by round 1
+	}
+	subs := make([]*submission, jobs+1)
+	for i := 0; i < jobs; i++ {
+		subs[i] = &submission{key: fmt.Sprintf("key-drill-%d", i), spec: spec(fmt.Sprintf("drill-%d", i), scale)}
+	}
+	// The anonymous job: no client-chosen id, so only the idempotency key
+	// keeps its retries from forking into several jobs.
+	subs[jobs] = &submission{key: "key-drill-anon", spec: spec("", scale)}
+
+	// Round 1: concurrent clients, each submitting twice under its key.
+	var wg sync.WaitGroup
+	errc := make(chan error, len(subs))
+	for i, sub := range subs {
+		wg.Add(1)
+		go func(i int, sub *submission) {
+			defer wg.Done()
+			c, err := newClient(daemonURL, int64(100+i))
+			if err != nil {
+				errc <- err
+				return
+			}
+			id, _, err := c.SubmitWithKey(ctx, sub.key, sub.spec)
+			if err != nil {
+				errc <- fmt.Errorf("round 1 submit %q: %w", sub.key, err)
+				return
+			}
+			replayID, dup, err := c.SubmitWithKey(ctx, sub.key, sub.spec)
+			if err != nil {
+				errc <- fmt.Errorf("round 1 replay %q: %w", sub.key, err)
+				return
+			}
+			if !dup || replayID != id {
+				errc <- fmt.Errorf("round 1 replay %q: id %q dup %v, want %q dup true", sub.key, replayID, dup, id)
+				return
+			}
+			sub.id = id
+		}(i, sub)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		return err
+	}
+	log.Printf("netchaosdrill: round 1 submitted %d jobs, in-flight replays deduplicated", len(subs))
+
+	// Wait for at least one completion so the kill lands mid-drill: some
+	// jobs done, some interrupted, some still queued.
+	c, err := newClient(daemonURL, 7)
+	if err != nil {
+		return err
+	}
+	if _, err := c.Wait(ctx, subs[0].id, 50*time.Millisecond); err != nil {
+		return fmt.Errorf("waiting for first completion: %w", err)
+	}
+	log.Printf("netchaosdrill: first job done; requesting daemon kill")
+	if err := os.WriteFile(killFile, []byte("kill\n"), 0o644); err != nil {
+		return err
+	}
+	for {
+		if _, err := os.Stat(restartedFile); err == nil {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("daemon never restarted: %w", ctx.Err())
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	log.Printf("netchaosdrill: daemon restarted; replaying all submissions")
+
+	// Round 2: every key must still dedup to its original id.
+	for i, sub := range subs {
+		c, err := newClient(daemonURL, int64(200+i))
+		if err != nil {
+			return err
+		}
+		id, dup, err := c.SubmitWithKey(ctx, sub.key, sub.spec)
+		if err != nil {
+			return fmt.Errorf("round 2 replay %q: %w", sub.key, err)
+		}
+		if !dup || id != sub.id {
+			return fmt.Errorf("round 2 replay %q: id %q dup %v, want %q dup true — dedup did not survive restart", sub.key, id, dup, sub.id)
+		}
+	}
+	log.Printf("netchaosdrill: post-restart replays deduplicated")
+
+	// Drain: every job completes, results saved for the byte-compare.
+	for _, sub := range subs {
+		if err := saveResult(ctx, c, sub.id, out); err != nil {
+			return err
+		}
+	}
+
+	// Exactly once: the daemon must hold precisely the submitted jobs — a
+	// retry that forked a duplicate would show up as an extra entry.
+	views, err := c.Jobs(ctx)
+	if err != nil {
+		return err
+	}
+	if len(views) != len(subs) {
+		return fmt.Errorf("daemon holds %d jobs, want exactly %d", len(views), len(subs))
+	}
+	log.Printf("netchaosdrill: chaos pass done (%d jobs, exactly once)", len(subs))
+	return nil
+}
+
+func saveResult(ctx context.Context, c *client.Client, id, out string) error {
+	if _, err := c.Wait(ctx, id, 50*time.Millisecond); err != nil {
+		return fmt.Errorf("wait %s: %w", id, err)
+	}
+	data, err := c.Result(ctx, id)
+	if err != nil {
+		return fmt.Errorf("result %s: %w", id, err)
+	}
+	return os.WriteFile(filepath.Join(out, id+".json"), data, 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netchaosdrill:", err)
+	os.Exit(1)
+}
