@@ -23,6 +23,15 @@
 //	DELETE /jobs/{id}         cancel a job (checkpoints, then stops)
 //	GET    /jobs/{id}/result  durable result of a finished job
 //
+// With -pool, execution moves to tecfan-worker processes and the worker
+// protocol is mounted as well:
+//
+//	POST   /pool/claim        grant a shard lease (204 when no work)
+//	POST   /pool/heartbeat    renew a lease (410 when fenced)
+//	POST   /pool/checkpoint   upload mid-shard progress
+//	POST   /pool/complete     report a shard result (idempotent per token)
+//	GET    /pool/stats        coordinator counters
+//
 // Every request carries an X-Request-ID (client-supplied or minted) that is
 // echoed in the response and threaded into the job log for correlation.
 //
@@ -63,6 +72,9 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
 	maxHeaderBytes := flag.Int("max-header-bytes", 1<<16, "http.Server MaxHeaderBytes")
+	poolMode := flag.Bool("pool", false, "coordinate tecfan-worker processes instead of executing in-process")
+	poolLeaseTTL := flag.Duration("pool-lease-ttl", 10*time.Second, "shard lease TTL before a silent worker is fenced (with -pool)")
+	poolChunk := flag.Int("pool-chunk", 2, "sweep rows per shard (with -pool)")
 	flag.Parse()
 
 	for _, err := range []error{
@@ -76,6 +88,8 @@ func main() {
 		cmdutil.CheckPositiveDuration("read-header-timeout", *readHeaderTimeout),
 		cmdutil.CheckPositiveDuration("write-timeout", *writeTimeout),
 		cmdutil.CheckPositiveDuration("idle-timeout", *idleTimeout),
+		cmdutil.CheckPositiveDuration("pool-lease-ttl", *poolLeaseTTL),
+		cmdutil.CheckPositiveInt("pool-chunk", *poolChunk),
 	} {
 		if err != nil {
 			fatal(err)
@@ -101,6 +115,9 @@ func main() {
 		SubmitRate:      *submitRate,
 		SubmitBurst:     *submitBurst,
 		RequestTimeout:  *requestTimeout,
+		PoolEnabled:     *poolMode,
+		PoolLeaseTTL:    *poolLeaseTTL,
+		PoolChunk:       *poolChunk,
 	})
 	if err != nil {
 		fatal(err)

@@ -92,11 +92,19 @@ func (c *BreakerConfig) fillDefaults() {
 // Breaker is a classic closed/open/half-open circuit breaker guarding the
 // transport. "Failure" means the server could not be reached or answered a
 // 5xx; application-level errors (4xx) count as successes — the wire works.
+//
+// Outcomes are generation-scoped: every state transition starts a new
+// generation, and a record handed out by Allow is a no-op once its
+// generation has passed. Without this, a slow probe admitted in one
+// half-open window could record into a later one — refunding a probe slot it
+// was never charged in that window (letting more than ProbeBudget probes
+// fly) and counting a stale success toward the new window's close threshold.
 type Breaker struct {
 	cfg BreakerConfig
 
 	mu        sync.Mutex
 	state     BreakerState
+	gen       uint64 // bumped on every state transition
 	failures  int
 	successes int
 	probes    int // in-flight half-open probes
@@ -116,46 +124,62 @@ func (b *Breaker) State() BreakerState {
 	return b.state
 }
 
-// Allow asks permission to attempt a request. A nil return admits the
-// request and MUST be paired with exactly one Record call. A non-nil return
-// is an *OpenError wrapping ErrCircuitOpen.
-func (b *Breaker) Allow() error {
+// transitionLocked moves to a new state, starting a fresh generation with
+// clean counters: records from the old generation become no-ops.
+func (b *Breaker) transitionLocked(s BreakerState) {
+	b.state = s
+	b.gen++
+	b.failures = 0
+	b.successes = 0
+	b.probes = 0
+}
+
+// Allow asks permission to attempt a request. A nil error admits the request
+// and hands back a record func that MUST be called exactly once with the
+// outcome; the record is bound to the breaker generation that admitted it,
+// so an outcome arriving after the breaker has since transitioned is
+// discarded rather than misattributed. A non-nil error is an *OpenError
+// wrapping ErrCircuitOpen.
+func (b *Breaker) Allow() (record func(success bool), err error) {
 	if b.cfg.Disabled {
-		return nil
+		return func(bool) {}, nil
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
-	case BreakerClosed:
-		return nil
 	case BreakerOpen:
 		wait := b.cfg.Cooldown - b.cfg.now().Sub(b.openedAt)
 		if wait > 0 {
-			return &OpenError{State: BreakerOpen, RetryIn: wait}
+			return nil, &OpenError{State: BreakerOpen, RetryIn: wait}
 		}
 		// Cooldown served: transition to half-open and admit this request
 		// as the first probe.
-		b.state = BreakerHalfOpen
-		b.successes = 0
+		b.transitionLocked(BreakerHalfOpen)
 		b.probes = 1
-		return nil
 	case BreakerHalfOpen:
 		if b.probes >= b.cfg.ProbeBudget {
-			return &OpenError{State: BreakerHalfOpen, RetryIn: 0}
+			return nil, &OpenError{State: BreakerHalfOpen, RetryIn: 0}
 		}
 		b.probes++
-		return nil
+	case BreakerClosed:
+		// Pass-through; failures accumulate via the record below.
 	}
-	return nil
+	gen := b.gen
+	return func(success bool) { b.record(gen, success) }, nil
 }
 
-// Record reports the outcome of a request admitted by Allow.
-func (b *Breaker) Record(success bool) {
-	if b.cfg.Disabled {
-		return
-	}
+// record applies an admitted request's outcome, provided the breaker is
+// still in the generation that admitted it.
+func (b *Breaker) record(gen uint64, success bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if gen != b.gen {
+		// Stale generation: the window this probe was charged against is
+		// gone (the breaker opened, reopened, or closed since). Its outcome
+		// must neither refund the current window's probe budget nor count
+		// toward its thresholds.
+		return
+	}
 	switch b.state {
 	case BreakerClosed:
 		if success {
@@ -164,27 +188,24 @@ func (b *Breaker) Record(success bool) {
 		}
 		b.failures++
 		if b.failures >= b.cfg.FailureThreshold {
-			b.state = BreakerOpen
+			b.transitionLocked(BreakerOpen)
 			b.openedAt = b.cfg.now()
 		}
 	case BreakerHalfOpen:
-		if b.probes > 0 {
-			b.probes--
-		}
+		b.probes--
 		if !success {
 			// One failed probe is proof enough: reopen and restart the
 			// cooldown clock.
-			b.state = BreakerOpen
+			b.transitionLocked(BreakerOpen)
 			b.openedAt = b.cfg.now()
 			return
 		}
 		b.successes++
 		if b.successes >= b.cfg.SuccessThreshold {
-			b.state = BreakerClosed
-			b.failures = 0
+			b.transitionLocked(BreakerClosed)
 		}
 	case BreakerOpen:
-		// A straggler from before the breaker opened; its outcome carries no
-		// new information.
+		// Unreachable: entering Open bumps the generation, so any record
+		// from before the transition was already discarded above.
 	}
 }

@@ -35,6 +35,17 @@ func testBreaker(clk *fakeClock) *Breaker {
 	})
 }
 
+// allowRecord admits one request and immediately records its outcome — the
+// common no-concurrency pattern throughout these tests.
+func allowRecord(t *testing.T, b *Breaker, success bool) {
+	t.Helper()
+	record, err := b.Allow()
+	if err != nil {
+		t.Fatalf("Allow = %v", err)
+	}
+	record(success)
+}
+
 // TestBreakerTransitions walks the full state machine under a scripted
 // fault schedule: closed → open on the failure run, fast-fail while open,
 // half-open after cooldown with a bounded probe budget, reopen on a failed
@@ -48,25 +59,19 @@ func TestBreakerTransitions(t *testing.T) {
 	}
 	// Interleaved success resets the consecutive-failure count.
 	for _, ok := range []bool{false, false, true, false, false} {
-		if err := b.Allow(); err != nil {
-			t.Fatalf("closed Allow = %v", err)
-		}
-		b.Record(ok)
+		allowRecord(t, b, ok)
 	}
 	if b.State() != BreakerClosed {
 		t.Fatalf("state after interrupted failure run = %v, want closed", b.State())
 	}
 	// The third consecutive failure opens it.
-	if err := b.Allow(); err != nil {
-		t.Fatal(err)
-	}
-	b.Record(false)
+	allowRecord(t, b, false)
 	if b.State() != BreakerOpen {
 		t.Fatalf("state after failure threshold = %v, want open", b.State())
 	}
 
 	// Open: rejects with the cooldown remainder.
-	err := b.Allow()
+	_, err := b.Allow()
 	if !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("open Allow = %v, want ErrCircuitOpen", err)
 	}
@@ -77,25 +82,27 @@ func TestBreakerTransitions(t *testing.T) {
 
 	// Cooldown served: half-open admits ProbeBudget probes, rejects beyond.
 	clk.advance(time.Second + time.Millisecond)
-	if err := b.Allow(); err != nil {
+	rec1, err := b.Allow()
+	if err != nil {
 		t.Fatalf("first probe refused: %v", err)
 	}
 	if b.State() != BreakerHalfOpen {
 		t.Fatalf("state after cooldown = %v, want half-open", b.State())
 	}
-	if err := b.Allow(); err != nil {
+	rec2, err := b.Allow()
+	if err != nil {
 		t.Fatalf("second probe refused: %v", err)
 	}
-	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+	if _, err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("probe beyond budget = %v, want ErrCircuitOpen", err)
 	}
 
 	// A failed probe reopens immediately and restarts the cooldown.
-	b.Record(false)
+	rec1(false)
 	if b.State() != BreakerOpen {
 		t.Fatalf("state after failed probe = %v, want open", b.State())
 	}
-	b.Record(true) // straggler from the pre-open era: ignored
+	rec2(true) // straggler from the fenced-off half-open window: ignored
 	if b.State() != BreakerOpen {
 		t.Fatalf("straggler success changed state to %v", b.State())
 	}
@@ -103,31 +110,116 @@ func TestBreakerTransitions(t *testing.T) {
 	// Recover: cooldown, then SuccessThreshold successful probes close it.
 	clk.advance(time.Second + time.Millisecond)
 	for i := 0; i < 2; i++ {
-		if err := b.Allow(); err != nil {
-			t.Fatalf("recovery probe %d refused: %v", i, err)
-		}
-		b.Record(true)
+		allowRecord(t, b, true)
 	}
 	if b.State() != BreakerClosed {
 		t.Fatalf("state after successful probes = %v, want closed", b.State())
 	}
 	// And the failure count restarted: one failure does not re-open.
-	if err := b.Allow(); err != nil {
-		t.Fatal(err)
-	}
-	b.Record(false)
+	allowRecord(t, b, false)
 	if b.State() != BreakerClosed {
 		t.Fatalf("single post-recovery failure opened the breaker")
+	}
+}
+
+// TestBreakerHalfOpenProbeBudgetRace is the regression test for the stale-
+// generation bug: a probe admitted in one half-open window that records
+// after the breaker has reopened and re-entered half-open must not refund
+// the new window's probe budget, nor count toward its success threshold —
+// and a success that does close the breaker must leave it fully reset.
+func TestBreakerHalfOpenProbeBudgetRace(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 1,
+		Cooldown:         time.Second,
+		ProbeBudget:      2,
+		SuccessThreshold: 2,
+		now:              clk.now,
+	})
+
+	// Open the breaker, serve the cooldown, and exhaust the probe budget
+	// with two slow in-flight probes A and B.
+	allowRecord(t, b, false)
+	clk.advance(time.Second + time.Millisecond)
+	recA, err := b.Allow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recB, err := b.Allow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("third probe admitted past the budget: %v", err)
+	}
+
+	// A fails: reopen. B is now a zombie of the dead half-open window.
+	recA(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v", b.State())
+	}
+
+	// Next cooldown: a fresh half-open window admits probe C.
+	clk.advance(time.Second + time.Millisecond)
+	recC, err := b.Allow()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The zombie B records a success. Before the generation fence this
+	// decremented the live window's in-flight count (letting budget+1 probes
+	// fly) and banked a phantom success toward SuccessThreshold.
+	recB(true)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("stale success moved state to %v", b.State())
+	}
+	// Budget still accounts C as in flight: exactly one more slot, not two.
+	recD, err := b.Allow()
+	if err != nil {
+		t.Fatalf("second slot of the new window refused: %v", err)
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("stale record refunded the probe budget: third concurrent probe admitted")
+	}
+
+	// And the phantom success must not have banked: C's single success may
+	// not close a SuccessThreshold=2 breaker on its own.
+	recC(true)
+	if b.State() != BreakerClosed {
+		// still half-open, one success short — correct
+	} else {
+		t.Fatal("stale success counted toward the new window's close threshold")
+	}
+
+	// D's success is the legitimate second: now it closes, fully reset.
+	recD(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after two live successes = %v, want closed", b.State())
+	}
+
+	// Fully reset means: the next failure run needs the full threshold
+	// again, and a fresh open → half-open cycle gets its whole probe budget.
+	allowRecord(t, b, false) // FailureThreshold=1 → open
+	if b.State() != BreakerOpen {
+		t.Fatalf("post-close failure did not open: %v", b.State())
+	}
+	clk.advance(time.Second + time.Millisecond)
+	if _, err := b.Allow(); err != nil {
+		t.Fatalf("fresh window probe 1: %v", err)
+	}
+	if _, err := b.Allow(); err != nil {
+		t.Fatalf("fresh window probe 2: probe budget not reset on close: %v", err)
 	}
 }
 
 func TestBreakerDisabled(t *testing.T) {
 	b := NewBreaker(BreakerConfig{Disabled: true, FailureThreshold: 1})
 	for i := 0; i < 10; i++ {
-		if err := b.Allow(); err != nil {
+		record, err := b.Allow()
+		if err != nil {
 			t.Fatalf("disabled breaker rejected: %v", err)
 		}
-		b.Record(false)
+		record(false)
 	}
 	if b.State() != BreakerClosed {
 		t.Fatalf("disabled breaker state = %v", b.State())

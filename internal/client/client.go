@@ -254,7 +254,8 @@ func (c *Client) retryDelay(err error, retry int) time.Duration {
 // attempt performs one request under the breaker and the per-attempt
 // deadline.
 func (c *Client) attempt(ctx context.Context, method, path string, body []byte, header http.Header, out any) (int, error) {
-	if err := c.br.Allow(); err != nil {
+	record, err := c.br.Allow()
+	if err != nil {
 		return 0, err
 	}
 	actx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
@@ -265,7 +266,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	}
 	req, err := http.NewRequestWithContext(actx, method, c.cfg.BaseURL+path, rd)
 	if err != nil {
-		c.br.Record(true) // config error, not transport health
+		record(true) // config error, not transport health
 		return 0, err
 	}
 	if body != nil {
@@ -278,19 +279,19 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
-		c.br.Record(false)
+		record(false)
 		return 0, fmt.Errorf("client: %w", err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		c.br.Record(false)
+		record(false)
 		return 0, fmt.Errorf("client: reading response: %w", err)
 	}
 	// The wire worked: only 5xx counts against the breaker. 429 means the
 	// server is alive and shedding deliberately — pacing is Retry-After's
 	// job, not the breaker's.
-	c.br.Record(resp.StatusCode < 500)
+	record(resp.StatusCode < 500)
 
 	if resp.StatusCode >= 300 {
 		return resp.StatusCode, &StatusError{

@@ -7,6 +7,8 @@ package cmdutil
 import (
 	"fmt"
 	"net"
+	"net/url"
+	"os"
 	"strings"
 	"time"
 )
@@ -50,6 +52,59 @@ func CheckAddr(flagName, addr string) error {
 	}
 	if _, _, err := net.SplitHostPort(addr); err != nil {
 		return fmt.Errorf("-%s: %q is not host:port: %v", flagName, addr, err)
+	}
+	return nil
+}
+
+// CheckBaseURL validates an http(s) base-URL flag eagerly. url.Parse alone
+// is too lenient — it accepts almost any string — so a worker pointed at a
+// garbage coordinator URL would otherwise retry forever instead of failing
+// at startup.
+func CheckBaseURL(flagName, raw string) error {
+	if raw == "" {
+		return fmt.Errorf("-%s must not be empty", flagName)
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return fmt.Errorf("-%s: %q: %v", flagName, raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return fmt.Errorf("-%s: %q must be an http:// or https:// URL", flagName, raw)
+	}
+	if u.Host == "" {
+		return fmt.Errorf("-%s: %q has no host", flagName, raw)
+	}
+	return nil
+}
+
+// CheckPort validates a TCP/UDP port number flag. zeroOK admits 0 for flags
+// where it means "disabled" (health endpoints) or "kernel-assigned".
+func CheckPort(flagName string, port int, zeroOK bool) error {
+	if port == 0 && zeroOK {
+		return nil
+	}
+	if port < 1 || port > 65535 {
+		if zeroOK {
+			return fmt.Errorf("-%s must be 0 or within [1, 65535], got %d", flagName, port)
+		}
+		return fmt.Errorf("-%s must be within [1, 65535], got %d", flagName, port)
+	}
+	return nil
+}
+
+// CheckExistingDir validates that a path flag names an existing directory —
+// eagerly, so a worker pointed at a missing scratch dir fails at startup
+// instead of on its first checkpoint write mid-shard.
+func CheckExistingDir(flagName, path string) error {
+	if path == "" {
+		return fmt.Errorf("-%s must not be empty", flagName)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("-%s: %v", flagName, err)
+	}
+	if !info.IsDir() {
+		return fmt.Errorf("-%s: %q is not a directory", flagName, path)
 	}
 	return nil
 }

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"tecfan/internal/checkpoint"
+	"tecfan/internal/pool"
 )
 
 // Config tunes the daemon. Zero values take the documented defaults.
@@ -68,6 +69,15 @@ type Config struct {
 	// IdemMaxEntries caps the durable idempotency table (default 4096,
 	// evicting oldest-first beyond it).
 	IdemMaxEntries int
+	// PoolEnabled switches execution from in-process to the worker pool: the
+	// daemon becomes a coordinator that shards jobs, leases the shards to
+	// tecfan-worker processes under fencing tokens, and merges their results.
+	PoolEnabled bool
+	// PoolLeaseTTL is how long a worker's shard lease survives without a
+	// heartbeat before it is fenced and reassigned (default 10 s).
+	PoolLeaseTTL time.Duration
+	// PoolChunk is how many sweep rows ride in one shard (default 2).
+	PoolChunk int
 	// Logf receives operational log lines (default log.Printf).
 	Logf func(format string, args ...any)
 
@@ -113,6 +123,12 @@ func (c *Config) fillDefaults() error {
 	if c.IdemMaxEntries <= 0 {
 		c.IdemMaxEntries = checkpoint.DefaultIdemMaxEntries
 	}
+	if c.PoolLeaseTTL <= 0 {
+		c.PoolLeaseTTL = pool.DefaultLeaseTTL
+	}
+	if c.PoolChunk <= 0 {
+		c.PoolChunk = pool.DefaultChunk
+	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
@@ -150,6 +166,12 @@ const (
 	KindTrace JobKind = "trace"
 	// KindChaos runs a chaos sweep, checkpointing per finished row.
 	KindChaos JobKind = "chaos"
+	// KindTable1 reproduces the Table I base-scenario rows, checkpointing per
+	// finished row.
+	KindTable1 JobKind = "table1"
+	// KindFig4 reproduces the §V-B comparison over the Table I benchmarks,
+	// checkpointing per finished case.
+	KindFig4 JobKind = "fig4"
 )
 
 // JobSpec is the client-facing description of a job. The same spec always
@@ -235,6 +257,10 @@ type Server struct {
 
 	admit *tokenBucket
 
+	// pool is the worker-pool coordinator; nil when PoolEnabled is false
+	// (execution stays in-process).
+	pool *pool.Coordinator
+
 	// beats records the last liveness signal per running job for the
 	// watchdog; attemptCancel the per-attempt cancel it may fire.
 	beats         map[string]time.Time
@@ -269,6 +295,13 @@ func New(cfg Config) (*Server, error) {
 		attemptCancel: map[string]context.CancelFunc{},
 		rootCtx:       ctx,
 		rootStop:      stop,
+	}
+	if cfg.PoolEnabled {
+		s.pool = pool.New(pool.Config{
+			LeaseTTL: cfg.PoolLeaseTTL,
+			Logf:     cfg.Logf,
+			Now:      cfg.now,
+		})
 	}
 	if err := s.recover(); err != nil {
 		stop()
@@ -376,7 +409,7 @@ func (s *Server) submit(spec JobSpec, requestID string) (string, error) {
 	s.mu.Unlock()
 	// Persist the bare spec immediately: a crash before the first checkpoint
 	// must still resume (restart) the job, not forget it.
-	if err := s.persistJob(spec, 0, nil, nil); err != nil {
+	if err := s.persistJob(&persistedJob{Spec: spec}); err != nil {
 		s.cfg.Logf("daemon: persisting spec for %s: %v", spec.ID, err)
 	}
 	return spec.ID, nil
@@ -412,14 +445,16 @@ func validateSpec(spec *JobSpec) error {
 	}
 	switch spec.Kind {
 	case KindTrace, KindChaos:
+		if spec.Bench == "" {
+			return fmt.Errorf("daemon: bench is required")
+		}
+		if spec.Threads <= 0 {
+			return fmt.Errorf("daemon: threads must be positive")
+		}
+	case KindTable1, KindFig4:
+		// Whole-table sweeps over the fixed Table I set: no bench selection.
 	default:
 		return fmt.Errorf("daemon: unknown job kind %q", spec.Kind)
-	}
-	if spec.Bench == "" {
-		return fmt.Errorf("daemon: bench is required")
-	}
-	if spec.Threads <= 0 {
-		return fmt.Errorf("daemon: threads must be positive")
 	}
 	if spec.Scale < 0 {
 		return fmt.Errorf("daemon: scale must be non-negative")
@@ -713,6 +748,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	if s.pool != nil {
+		mux.HandleFunc("POST /pool/claim", s.handlePoolClaim)
+		mux.HandleFunc("POST /pool/heartbeat", s.handlePoolHeartbeat)
+		mux.HandleFunc("POST /pool/checkpoint", s.handlePoolCheckpoint)
+		mux.HandleFunc("POST /pool/complete", s.handlePoolComplete)
+		mux.HandleFunc("GET /pool/stats", s.handlePoolStats)
+	}
 	var h http.Handler = mux
 	if s.cfg.RequestTimeout > 0 {
 		h = withRequestTimeout(h, s.cfg.RequestTimeout)
@@ -722,7 +764,8 @@ func (s *Server) Handler() http.Handler {
 
 // isSpecOnly reports whether a persisted record carries no progress yet.
 func isSpecOnly(rec *persistedJob) bool {
-	return rec.Snap == nil && len(rec.Rows) == 0 && rec.Threshold == 0
+	return rec.Snap == nil && len(rec.Rows) == 0 && rec.Threshold == 0 &&
+		len(rec.T1Rows) == 0 && len(rec.F4Cases) == 0 && rec.Pool == nil
 }
 
 // recover scans StateDir on startup: jobs with results load as done; jobs

@@ -44,6 +44,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if err := s.stateDirWritable(); err != nil {
 		reasons = append(reasons, "state dir unwritable: "+err.Error())
 	}
+	if s.pool != nil && s.pool.LiveWorkers() == 0 {
+		// Pool mode executes nothing in-process: with no worker polling,
+		// accepted jobs would only sit in the lease table.
+		reasons = append(reasons, "no live workers")
+	}
 	if len(reasons) > 0 {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"status": "unready", "reasons": reasons,

@@ -13,6 +13,7 @@ import (
 	"tecfan/internal/exp"
 	"tecfan/internal/fault"
 	"tecfan/internal/perf"
+	"tecfan/internal/pool"
 	"tecfan/internal/sim"
 	"tecfan/internal/workload"
 )
@@ -28,15 +29,21 @@ type persistedJob struct {
 	Threshold float64
 	Snap      *sim.Snapshot
 	Rows      []exp.ChaosRow
+	// Table1/Fig4 row-level progress.
+	T1Rows  []exp.Table1Row
+	F4Cases []exp.Fig4Case
+	// Pool is the lease/fencing/result state when the job runs on the worker
+	// pool: persisted before every grant and completion ack, so a restarted
+	// coordinator can never regrant a token a worker already holds.
+	Pool *pool.PersistedState
 }
 
-func (s *Server) persistJob(spec JobSpec, threshold float64, snap *sim.Snapshot, rows []exp.ChaosRow) error {
+func (s *Server) persistJob(rec *persistedJob) error {
 	var buf bytes.Buffer
-	rec := persistedJob{Spec: spec, Threshold: threshold, Snap: snap, Rows: rows}
-	if err := gob.NewEncoder(&buf).Encode(&rec); err != nil {
-		return fmt.Errorf("daemon: encoding job %s: %w", spec.ID, err)
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return fmt.Errorf("daemon: encoding job %s: %w", rec.Spec.ID, err)
 	}
-	return checkpoint.WriteFile(s.ckptPath(spec.ID), buf.Bytes())
+	return checkpoint.WriteFile(s.ckptPath(rec.Spec.ID), buf.Bytes())
 }
 
 func (s *Server) loadJob(id string) (*persistedJob, error) {
@@ -74,11 +81,18 @@ func (s *Server) runAttempt(ctx context.Context, id string, spec JobSpec) (err e
 		// checkpoint: start from the spec we hold in memory.
 		rec = &persistedJob{Spec: spec}
 	}
+	if s.pool != nil {
+		return s.runPooled(ctx, id, spec, rec)
+	}
 	switch spec.Kind {
 	case KindTrace:
 		return s.runTrace(ctx, id, spec, rec)
 	case KindChaos:
 		return s.runChaos(ctx, id, spec, rec)
+	case KindTable1:
+		return s.runTable1(ctx, id, spec, rec)
+	case KindFig4:
+		return s.runFig4(ctx, id, spec, rec)
 	default:
 		return fmt.Errorf("daemon: job %s: unknown kind %q", id, spec.Kind)
 	}
@@ -129,7 +143,7 @@ func (s *Server) runTrace(ctx context.Context, id string, spec JobSpec, rec *per
 		}
 		threshold = base.Metrics.PeakTemp
 	}
-	if err := s.persistJob(spec, threshold, rec.Snap, nil); err != nil {
+	if err := s.persistJob(&persistedJob{Spec: spec, Threshold: threshold, Snap: rec.Snap}); err != nil {
 		return err
 	}
 
@@ -138,7 +152,7 @@ func (s *Server) runTrace(ctx context.Context, id string, spec JobSpec, rec *per
 	cfg.CheckpointEvery = s.cfg.CheckpointEvery
 	cfg.OnCheckpoint = func(snap *sim.Snapshot) error {
 		s.heartbeat(id)
-		return s.persistJob(spec, threshold, snap, nil)
+		return s.persistJob(&persistedJob{Spec: spec, Threshold: threshold, Snap: snap})
 	}
 	ctl := env.Controllers()[spec.Policy]
 	if ctl == nil {
@@ -176,7 +190,7 @@ func (s *Server) runChaos(ctx context.Context, id string, spec JobSpec, rec *per
 		OnRow: func(row exp.ChaosRow) {
 			s.heartbeat(id)
 			rows = appendRow(rows, row)
-			if err := s.persistJob(spec, 0, nil, rows); err != nil {
+			if err := s.persistJob(&persistedJob{Spec: spec, Rows: rows}); err != nil {
 				s.cfg.Logf("daemon: job %s: persisting row %s/%s: %v", id, row.Scenario, row.Policy, err)
 			}
 		},
@@ -190,6 +204,61 @@ func (s *Server) runChaos(ctx context.Context, id string, spec JobSpec, rec *per
 	return s.writeResult(id, res)
 }
 
+// table1Result / fig4Result are the durable results of the whole-table jobs.
+type table1Result struct {
+	Spec JobSpec         `json:"spec"`
+	Rows []exp.Table1Row `json:"rows"`
+}
+
+type fig4Result struct {
+	Spec  JobSpec        `json:"spec"`
+	Cases []exp.Fig4Case `json:"cases"`
+}
+
+func (s *Server) runTable1(ctx context.Context, id string, spec JobSpec, rec *persistedJob) error {
+	env := exp.NewEnv()
+	if spec.Scale > 0 {
+		env.Scale = spec.Scale
+	}
+	rows := append([]exp.Table1Row(nil), rec.T1Rows...)
+	all, err := env.Table1Opt(ctx, exp.Table1Options{
+		Done: rec.T1Rows,
+		OnRow: func(row exp.Table1Row) {
+			s.heartbeat(id)
+			rows = appendT1Row(rows, row)
+			if err := s.persistJob(&persistedJob{Spec: spec, T1Rows: rows}); err != nil {
+				s.cfg.Logf("daemon: job %s: persisting row %s-%d: %v", id, row.Workload, row.Threads, err)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	return s.writeResult(id, table1Result{Spec: spec, Rows: all})
+}
+
+func (s *Server) runFig4(ctx context.Context, id string, spec JobSpec, rec *persistedJob) error {
+	env := exp.NewEnv()
+	if spec.Scale > 0 {
+		env.Scale = spec.Scale
+	}
+	cases := append([]exp.Fig4Case(nil), rec.F4Cases...)
+	all, err := env.Fig4Opt(ctx, exp.Fig4Options{
+		Done: rec.F4Cases,
+		OnRow: func(c exp.Fig4Case) {
+			s.heartbeat(id)
+			cases = appendF4Case(cases, c)
+			if err := s.persistJob(&persistedJob{Spec: spec, F4Cases: cases}); err != nil {
+				s.cfg.Logf("daemon: job %s: persisting case %s-%d: %v", id, c.Bench, c.Threads, err)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	return s.writeResult(id, fig4Result{Spec: spec, Cases: all})
+}
+
 // appendRow adds a row, replacing any earlier row for the same cell — OnRow
 // replays Done rows, and a row must not appear twice in the checkpoint.
 func appendRow(rows []exp.ChaosRow, row exp.ChaosRow) []exp.ChaosRow {
@@ -200,6 +269,28 @@ func appendRow(rows []exp.ChaosRow, row exp.ChaosRow) []exp.ChaosRow {
 		}
 	}
 	return append(rows, row)
+}
+
+// appendT1Row / appendF4Case are appendRow for the whole-table sweeps, keyed
+// the same way their Done replay matches.
+func appendT1Row(rows []exp.Table1Row, row exp.Table1Row) []exp.Table1Row {
+	for i := range rows {
+		if rows[i].Workload == row.Workload && rows[i].Threads == row.Threads {
+			rows[i] = row
+			return rows
+		}
+	}
+	return append(rows, row)
+}
+
+func appendF4Case(cases []exp.Fig4Case, c exp.Fig4Case) []exp.Fig4Case {
+	for i := range cases {
+		if cases[i].Bench == c.Bench && cases[i].Threads == c.Threads {
+			cases[i] = c
+			return cases
+		}
+	}
+	return append(cases, c)
 }
 
 // writeResult durably persists the job's result as JSON: temp file, fsync,

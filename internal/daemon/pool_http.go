@@ -1,0 +1,118 @@
+package daemon
+
+import (
+	"errors"
+	"io"
+	"net/http"
+
+	"tecfan/internal/pool"
+)
+
+// Pool protocol endpoints (mounted only when PoolEnabled). Status mapping:
+// a stale fencing token answers 410 Gone and a dropped job 404 — both 4xx,
+// so the hardened client surfaces them to the worker after one attempt
+// instead of retrying a verdict that will never change.
+
+// readPoolBody slurps a pool request body under the pool's own blob bound
+// (checkpoint uploads legitimately exceed the submit endpoint's 1 MiB cap).
+func readPoolBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, pool.MaxBlobBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return nil, false
+	}
+	return data, true
+}
+
+// writePoolError maps the coordinator's sentinels onto statuses.
+func writePoolError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, pool.ErrFenced):
+		writeError(w, http.StatusGone, err.Error())
+	case errors.Is(err, pool.ErrShardGone):
+		writeError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, pool.ErrWireSyntax), errors.Is(err, pool.ErrWireField),
+		errors.Is(err, pool.ErrWireTooLarge):
+		writeError(w, http.StatusBadRequest, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (s *Server) handlePoolClaim(w http.ResponseWriter, r *http.Request) {
+	data, ok := readPoolBody(w, r)
+	if !ok {
+		return
+	}
+	cr, err := pool.DecodeClaimRequest(data)
+	if err != nil {
+		writePoolError(w, err)
+		return
+	}
+	grant, err := s.pool.Claim(cr.Worker)
+	if err != nil {
+		writePoolError(w, err)
+		return
+	}
+	if grant == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, grant)
+}
+
+func (s *Server) handlePoolHeartbeat(w http.ResponseWriter, r *http.Request) {
+	data, ok := readPoolBody(w, r)
+	if !ok {
+		return
+	}
+	hb, err := pool.DecodeHeartbeat(data)
+	if err != nil {
+		writePoolError(w, err)
+		return
+	}
+	resp, err := s.pool.Heartbeat(hb)
+	if err != nil {
+		writePoolError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePoolCheckpoint(w http.ResponseWriter, r *http.Request) {
+	data, ok := readPoolBody(w, r)
+	if !ok {
+		return
+	}
+	up, err := pool.DecodeCheckpointUpload(data)
+	if err != nil {
+		writePoolError(w, err)
+		return
+	}
+	if err := s.pool.UploadCheckpoint(up); err != nil {
+		writePoolError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handlePoolComplete(w http.ResponseWriter, r *http.Request) {
+	data, ok := readPoolBody(w, r)
+	if !ok {
+		return
+	}
+	cr, err := pool.DecodeComplete(data)
+	if err != nil {
+		writePoolError(w, err)
+		return
+	}
+	if err := s.pool.Complete(cr); err != nil {
+		writePoolError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handlePoolStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.pool.Stats())
+}

@@ -1,0 +1,114 @@
+package daemon
+
+import (
+	"context"
+	"fmt"
+
+	"tecfan/internal/exp"
+	"tecfan/internal/pool"
+)
+
+// runPooled executes a job through the worker pool: plan the shards, hand
+// them to the coordinator for leasing, wait for every shard to complete
+// (workers drive all progress through the /pool endpoints), then merge the
+// shard payloads into the same result shape the in-process path writes —
+// the pool_drill byte-compares the two.
+func (s *Server) runPooled(ctx context.Context, id string, spec JobSpec, rec *persistedJob) error {
+	shards, err := pool.Plan(pool.SweepSpec{
+		Kind:            string(spec.Kind),
+		Bench:           spec.Bench,
+		Threads:         spec.Threads,
+		Scale:           spec.Scale,
+		Seed:            spec.Seed,
+		Policy:          spec.Policy,
+		FanLevel:        spec.FanLevel,
+		Threshold:       spec.Threshold,
+		Scenario:        spec.Scenario,
+		Policies:        spec.Policies,
+		Scenarios:       spec.Scenarios,
+		CheckpointEvery: s.cfg.CheckpointEvery,
+		Chunk:           s.cfg.PoolChunk,
+	})
+	if err != nil {
+		return err
+	}
+	done, err := s.pool.AddJob(id, shards, rec.Pool, pool.JobHooks{
+		Persist: func(st *pool.PersistedState) error {
+			return s.persistJob(&persistedJob{Spec: spec, Pool: st})
+		},
+		OnEvent: func(event, shardID string) {
+			// Worker progress is job liveness: without this, a long shard on
+			// a healthy worker would trip the coordinator-side watchdog.
+			s.heartbeat(id)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer s.pool.DropJob(id)
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	payloads, ok := s.pool.Results(id)
+	if !ok {
+		// done closed without results: the job was dropped underneath us.
+		return fmt.Errorf("daemon: job %s: pool job dropped before completion", id)
+	}
+	return s.mergePooled(id, spec, payloads)
+}
+
+// mergePooled concatenates shard result payloads (already in plan order,
+// which the planner guarantees equals single-process emission order) into
+// the job's result file.
+func (s *Server) mergePooled(id string, spec JobSpec, payloads [][]byte) error {
+	switch spec.Kind {
+	case KindTrace:
+		var sr pool.TraceShardResult
+		if err := pool.DecodePayload(payloads[0], &sr); err != nil {
+			return fmt.Errorf("daemon: job %s: %w", id, err)
+		}
+		return s.writeResult(id, traceResult{
+			Spec: spec, Threshold: sr.Threshold, Completed: sr.Completed,
+			Metrics: sr.Metrics, FinalTemps: sr.FinalTemps, Trace: sr.Trace,
+		})
+	case KindChaos:
+		out := &exp.ChaosResult{Bench: spec.Bench, Threads: spec.Threads, Seed: spec.Seed}
+		for i, p := range payloads {
+			var sr pool.ChaosShardResult
+			if err := pool.DecodePayload(p, &sr); err != nil {
+				return fmt.Errorf("daemon: job %s shard %d: %w", id, i, err)
+			}
+			// Every shard re-derives the same deterministic threshold; take
+			// the first.
+			if i == 0 {
+				out.Threshold = sr.Threshold
+			}
+			out.Rows = append(out.Rows, sr.Rows...)
+		}
+		return s.writeResult(id, out)
+	case KindTable1:
+		res := table1Result{Spec: spec}
+		for i, p := range payloads {
+			var sr pool.Table1ShardResult
+			if err := pool.DecodePayload(p, &sr); err != nil {
+				return fmt.Errorf("daemon: job %s shard %d: %w", id, i, err)
+			}
+			res.Rows = append(res.Rows, sr.Rows...)
+		}
+		return s.writeResult(id, res)
+	case KindFig4:
+		res := fig4Result{Spec: spec}
+		for i, p := range payloads {
+			var sr pool.Fig4ShardResult
+			if err := pool.DecodePayload(p, &sr); err != nil {
+				return fmt.Errorf("daemon: job %s shard %d: %w", id, i, err)
+			}
+			res.Cases = append(res.Cases, sr.Cases...)
+		}
+		return s.writeResult(id, res)
+	default:
+		return fmt.Errorf("daemon: job %s: unknown kind %q", id, spec.Kind)
+	}
+}

@@ -19,6 +19,13 @@ import (
 // any transient at all.
 const ChaosAbsSlack = 0.02
 
+// DefaultChaosPolicies is the policy set a sweep uses when
+// ChaosOptions.Policies is empty. Exported so the pool shard planner splits
+// the exact sweep the single-process path would run.
+func DefaultChaosPolicies() []string {
+	return []string{"TECfan", "TECfan-FT"}
+}
+
 // ChaosOptions parameterizes a chaos sweep.
 type ChaosOptions struct {
 	Bench   string
@@ -125,7 +132,7 @@ func (e *Env) ChaosContext(ctx context.Context, opt ChaosOptions) (*ChaosResult,
 	sb := e.scaled(b)
 	policies := opt.Policies
 	if len(policies) == 0 {
-		policies = []string{"TECfan", "TECfan-FT"}
+		policies = DefaultChaosPolicies()
 	}
 	known := e.Controllers()
 	for _, p := range policies {
@@ -210,14 +217,16 @@ func (e *Env) ChaosContext(ctx context.Context, opt ChaosOptions) (*ChaosResult,
 			row.BaseViolation = cleanRes.Metrics.ViolationRatio
 			row.BaseEPI = cleanRes.Metrics.EPI
 			row.Accepted, row.Reason = chaosAccept(row)
-			emit(row)
 			if row.Err != "" && ctx.Err() != nil {
 				// The row failed because the sweep was canceled, not because
 				// the scenario misbehaved: stop instead of cascading spurious
-				// failure rows, and drop the poisoned row.
-				out.Rows = out.Rows[:len(out.Rows)-1]
+				// failure rows, and drop the poisoned row — before emit, so
+				// OnRow never checkpoints a row the result disowns (a
+				// persisted poisoned row would be replayed verbatim into the
+				// resumed sweep's output).
 				return out, fmt.Errorf("chaos %s/%s: %w", sc.Name, name, ctx.Err())
 			}
+			emit(row)
 		}
 	}
 	return out, nil

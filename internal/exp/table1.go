@@ -25,6 +25,17 @@ type Table1Row struct {
 	PaperPeakT  float64
 }
 
+// Table1Options narrows and instruments a Table I reproduction for sharded
+// execution: Indices selects a subset of rows (nil = all, in table order),
+// Done replays rows already computed (matched by workload + threads), and
+// OnRow observes every emitted row — the same resume seams ChaosOptions
+// gives chaos sweeps.
+type Table1Options struct {
+	Indices []int
+	Done    []Table1Row
+	OnRow   func(Table1Row)
+}
+
 // Table1 reproduces the base scenario for all eight Table I rows.
 func (e *Env) Table1() ([]Table1Row, error) { return e.Table1Context(context.Background()) }
 
@@ -32,14 +43,45 @@ func (e *Env) Table1() ([]Table1Row, error) { return e.Table1Context(context.Bac
 // cancellation — the rows completed so far return alongside it, so a caller
 // can still render or persist the partial table.
 func (e *Env) Table1Context(ctx context.Context) ([]Table1Row, error) {
+	return e.Table1Opt(ctx, Table1Options{})
+}
+
+// Table1Opt is Table1Context with sharding and resume options.
+func (e *Env) Table1Opt(ctx context.Context, opt Table1Options) ([]Table1Row, error) {
+	all := workload.Table1(e.Leak)
+	idx := opt.Indices
+	if idx == nil {
+		idx = make([]int, len(all))
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	done := map[[2]any]Table1Row{}
+	for _, row := range opt.Done {
+		done[[2]any{row.Workload, row.Threads}] = row
+	}
 	var rows []Table1Row
-	for _, b := range workload.Table1(e.Leak) {
+	emit := func(row Table1Row) {
+		rows = append(rows, row)
+		if opt.OnRow != nil {
+			opt.OnRow(row)
+		}
+	}
+	for _, i := range idx {
+		if i < 0 || i >= len(all) {
+			return rows, fmt.Errorf("table1: row index %d out of range [0,%d)", i, len(all))
+		}
+		b := all[i]
+		if row, ok := done[[2]any{b.Name, b.Threads}]; ok {
+			emit(row)
+			continue
+		}
 		sb := e.scaled(b)
 		res, err := e.BaseScenarioContext(ctx, sb)
 		if err != nil {
 			return rows, fmt.Errorf("table1 %s-%d: %w", b.Name, b.Threads, err)
 		}
-		rows = append(rows, Table1Row{
+		emit(Table1Row{
 			Workload:  b.Name,
 			Inputfile: b.Input,
 			FFInst:    b.FFInst,

@@ -1,0 +1,505 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Sentinel errors surfaced to the HTTP layer (and through it to workers).
+var (
+	// ErrFenced rejects a write carrying a stale fencing token: the sender
+	// lost its lease (death, stall, partition) and the shard moved on. The
+	// only correct worker response is to abandon the shard.
+	ErrFenced = errors.New("pool: fenced: stale lease token")
+	// ErrShardGone rejects a write for a shard or job the coordinator no
+	// longer tracks — the job was canceled or dropped.
+	ErrShardGone = errors.New("pool: shard gone")
+)
+
+// DefaultLeaseTTL is the lease duration when Config.LeaseTTL is zero.
+const DefaultLeaseTTL = 10 * time.Second
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// LeaseTTL is how long a granted lease lives without renewal.
+	LeaseTTL time.Duration
+	// Logf receives coordinator events; nil discards them.
+	Logf func(format string, args ...any)
+	// Now is the clock seam for tests; nil means time.Now.
+	Now func() time.Time
+}
+
+// JobHooks are the per-job callbacks the job owner (the daemon) provides.
+type JobHooks struct {
+	// Persist durably stores the job's pool state. It is called with the
+	// coordinator lock held, BEFORE any grant or completion is acknowledged:
+	// a token a worker has seen is always a token that survives coordinator
+	// restart, which is what makes regranting a live token impossible.
+	Persist func(*PersistedState) error
+	// OnEvent observes job progress ("grant", "checkpoint", "complete") —
+	// the daemon feeds it into the supervisor watchdog so a pooled job with
+	// active workers never reads as stalled.
+	OnEvent func(event, shardID string)
+}
+
+// PersistedState is the durable pool state of one job, embedded by the
+// daemon into the job's checkpoint envelope.
+type PersistedState struct {
+	Shards []PersistedShard
+}
+
+// PersistedShard is one shard's durable state. Lease holder and expiry are
+// deliberately absent: leases are volatile, and after a coordinator restart
+// a live holder re-establishes its lease by heartbeating its still-current
+// token (re-adoption), while a dead one simply never comes back.
+type PersistedShard struct {
+	ID         string
+	Token      uint64
+	Done       bool
+	Checkpoint []byte
+	Result     []byte
+}
+
+// Stats is the coordinator's observable state, served at /pool/stats and
+// polled by the drill to pace its kills.
+type Stats struct {
+	WorkersLive   int   `json:"workers_live"`
+	Jobs          int   `json:"jobs"`
+	ShardsTotal   int   `json:"shards_total"`
+	ShardsDone    int   `json:"shards_done"`
+	Grants        int64 `json:"grants"`
+	Completes     int64 `json:"completes"`
+	FencedRejects int64 `json:"fenced_rejects"`
+	ExpiredLeases int64 `json:"expired_leases"`
+}
+
+type shardState int
+
+const (
+	shardPending shardState = iota
+	shardLeased
+	shardDone
+)
+
+type shard struct {
+	spec       ShardSpec
+	token      uint64
+	state      shardState
+	holder     string
+	expiry     time.Time
+	checkpoint []byte
+	result     []byte
+}
+
+type poolJob struct {
+	id     string
+	shards []*shard // plan order == merge order
+	hooks  JobHooks
+	done   chan struct{}
+}
+
+func (j *poolJob) allDone() bool {
+	for _, sh := range j.shards {
+		if sh.state != shardDone {
+			return false
+		}
+	}
+	return true
+}
+
+func (j *poolJob) persisted() *PersistedState {
+	st := &PersistedState{Shards: make([]PersistedShard, len(j.shards))}
+	for i, sh := range j.shards {
+		st.Shards[i] = PersistedShard{
+			ID: sh.spec.ID, Token: sh.token, Done: sh.state == shardDone,
+			Checkpoint: sh.checkpoint, Result: sh.result,
+		}
+	}
+	return st
+}
+
+// Coordinator owns the lease table: it shards nothing and executes nothing,
+// it only decides who may work on what, under which fencing token, and for
+// how long. All methods are safe for concurrent use.
+type Coordinator struct {
+	cfg Config
+
+	mu       sync.Mutex
+	jobs     map[string]*poolJob
+	jobOrder []string
+	lastSeen map[string]time.Time
+
+	grants, completes, fenced, expired int64
+}
+
+// New creates a Coordinator.
+func New(cfg Config) *Coordinator {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Coordinator{
+		cfg:      cfg,
+		jobs:     map[string]*poolJob{},
+		lastSeen: map[string]time.Time{},
+	}
+}
+
+// AddJob registers a job's shards for distribution. restore, when non-nil,
+// reapplies a previously persisted state (matched by shard ID): done shards
+// stay done, tokens resume from their high-water mark, and checkpoints are
+// handed to the next claimant. The returned channel closes when every shard
+// completes.
+func (c *Coordinator) AddJob(id string, shards []ShardSpec, restore *PersistedState, hooks JobHooks) (<-chan struct{}, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("pool: job %s: empty shard plan", id)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.jobs[id]; ok {
+		return nil, fmt.Errorf("pool: job %s already registered", id)
+	}
+	j := &poolJob{id: id, hooks: hooks, done: make(chan struct{})}
+	prev := map[string]PersistedShard{}
+	if restore != nil {
+		for _, ps := range restore.Shards {
+			prev[ps.ID] = ps
+		}
+	}
+	for _, spec := range shards {
+		sh := &shard{spec: spec}
+		if ps, ok := prev[spec.ID]; ok {
+			sh.token = ps.Token
+			sh.checkpoint = ps.Checkpoint
+			if ps.Done {
+				sh.state = shardDone
+				sh.result = ps.Result
+			}
+		}
+		j.shards = append(j.shards, sh)
+	}
+	c.jobs[id] = j
+	c.jobOrder = append(c.jobOrder, id)
+	if j.allDone() {
+		close(j.done)
+	}
+	return j.done, nil
+}
+
+// DropJob forgets a job. In-flight workers learn on their next call, which
+// answers ErrShardGone, and abandon the shard.
+func (c *Coordinator) DropJob(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return
+	}
+	delete(c.jobs, id)
+	for i, jid := range c.jobOrder {
+		if jid == id {
+			c.jobOrder = append(c.jobOrder[:i], c.jobOrder[i+1:]...)
+			break
+		}
+	}
+	// Unblock any waiter; the caller dropping the job knows it is aborting.
+	select {
+	case <-j.done:
+	default:
+		close(j.done)
+	}
+}
+
+// Results returns the job's shard result payloads in plan order. ok is false
+// until every shard is done.
+func (c *Coordinator) Results(id string) (payloads [][]byte, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, found := c.jobs[id]
+	if !found || !j.allDone() {
+		return nil, false
+	}
+	out := make([][]byte, len(j.shards))
+	for i, sh := range j.shards {
+		out[i] = sh.result
+	}
+	return out, true
+}
+
+// expireLocked fences every lease past its expiry: the shard returns to
+// pending under a bumped token, so any still-running holder's subsequent
+// writes are rejected. Called with c.mu held, lazily from worker-driven
+// entry points — worker polling is the pool's clock, no background sweeper.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for _, id := range c.jobOrder {
+		for _, sh := range c.jobs[id].shards {
+			if sh.state == shardLeased && now.After(sh.expiry) {
+				c.cfg.Logf("pool: lease expired: job %s shard %s holder %s token %d",
+					id, sh.spec.ID, sh.holder, sh.token)
+				sh.state = shardPending
+				sh.holder = ""
+				sh.token++
+				c.expired++
+			}
+		}
+	}
+}
+
+// Claim grants the first pending shard in plan order to worker, bumping and
+// durably persisting its fencing token before the grant is returned. A nil
+// response with nil error means no work is available.
+func (c *Coordinator) Claim(worker string) (*ClaimResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Now()
+	c.lastSeen[worker] = now
+	c.expireLocked(now)
+	for _, id := range c.jobOrder {
+		j := c.jobs[id]
+		for _, sh := range j.shards {
+			if sh.state != shardPending {
+				continue
+			}
+			sh.token++
+			sh.state = shardLeased
+			sh.holder = worker
+			sh.expiry = now.Add(c.cfg.LeaseTTL)
+			if j.hooks.Persist != nil {
+				if err := j.hooks.Persist(j.persisted()); err != nil {
+					// The grant must not be visible without a durable token:
+					// revert the lease (the bumped in-memory token was never
+					// observed, so monotonicity is intact) and refuse.
+					sh.state = shardPending
+					sh.holder = ""
+					return nil, fmt.Errorf("pool: persisting grant of %s/%s: %w", id, sh.spec.ID, err)
+				}
+			}
+			c.grants++
+			c.cfg.Logf("pool: granted job %s shard %s to %s token %d", id, sh.spec.ID, worker, sh.token)
+			if j.hooks.OnEvent != nil {
+				j.hooks.OnEvent("grant", sh.spec.ID)
+			}
+			return &ClaimResponse{
+				JobID: id, Shard: sh.spec, Token: sh.token,
+				LeaseMS:    c.cfg.LeaseTTL.Milliseconds(),
+				Checkpoint: sh.checkpoint,
+			}, nil
+		}
+	}
+	return nil, nil
+}
+
+// lookupLocked resolves a write's shard and applies the fencing rules shared
+// by heartbeat, checkpoint upload, and completion.
+func (c *Coordinator) lookupLocked(kind, workerName, jobID, shardID string, token uint64) (*poolJob, *shard, error) {
+	j, ok := c.jobs[jobID]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: job %s", ErrShardGone, jobID)
+	}
+	for _, sh := range j.shards {
+		if sh.spec.ID != shardID {
+			continue
+		}
+		if token != sh.token {
+			c.fenced++
+			c.cfg.Logf("pool: fenced %s from %s: job %s shard %s token %d (current %d)",
+				kind, workerName, jobID, shardID, token, sh.token)
+			return nil, nil, fmt.Errorf("%w: %s token %d superseded by %d", ErrFenced, shardID, token, sh.token)
+		}
+		return j, sh, nil
+	}
+	return nil, nil, fmt.Errorf("%w: job %s shard %s", ErrShardGone, jobID, shardID)
+}
+
+// Heartbeat renews a lease. Three non-error outcomes share a current token:
+// a live lease renews; a pending shard with no holder — the signature of a
+// coordinator restart with the worker still running — is re-adopted by its
+// holder; a done shard answers OK (the completing worker's trailing beat).
+// An expired lease is fenced on the spot, even before reassignment: the
+// holder must learn it lost the lease at the earliest opportunity.
+func (c *Coordinator) Heartbeat(hb *HeartbeatRequest) (*HeartbeatResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Now()
+	c.lastSeen[hb.Worker] = now
+	j, sh, err := c.lookupLocked("heartbeat", hb.Worker, hb.JobID, hb.ShardID, hb.Token)
+	if err != nil {
+		return nil, err
+	}
+	resp := &HeartbeatResponse{LeaseMS: c.cfg.LeaseTTL.Milliseconds()}
+	switch sh.state {
+	case shardDone:
+		return resp, nil
+	case shardLeased:
+		if sh.holder != hb.Worker {
+			// Unreachable while tokens are unique per grant, but fail safe.
+			c.fenced++
+			return nil, fmt.Errorf("%w: %s held by %s", ErrFenced, hb.ShardID, sh.holder)
+		}
+		if now.After(sh.expiry) {
+			c.cfg.Logf("pool: lease expired: job %s shard %s holder %s token %d",
+				hb.JobID, sh.spec.ID, sh.holder, sh.token)
+			sh.state = shardPending
+			sh.holder = ""
+			sh.token++
+			c.expired++
+			c.fenced++
+			return nil, fmt.Errorf("%w: %s lease expired", ErrFenced, hb.ShardID)
+		}
+		sh.expiry = now.Add(c.cfg.LeaseTTL)
+		return resp, nil
+	default: // pending + current token: re-adoption after coordinator restart
+		sh.state = shardLeased
+		sh.holder = hb.Worker
+		sh.expiry = now.Add(c.cfg.LeaseTTL)
+		c.cfg.Logf("pool: re-adopted job %s shard %s holder %s token %d",
+			hb.JobID, sh.spec.ID, hb.Worker, sh.token)
+		if j.hooks.OnEvent != nil {
+			j.hooks.OnEvent("re-adopt", sh.spec.ID)
+		}
+		return resp, nil
+	}
+}
+
+// UploadCheckpoint stores a shard's progress snapshot and renews the lease.
+// The snapshot is persisted so it survives coordinator restart — that is the
+// whole point of uploading it — but a persist failure only logs: the
+// in-memory copy still serves reassignment, and the next upload retries.
+func (c *Coordinator) UploadCheckpoint(up *CheckpointUpload) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Now()
+	c.lastSeen[up.Worker] = now
+	j, sh, err := c.lookupLocked("checkpoint upload", up.Worker, up.JobID, up.ShardID, up.Token)
+	if err != nil {
+		return err
+	}
+	if sh.state != shardLeased || sh.holder != up.Worker {
+		c.fenced++
+		c.cfg.Logf("pool: fenced checkpoint upload from %s: job %s shard %s not leased to it",
+			up.Worker, up.JobID, up.ShardID)
+		return fmt.Errorf("%w: %s not leased to %s", ErrFenced, up.ShardID, up.Worker)
+	}
+	if now.After(sh.expiry) {
+		sh.state = shardPending
+		sh.holder = ""
+		sh.token++
+		c.expired++
+		c.fenced++
+		c.cfg.Logf("pool: fenced checkpoint upload from %s: job %s shard %s lease expired",
+			up.Worker, up.JobID, up.ShardID)
+		return fmt.Errorf("%w: %s lease expired", ErrFenced, up.ShardID)
+	}
+	sh.checkpoint = up.Data
+	sh.expiry = now.Add(c.cfg.LeaseTTL)
+	if j.hooks.Persist != nil {
+		if err := j.hooks.Persist(j.persisted()); err != nil {
+			c.cfg.Logf("pool: persisting checkpoint of %s/%s: %v", up.JobID, up.ShardID, err)
+		}
+	}
+	if j.hooks.OnEvent != nil {
+		j.hooks.OnEvent("checkpoint", sh.spec.ID)
+	}
+	return nil
+}
+
+// Complete records a shard's result. The done state and payload are
+// persisted BEFORE the ack, so a completion the coordinator acknowledged can
+// never un-happen; a retry of an already-done shard under the same token is
+// answered OK without re-recording — together, exactly-once.
+func (c *Coordinator) Complete(cr *CompleteRequest) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Now()
+	c.lastSeen[cr.Worker] = now
+	j, sh, err := c.lookupLocked("complete", cr.Worker, cr.JobID, cr.ShardID, cr.Token)
+	if err != nil {
+		return err
+	}
+	if sh.state == shardDone {
+		return nil // idempotent retry of a lost ack
+	}
+	if sh.state != shardLeased || sh.holder != cr.Worker {
+		c.fenced++
+		return fmt.Errorf("%w: %s not leased to %s", ErrFenced, cr.ShardID, cr.Worker)
+	}
+	if now.After(sh.expiry) {
+		sh.state = shardPending
+		sh.holder = ""
+		sh.token++
+		c.expired++
+		c.fenced++
+		c.cfg.Logf("pool: fenced complete from %s: job %s shard %s lease expired",
+			cr.Worker, cr.JobID, cr.ShardID)
+		return fmt.Errorf("%w: %s lease expired", ErrFenced, cr.ShardID)
+	}
+	sh.state = shardDone
+	sh.holder = ""
+	sh.result = cr.Result
+	if j.hooks.Persist != nil {
+		if err := j.hooks.Persist(j.persisted()); err != nil {
+			// Not durable means not done: revert so the worker's retry (or a
+			// reassignment) completes it again.
+			sh.state = shardLeased
+			sh.holder = cr.Worker
+			sh.result = nil
+			return fmt.Errorf("pool: persisting completion of %s/%s: %w", cr.JobID, cr.ShardID, err)
+		}
+	}
+	c.completes++
+	c.cfg.Logf("pool: completed job %s shard %s by %s token %d", cr.JobID, sh.spec.ID, cr.Worker, sh.token)
+	if j.hooks.OnEvent != nil {
+		j.hooks.OnEvent("complete", sh.spec.ID)
+	}
+	if j.allDone() {
+		close(j.done)
+	}
+	return nil
+}
+
+// LiveWorkers counts workers seen within two lease TTLs.
+func (c *Coordinator) LiveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.liveWorkersLocked(c.cfg.Now())
+}
+
+func (c *Coordinator) liveWorkersLocked(now time.Time) int {
+	n := 0
+	for _, seen := range c.lastSeen {
+		if now.Sub(seen) <= 2*c.cfg.LeaseTTL {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats snapshots the coordinator's counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		WorkersLive:   c.liveWorkersLocked(c.cfg.Now()),
+		Jobs:          len(c.jobs),
+		Grants:        c.grants,
+		Completes:     c.completes,
+		FencedRejects: c.fenced,
+		ExpiredLeases: c.expired,
+	}
+	for _, j := range c.jobs {
+		st.ShardsTotal += len(j.shards)
+		for _, sh := range j.shards {
+			if sh.state == shardDone {
+				st.ShardsDone++
+			}
+		}
+	}
+	return st
+}

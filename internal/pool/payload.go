@@ -1,0 +1,92 @@
+package pool
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"tecfan/internal/exp"
+	"tecfan/internal/perf"
+	"tecfan/internal/sim"
+)
+
+// Shard checkpoint and result payloads. They ride the wire as opaque bytes —
+// the coordinator stores and forwards them without understanding them — so
+// their encoding is gob, same as the daemon's job checkpoints, and the
+// structs below are the contract between the worker that writes a payload
+// and the worker (or merging coordinator) that reads it.
+
+// ChaosCheckpoint is a chaos shard's mid-flight progress: rows finished so
+// far within the shard, replayed through ChaosOptions.Done by the next
+// holder.
+type ChaosCheckpoint struct {
+	Rows []exp.ChaosRow
+}
+
+// ChaosShardResult is a finished chaos shard: its rows in emission order,
+// plus the threshold the shard derived (identical across shards of a job —
+// the base scenario is deterministic — so the merger can take any one).
+type ChaosShardResult struct {
+	Threshold float64
+	Rows      []exp.ChaosRow
+}
+
+// TraceCheckpoint is a trace shard's progress: the pinned threshold and the
+// simulator snapshot to resume from.
+type TraceCheckpoint struct {
+	Threshold float64
+	Snap      *sim.Snapshot
+}
+
+// TraceShardResult is a finished trace shard, carrying everything the
+// daemon's result file needs.
+type TraceShardResult struct {
+	Threshold  float64
+	Completed  bool
+	Metrics    perf.Metrics
+	FinalTemps []float64
+	Trace      []sim.TracePoint
+}
+
+// Table1Checkpoint is a table1 shard's progress: rows finished so far,
+// parallel to a prefix of the shard's Indices.
+type Table1Checkpoint struct {
+	Rows []exp.Table1Row
+}
+
+// Table1ShardResult is a finished table1 shard.
+type Table1ShardResult struct {
+	Rows []exp.Table1Row
+}
+
+// Fig4Checkpoint is a fig4 shard's progress: cases finished so far, parallel
+// to a prefix of the shard's Indices.
+type Fig4Checkpoint struct {
+	Cases []exp.Fig4Case
+}
+
+// Fig4ShardResult is a finished fig4 shard.
+type Fig4ShardResult struct {
+	Cases []exp.Fig4Case
+}
+
+// EncodePayload gob-encodes a shard payload.
+func EncodePayload(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("pool: encoding payload: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePayload gob-decodes a shard payload into v, bounding the input the
+// same way the wire decoders do.
+func DecodePayload(data []byte, v any) error {
+	if len(data) > MaxBlobBytes {
+		return fmt.Errorf("%w: payload %d bytes (max %d)", ErrWireTooLarge, len(data), MaxBlobBytes)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("pool: decoding payload: %w", err)
+	}
+	return nil
+}

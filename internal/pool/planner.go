@@ -1,0 +1,141 @@
+package pool
+
+import (
+	"fmt"
+
+	"tecfan/internal/exp"
+	"tecfan/internal/fault"
+	"tecfan/internal/power"
+	"tecfan/internal/workload"
+)
+
+// Job kinds a sweep can be sharded into. Values match the daemon's JobKind
+// strings so specs round-trip without translation.
+const (
+	KindTrace  = "trace"
+	KindChaos  = "chaos"
+	KindTable1 = "table1"
+	KindFig4   = "fig4"
+)
+
+// DefaultChunk is the number of sweep rows (chaos scenarios, table/figure
+// benchmark indices) bundled into one shard when SweepSpec.Chunk is zero.
+// Small chunks mean finer-grained reassignment after worker death; the
+// checkpoint handoff makes even intra-shard progress survivable, so this is
+// a latency knob, not a correctness one.
+const DefaultChunk = 2
+
+// ShardSpec is one self-contained unit of work: a worker needs nothing but
+// this (plus the optional checkpoint from a previous holder) to execute it.
+// Shard IDs are stable across replanning — same sweep, same shards — which
+// is what lets a restarted coordinator re-adopt live workers mid-shard.
+type ShardSpec struct {
+	ID      string  `json:"id"`
+	Kind    string  `json:"kind"`
+	Bench   string  `json:"bench,omitempty"`
+	Threads int     `json:"threads,omitempty"`
+	Scale   float64 `json:"scale,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+
+	// Trace shards.
+	Policy          string  `json:"policy,omitempty"`
+	FanLevel        int     `json:"fan_level,omitempty"`
+	Threshold       float64 `json:"threshold,omitempty"`
+	Scenario        string  `json:"scenario,omitempty"`
+	CheckpointEvery int     `json:"checkpoint_every,omitempty"`
+
+	// Chaos shards: one policy, a chunk of scenarios.
+	Scenarios []string `json:"scenarios,omitempty"`
+
+	// Table1/Fig4 shards: benchmark indices into workload.Table1 order.
+	Indices []int `json:"indices,omitempty"`
+}
+
+// SweepSpec describes a whole job for the planner. It mirrors the daemon's
+// JobSpec plus the sharding knobs the daemon owns.
+type SweepSpec struct {
+	Kind            string
+	Bench           string
+	Threads         int
+	Scale           float64
+	Seed            int64
+	Policy          string
+	FanLevel        int
+	Threshold       float64
+	Scenario        string
+	Policies        []string
+	Scenarios       []string
+	CheckpointEvery int
+	Chunk           int
+}
+
+// Plan deterministically shards a sweep. The shard order is the merge order:
+// concatenating shard results in plan order must reproduce the row order of
+// the equivalent single-process run (per policy, per scenario for chaos;
+// benchmark order for table1/fig4), which is what makes the pooled result
+// byte-identical to the non-pooled one.
+func Plan(s SweepSpec) ([]ShardSpec, error) {
+	chunk := s.Chunk
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	base := ShardSpec{
+		Kind: s.Kind, Bench: s.Bench, Threads: s.Threads,
+		Scale: s.Scale, Seed: s.Seed,
+	}
+	switch s.Kind {
+	case KindTrace:
+		// A trace job is a single simulation: one shard, resumable through
+		// sim snapshots rather than row splits.
+		sh := base
+		sh.ID = "trace"
+		sh.Policy = s.Policy
+		sh.FanLevel = s.FanLevel
+		sh.Threshold = s.Threshold
+		sh.Scenario = s.Scenario
+		sh.CheckpointEvery = s.CheckpointEvery
+		return []ShardSpec{sh}, nil
+	case KindChaos:
+		pols := s.Policies
+		if len(pols) == 0 {
+			pols = exp.DefaultChaosPolicies()
+		}
+		scens := s.Scenarios
+		if len(scens) == 0 {
+			scens = fault.Names()
+		}
+		var out []ShardSpec
+		for _, p := range pols {
+			for n, i := 0, 0; i < len(scens); n, i = n+1, i+chunk {
+				end := i + chunk
+				if end > len(scens) {
+					end = len(scens)
+				}
+				sh := base
+				sh.ID = fmt.Sprintf("chaos/%s/%d", p, n)
+				sh.Policy = p
+				sh.Scenarios = append([]string(nil), scens[i:end]...)
+				out = append(out, sh)
+			}
+		}
+		return out, nil
+	case KindTable1, KindFig4:
+		n := len(workload.Table1(power.DefaultLeakage()))
+		var out []ShardSpec
+		for c, i := 0, 0; i < n; c, i = c+1, i+chunk {
+			end := i + chunk
+			if end > n {
+				end = n
+			}
+			sh := base
+			sh.ID = fmt.Sprintf("%s/%d", s.Kind, c)
+			for j := i; j < end; j++ {
+				sh.Indices = append(sh.Indices, j)
+			}
+			out = append(out, sh)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("pool: unknown job kind %q", s.Kind)
+	}
+}

@@ -1,0 +1,127 @@
+package pool
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDecodeHeartbeatValid(t *testing.T) {
+	hb, err := DecodeHeartbeat([]byte(`{"worker":"w1","job_id":"j","shard_id":"s0","token":18446744073709551615}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.Token != ^uint64(0) {
+		t.Fatalf("token = %d", hb.Token)
+	}
+}
+
+func TestDecodeHeartbeatRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want error
+	}{
+		{"empty", ``, ErrWireSyntax},
+		{"truncated", `{"worker":"w1","job_id":"j"`, ErrWireSyntax},
+		{"trailing", `{"worker":"w","job_id":"j","shard_id":"s","token":1}{}`, ErrWireSyntax},
+		{"unknown field", `{"worker":"w","job_id":"j","shard_id":"s","token":1,"x":1}`, ErrWireSyntax},
+		{"negative token", `{"worker":"w","job_id":"j","shard_id":"s","token":-1}`, ErrWireSyntax},
+		{"fractional token", `{"worker":"w","job_id":"j","shard_id":"s","token":1.5}`, ErrWireSyntax},
+		{"overflow token", `{"worker":"w","job_id":"j","shard_id":"s","token":18446744073709551616}`, ErrWireSyntax},
+		{"missing worker", `{"job_id":"j","shard_id":"s","token":1}`, ErrWireField},
+		{"long id", `{"worker":"` + strings.Repeat("a", 200) + `","job_id":"j","shard_id":"s","token":1}`, ErrWireField},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeHeartbeat([]byte(tc.in)); !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+	big := append([]byte(`{"worker":"`), bytes.Repeat([]byte("a"), MaxControlBytes)...)
+	if _, err := DecodeHeartbeat(big); !errors.Is(err, ErrWireTooLarge) {
+		t.Fatalf("oversized: %v", err)
+	}
+}
+
+func TestDecodeClaimResponseRoundTrip(t *testing.T) {
+	in := &ClaimResponse{
+		JobID: "j", Token: 7, LeaseMS: 2000, Checkpoint: []byte("ck"),
+		Shard: ShardSpec{ID: "chaos/TECfan/0", Kind: KindChaos, Bench: "fft", Threads: 4,
+			Policy: "TECfan", Scenarios: []string{"a", "b"}},
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeClaimResponse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Shard.ID != in.Shard.ID || out.Token != 7 || string(out.Checkpoint) != "ck" {
+		t.Fatalf("round trip: %+v", out)
+	}
+	if _, err := DecodeClaimResponse([]byte(`{"job_id":"j","shard":{"id":"s"},"token":1,"lease_ms":0}`)); !errors.Is(err, ErrWireField) {
+		t.Fatalf("zero lease: %v", err)
+	}
+}
+
+func TestDecodeCompleteRejectsEmptyResult(t *testing.T) {
+	if _, err := DecodeComplete([]byte(`{"worker":"w","job_id":"j","shard_id":"s","token":1,"result":""}`)); !errors.Is(err, ErrWireField) {
+		t.Fatalf("empty result: %v", err)
+	}
+}
+
+// FuzzDecodeHeartbeat hammers the control-message decoder: whatever the
+// bytes, it must return cleanly — no panic — and any accepted message must
+// satisfy the field invariants the coordinator relies on.
+func FuzzDecodeHeartbeat(f *testing.F) {
+	f.Add([]byte(`{"worker":"w1","job_id":"j","shard_id":"s0","token":1}`))
+	f.Add([]byte(`{"worker":"w1","job_id":"j","shard_id":"s0","token":18446744073709551616}`))
+	f.Add([]byte(`{"worker":"w1","job_id":"j","shard_id":"s0","token":-3}`))
+	f.Add([]byte(`{"worker":"","job_id":"","shard_id":"","token":0}`))
+	f.Add([]byte(`{"worker":"w1"`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hb, err := DecodeHeartbeat(data)
+		if err != nil {
+			return
+		}
+		if hb.Worker == "" || hb.JobID == "" || hb.ShardID == "" {
+			t.Fatalf("accepted heartbeat with empty id: %+v", hb)
+		}
+		if len(hb.Worker) > 128 || len(hb.JobID) > 128 || len(hb.ShardID) > 128 {
+			t.Fatalf("accepted oversized id: %+v", hb)
+		}
+	})
+}
+
+// FuzzDecodeClaimResponse does the same for the worker-side lease decoder —
+// the message a hostile or corrupted coordinator could use to wedge a worker.
+func FuzzDecodeClaimResponse(f *testing.F) {
+	good, _ := json.Marshal(&ClaimResponse{
+		JobID: "j", Token: 1, LeaseMS: 1000,
+		Shard: ShardSpec{ID: "s", Kind: KindChaos, Scenarios: []string{"a"}},
+	})
+	f.Add(good)
+	f.Add([]byte(`{"job_id":"j","shard":{"id":"s"},"token":18446744073709551616,"lease_ms":1}`))
+	f.Add([]byte(`{"job_id":"j","shard":{},"token":1,"lease_ms":1}`))
+	f.Add([]byte(`{"job_id":"j","shard":{"id":"s"},"token":1,"lease_ms":-5}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cr, err := DecodeClaimResponse(data)
+		if err != nil {
+			return
+		}
+		if cr.JobID == "" || cr.Shard.ID == "" {
+			t.Fatalf("accepted claim with empty id: %+v", cr)
+		}
+		if cr.LeaseMS <= 0 {
+			t.Fatalf("accepted non-positive lease: %+v", cr)
+		}
+	})
+}

@@ -1,0 +1,483 @@
+// Package worker is the execution side of the tecfand worker pool: a
+// process that claims shard leases from a coordinator, executes them with
+// exactly the semantics the daemon's in-process path uses, streams progress
+// checkpoints back so its own death loses at most one checkpoint interval,
+// and renews its lease on a heartbeat loop.
+//
+// Fencing discipline: every write the worker makes carries the token from
+// its grant. When any call answers pool.ErrFenced or pool.ErrShardGone the
+// worker abandons the shard immediately — the coordinator has moved it on,
+// and anything this worker computes past that point is a zombie's work.
+// Checkpoint uploads deliberately run on an independent timeout context
+// (not the shard's): a worker resuming from a long stall must still deliver
+// its stale-token upload to the coordinator, whose fencing rejection (and
+// log line) is the observable proof the zombie was stopped.
+package worker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"tecfan/internal/client"
+	"tecfan/internal/exp"
+	"tecfan/internal/fault"
+	"tecfan/internal/pool"
+	"tecfan/internal/sim"
+	"tecfan/internal/workload"
+)
+
+// Config tunes a Worker.
+type Config struct {
+	// Client is the hardened transport to the coordinator. Required.
+	Client *client.Client
+	// Name identifies this worker in leases and coordinator logs. Required.
+	Name string
+	// Poll is the idle wait between claim attempts when no work is available
+	// (default 500 ms).
+	Poll time.Duration
+	// UploadTimeout bounds each checkpoint upload / completion attempt
+	// independently of the shard context (default 10 s).
+	UploadTimeout time.Duration
+	// OnClaim, when non-nil, observes every grant before execution starts —
+	// the breadcrumb seam tecfan-worker uses.
+	OnClaim func(grant *pool.ClaimResponse)
+	// Logf receives operational log lines (default: silent).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Client == nil {
+		return errors.New("worker: Client is required")
+	}
+	if c.Name == "" {
+		return errors.New("worker: Name is required")
+	}
+	if c.Poll <= 0 {
+		c.Poll = 500 * time.Millisecond
+	}
+	if c.UploadTimeout <= 0 {
+		c.UploadTimeout = 10 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// Stats are the worker's monotonic counters, safe to read concurrently.
+type Stats struct {
+	ShardsDone      int64 `json:"shards_done"`
+	ShardsAbandoned int64 `json:"shards_abandoned"`
+	ShardErrors     int64 `json:"shard_errors"`
+	Checkpoints     int64 `json:"checkpoints_uploaded"`
+	FencedWrites    int64 `json:"fenced_writes"`
+}
+
+// Worker runs the claim → execute → complete loop against one coordinator.
+type Worker struct {
+	cfg Config
+
+	done      atomic.Int64
+	abandoned atomic.Int64
+	errors    atomic.Int64
+	ckpts     atomic.Int64
+	fenced    atomic.Int64
+}
+
+// New validates the config and builds a worker.
+func New(cfg Config) (*Worker, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	return &Worker{cfg: cfg}, nil
+}
+
+// Stats snapshots the counters.
+func (w *Worker) Stats() Stats {
+	return Stats{
+		ShardsDone:      w.done.Load(),
+		ShardsAbandoned: w.abandoned.Load(),
+		ShardErrors:     w.errors.Load(),
+		Checkpoints:     w.ckpts.Load(),
+		FencedWrites:    w.fenced.Load(),
+	}
+}
+
+// Run claims and executes shards until ctx is canceled. Claim failures and
+// shard errors are absorbed (logged, counted) — a worker outlives coordinator
+// restarts and its own bad shards; only cancellation stops it.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		grant, err := w.cfg.Client.PoolClaim(ctx, w.cfg.Name)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.cfg.Logf("worker %s: claim: %v", w.cfg.Name, err)
+			w.sleep(ctx, w.cfg.Poll)
+			continue
+		}
+		if grant == nil {
+			w.sleep(ctx, w.cfg.Poll)
+			continue
+		}
+		w.cfg.Logf("worker %s: claimed %s/%s token %d (checkpoint: %d bytes)",
+			w.cfg.Name, grant.JobID, grant.Shard.ID, grant.Token, len(grant.Checkpoint))
+		if w.cfg.OnClaim != nil {
+			w.cfg.OnClaim(grant)
+		}
+		w.runShard(ctx, grant)
+	}
+}
+
+func (w *Worker) sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// lease is the worker's handle on one granted shard: identity for every
+// write, plus the cancel lever the heartbeat loop pulls when the coordinator
+// fences us.
+type lease struct {
+	w      *Worker
+	grant  *pool.ClaimResponse
+	cancel context.CancelFunc
+}
+
+// runShard executes one granted shard under a heartbeat loop. The shard
+// context is canceled the moment a heartbeat learns the lease is gone, which
+// the exp sweeps observe at their next row boundary.
+func (w *Worker) runShard(ctx context.Context, grant *pool.ClaimResponse) {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	l := &lease{w: w, grant: grant, cancel: cancel}
+
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		l.heartbeatLoop(sctx)
+	}()
+	defer func() { cancel(); <-hbDone }()
+
+	result, err := l.execute(sctx)
+	switch {
+	case err == nil:
+		if cerr := l.complete(result); cerr != nil {
+			w.abandon(grant, "completing", cerr)
+			return
+		}
+		w.done.Add(1)
+		w.cfg.Logf("worker %s: completed %s/%s", w.cfg.Name, grant.JobID, grant.Shard.ID)
+	case isFenced(err) || sctx.Err() != nil:
+		w.abandon(grant, "executing", err)
+	default:
+		// A genuine shard failure: abandon without completing; the lease
+		// expires and the coordinator reassigns (possibly back to us).
+		w.errors.Add(1)
+		w.cfg.Logf("worker %s: shard %s/%s failed: %v", w.cfg.Name, grant.JobID, grant.Shard.ID, err)
+	}
+}
+
+func (w *Worker) abandon(grant *pool.ClaimResponse, stage string, err error) {
+	w.abandoned.Add(1)
+	w.cfg.Logf("worker %s: abandoning %s/%s while %s: %v",
+		w.cfg.Name, grant.JobID, grant.Shard.ID, stage, err)
+}
+
+func isFenced(err error) bool {
+	return errors.Is(err, pool.ErrFenced) || errors.Is(err, pool.ErrShardGone)
+}
+
+// heartbeatLoop renews the lease at a third of its TTL. A fencing rejection
+// cancels the shard context; transient transport errors are left to the
+// client's own retries and simply tried again next tick — the lease TTL is
+// the real deadline.
+func (l *lease) heartbeatLoop(ctx context.Context) {
+	interval := time.Duration(l.grant.LeaseMS) * time.Millisecond / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		_, err := l.w.cfg.Client.PoolHeartbeat(ctx, &pool.HeartbeatRequest{
+			Worker: l.w.cfg.Name, JobID: l.grant.JobID,
+			ShardID: l.grant.Shard.ID, Token: l.grant.Token,
+		})
+		if isFenced(err) {
+			l.w.fenced.Add(1)
+			l.w.cfg.Logf("worker %s: heartbeat fenced on %s/%s: %v",
+				l.w.cfg.Name, l.grant.JobID, l.grant.Shard.ID, err)
+			l.cancel()
+			return
+		}
+		if err != nil && ctx.Err() == nil {
+			l.w.cfg.Logf("worker %s: heartbeat %s/%s: %v", l.w.cfg.Name, l.grant.JobID, l.grant.Shard.ID, err)
+		}
+	}
+}
+
+// upload ships a progress checkpoint under its own timeout, detached from
+// the shard context on purpose (see the package comment). A fencing
+// rejection cancels the shard.
+func (l *lease) upload(v any) {
+	data, err := pool.EncodePayload(v)
+	if err != nil {
+		l.w.cfg.Logf("worker %s: encoding checkpoint for %s/%s: %v",
+			l.w.cfg.Name, l.grant.JobID, l.grant.Shard.ID, err)
+		return
+	}
+	uctx, ucancel := context.WithTimeout(context.Background(), l.w.cfg.UploadTimeout)
+	defer ucancel()
+	err = l.w.cfg.Client.PoolCheckpoint(uctx, &pool.CheckpointUpload{
+		Worker: l.w.cfg.Name, JobID: l.grant.JobID,
+		ShardID: l.grant.Shard.ID, Token: l.grant.Token, Data: data,
+	})
+	switch {
+	case isFenced(err):
+		l.w.fenced.Add(1)
+		l.w.cfg.Logf("worker %s: checkpoint upload fenced on %s/%s: %v",
+			l.w.cfg.Name, l.grant.JobID, l.grant.Shard.ID, err)
+		l.cancel()
+	case err != nil:
+		// Non-fatal: the next checkpoint supersedes this one, and the lease
+		// heartbeat is what keeps the shard ours.
+		l.w.cfg.Logf("worker %s: checkpoint upload %s/%s: %v",
+			l.w.cfg.Name, l.grant.JobID, l.grant.Shard.ID, err)
+	default:
+		l.w.ckpts.Add(1)
+	}
+}
+
+// complete reports the shard's result, also on an independent timeout —
+// completion is idempotent under our token, so the client may retry freely.
+func (l *lease) complete(result any) error {
+	data, err := pool.EncodePayload(result)
+	if err != nil {
+		return fmt.Errorf("worker: encoding result: %w", err)
+	}
+	cctx, ccancel := context.WithTimeout(context.Background(), l.w.cfg.UploadTimeout)
+	defer ccancel()
+	err = l.w.cfg.Client.PoolComplete(cctx, &pool.CompleteRequest{
+		Worker: l.w.cfg.Name, JobID: l.grant.JobID,
+		ShardID: l.grant.Shard.ID, Token: l.grant.Token, Result: data,
+	})
+	if isFenced(err) {
+		l.w.fenced.Add(1)
+	}
+	return err
+}
+
+// execute dispatches on the shard kind. Each kind reproduces the daemon's
+// in-process semantics exactly — same Env setup, same resume seams — which
+// is what makes the merged pooled result byte-identical to a single-process
+// run.
+func (l *lease) execute(ctx context.Context) (any, error) {
+	switch l.grant.Shard.Kind {
+	case pool.KindTrace:
+		return l.runTrace(ctx)
+	case pool.KindChaos:
+		return l.runChaos(ctx)
+	case pool.KindTable1:
+		return l.runTable1(ctx)
+	case pool.KindFig4:
+		return l.runFig4(ctx)
+	default:
+		return nil, fmt.Errorf("worker: unknown shard kind %q", l.grant.Shard.Kind)
+	}
+}
+
+// env builds the experiment environment the shard spec describes.
+func (l *lease) env() *exp.Env {
+	e := exp.NewEnv()
+	if l.grant.Shard.Scale > 0 {
+		e.Scale = l.grant.Shard.Scale
+	}
+	return e
+}
+
+func (l *lease) runChaos(ctx context.Context) (any, error) {
+	sh := l.grant.Shard
+	var ckpt pool.ChaosCheckpoint
+	if len(l.grant.Checkpoint) > 0 {
+		if err := pool.DecodePayload(l.grant.Checkpoint, &ckpt); err != nil {
+			return nil, err
+		}
+	}
+	rows := append([]exp.ChaosRow(nil), ckpt.Rows...)
+	res, err := l.env().ChaosContext(ctx, exp.ChaosOptions{
+		Bench: sh.Bench, Threads: sh.Threads,
+		Policies: []string{sh.Policy}, Scenarios: sh.Scenarios, Seed: sh.Seed,
+		Done: ckpt.Rows,
+		OnRow: func(row exp.ChaosRow) {
+			rows = upsertChaosRow(rows, row)
+			l.upload(pool.ChaosCheckpoint{Rows: rows})
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pool.ChaosShardResult{Threshold: res.Threshold, Rows: res.Rows}, nil
+}
+
+func (l *lease) runTable1(ctx context.Context) (any, error) {
+	var ckpt pool.Table1Checkpoint
+	if len(l.grant.Checkpoint) > 0 {
+		if err := pool.DecodePayload(l.grant.Checkpoint, &ckpt); err != nil {
+			return nil, err
+		}
+	}
+	rows := append([]exp.Table1Row(nil), ckpt.Rows...)
+	all, err := l.env().Table1Opt(ctx, exp.Table1Options{
+		Indices: l.grant.Shard.Indices,
+		Done:    ckpt.Rows,
+		OnRow: func(row exp.Table1Row) {
+			rows = upsertT1Row(rows, row)
+			l.upload(pool.Table1Checkpoint{Rows: rows})
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pool.Table1ShardResult{Rows: all}, nil
+}
+
+func (l *lease) runFig4(ctx context.Context) (any, error) {
+	var ckpt pool.Fig4Checkpoint
+	if len(l.grant.Checkpoint) > 0 {
+		if err := pool.DecodePayload(l.grant.Checkpoint, &ckpt); err != nil {
+			return nil, err
+		}
+	}
+	cases := append([]exp.Fig4Case(nil), ckpt.Cases...)
+	all, err := l.env().Fig4Opt(ctx, exp.Fig4Options{
+		Indices: l.grant.Shard.Indices,
+		Done:    ckpt.Cases,
+		OnRow: func(c exp.Fig4Case) {
+			cases = upsertF4Case(cases, c)
+			l.upload(pool.Fig4Checkpoint{Cases: cases})
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pool.Fig4ShardResult{Cases: all}, nil
+}
+
+// runTrace mirrors the daemon's runTrace: derive (or restore) the threshold,
+// pin it in the first checkpoint, then run — or resume — the simulation with
+// snapshot checkpoints uploaded at the shard's cadence.
+func (l *lease) runTrace(ctx context.Context) (any, error) {
+	sh := l.grant.Shard
+	env := l.env()
+	if sh.Scenario != "" {
+		sc, err := fault.ByName(sh.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		env.Faults = &sc
+		env.FaultSeed = sh.Seed
+	}
+	b, err := workload.ByName(sh.Bench, sh.Threads, env.Leak)
+	if err != nil {
+		return nil, err
+	}
+	sb := env.Scaled(b)
+
+	var ckpt pool.TraceCheckpoint
+	if len(l.grant.Checkpoint) > 0 {
+		if err := pool.DecodePayload(l.grant.Checkpoint, &ckpt); err != nil {
+			return nil, err
+		}
+	}
+	threshold := ckpt.Threshold
+	if threshold == 0 {
+		threshold = sh.Threshold
+	}
+	if threshold == 0 {
+		base, err := env.BaseScenarioContext(ctx, sb)
+		if err != nil {
+			return nil, fmt.Errorf("worker: trace base scenario: %w", err)
+		}
+		threshold = base.Metrics.PeakTemp
+	}
+	// Pin the threshold before simulating, same as the daemon: every future
+	// holder runs against the identical threshold.
+	l.upload(pool.TraceCheckpoint{Threshold: threshold, Snap: ckpt.Snap})
+
+	cfg := env.SimConfig(sb, threshold, sh.FanLevel)
+	cfg.RecordTrace = true
+	cfg.CheckpointEvery = sh.CheckpointEvery
+	cfg.OnCheckpoint = func(snap *sim.Snapshot) error {
+		l.upload(pool.TraceCheckpoint{Threshold: threshold, Snap: snap})
+		return ctx.Err() // a fenced shard stops at the next checkpoint
+	}
+	ctl := env.Controllers()[sh.Policy]
+	if ctl == nil {
+		return nil, fmt.Errorf("worker: unknown policy %q (valid: %v)", sh.Policy, exp.AllPolicies())
+	}
+	r, err := sim.NewRunner(cfg, ctl)
+	if err != nil {
+		return nil, err
+	}
+	var res *sim.Result
+	if ckpt.Snap != nil {
+		res, err = r.Resume(ctx, ckpt.Snap)
+	} else {
+		res, err = r.RunContext(ctx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return pool.TraceShardResult{
+		Threshold: threshold, Completed: res.Completed,
+		Metrics: res.Metrics, FinalTemps: res.FinalTemps, Trace: res.Trace,
+	}, nil
+}
+
+// upsertChaosRow and friends keep the checkpoint free of duplicate cells:
+// the exp OnRow seams replay Done rows, and a cell must appear once.
+func upsertChaosRow(rows []exp.ChaosRow, row exp.ChaosRow) []exp.ChaosRow {
+	for i := range rows {
+		if rows[i].Scenario == row.Scenario && rows[i].Policy == row.Policy {
+			rows[i] = row
+			return rows
+		}
+	}
+	return append(rows, row)
+}
+
+func upsertT1Row(rows []exp.Table1Row, row exp.Table1Row) []exp.Table1Row {
+	for i := range rows {
+		if rows[i].Workload == row.Workload && rows[i].Threads == row.Threads {
+			rows[i] = row
+			return rows
+		}
+	}
+	return append(rows, row)
+}
+
+func upsertF4Case(cases []exp.Fig4Case, c exp.Fig4Case) []exp.Fig4Case {
+	for i := range cases {
+		if cases[i].Bench == c.Bench && cases[i].Threads == c.Threads {
+			cases[i] = c
+			return cases
+		}
+	}
+	return append(cases, c)
+}

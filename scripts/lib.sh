@@ -1,0 +1,89 @@
+# Shared orchestration helpers for the drill scripts. Source from a script
+# in scripts/ after setting DRILL_NAME; then call drill_init.
+#
+#   DRILL_NAME=pool_drill
+#   . "$(dirname "$0")/lib.sh"
+#   drill_init
+#
+# Conventions: all progress output goes to stderr so helpers remain usable
+# inside command substitution; background processes started through spawn
+# report their pid in the global SPAWNED_PID (not via stdout) so the PIDS
+# registry the EXIT trap kills is updated in the parent shell, never lost to
+# a subshell.
+
+say() { echo "${DRILL_NAME:-drill}: $*" >&2; }
+die() { say "FAIL: $*"; exit 1; }
+
+# drill_init sets ROOT (the repo), a fresh WORK dir, the PIDS registry, and
+# an EXIT trap that kills every spawned process and removes WORK.
+drill_init() {
+  ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+  WORK="$(mktemp -d)"
+  PIDS=()
+  trap drill_cleanup EXIT
+}
+
+drill_cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+
+# spawn LOG CMD...: start CMD in the background with output to LOG,
+# registered for cleanup. The pid lands in SPAWNED_PID and stays waitable.
+spawn() {
+  local log="$1"; shift
+  "$@" >"$log" 2>&1 &
+  SPAWNED_PID=$!
+  PIDS+=("$SPAWNED_PID")
+}
+
+# spawn_victim LOG CMD...: spawn for a process the drill will SIGSTOP or
+# SIGKILL on purpose — disowned so bash does not report the deliberate kill.
+# A disowned pid cannot be `wait`ed; use plain spawn for processes whose
+# exit status matters.
+spawn_victim() {
+  spawn "$@"
+  disown "$SPAWNED_PID"
+}
+
+# wait_url URL [TRIES]: poll URL (0.1 s apart) until it answers 2xx.
+wait_url() {
+  local url="$1" tries="${2:-100}"
+  for _ in $(seq 1 "$tries"); do
+    if curl -fsS "$url" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  return 1
+}
+
+# start_tecfand STATE_DIR LOG PORT WAIT_PATH [EXTRA_ARGS...]: start the
+# daemon (binary expected at $WORK/tecfand) and wait until WAIT_PATH answers
+# — /readyz normally; /livez for a pool coordinator, whose readiness
+# deliberately requires a live worker. Pid lands in SPAWNED_PID.
+start_tecfand() {
+  local state="$1" log="$2" port="$3" waitpath="$4"; shift 4
+  spawn_victim "$log" "$WORK/tecfand" -addr "127.0.0.1:$port" -state-dir "$state" "$@"
+  wait_url "http://127.0.0.1:$port$waitpath" 100 \
+    || die "tecfand on :$port never answered $waitpath ($(cat "$log"))"
+}
+
+# json_field FILE KEY: extract a top-level numeric/string JSON field from a
+# small known-shape document (the daemon's indented JSON or a breadcrumb)
+# without depending on jq.
+json_field() {
+  sed -nE 's/.*"'"$2"'": *"?([^",}]*)"?.*/\1/p' "$1" | head -n1
+}
+
+# wait_job BASE_URL JOB_ID [TRIES]: poll a job until it reaches state done.
+wait_job() {
+  local base="$1" id="$2" tries="${3:-1200}" state=""
+  for _ in $(seq 1 "$tries"); do
+    state="$(curl -fsS "$base/jobs/$id" 2>/dev/null | sed -nE 's/.*"state": *"([a-z]+)".*/\1/p' | head -n1)"
+    case "$state" in
+      done) return 0 ;;
+      failed|canceled) die "job $id ended $state: $(curl -fsS "$base/jobs/$id" 2>/dev/null)" ;;
+    esac
+    sleep 0.1
+  done
+  die "job $id never finished (last state: ${state:-unreachable})"
+}

@@ -15,75 +15,53 @@
 #        DRILL_SCALE (default 0.02) — instruction-budget scale per job.
 set -euo pipefail
 
-ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-WORK="$(mktemp -d)"
-PIDS=()
-cleanup() {
-  for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
-  rm -rf "$WORK"
-}
-trap cleanup EXIT
+DRILL_NAME=netchaos_drill
+. "$(dirname "$0")/lib.sh"
+drill_init
 
 JOBS="${DRILL_JOBS:-6}"
 SCALE="${DRILL_SCALE:-0.02}"
 DAEMON_PORT=18031
 PROXY_PORT=18032
 
-say() { echo "netchaos_drill: $*"; }
-die() { say "FAIL: $*"; exit 1; }
-
 cd "$ROOT"
 go build -o "$WORK/tecfand" ./cmd/tecfand
 go build -o "$WORK/tecfan-netchaos" ./cmd/tecfan-netchaos
 go build -o "$WORK/netchaosdrill" ./scripts/netchaosdrill
 
-start_daemon() { # state_dir log_file
-  "$WORK/tecfand" -addr "127.0.0.1:$DAEMON_PORT" -state-dir "$1" \
-    -workers 2 -queue 32 -checkpoint-every 1 >"$2" 2>&1 &
-  local pid=$!
-  disown "$pid" # keep bash from reporting the deliberate SIGKILL
-  PIDS+=("$pid")
-  for _ in $(seq 1 100); do
-    if curl -fsS "http://127.0.0.1:$DAEMON_PORT/readyz" >/dev/null 2>&1; then
-      echo "$pid"
-      return 0
-    fi
-    sleep 0.1
-  done
-  die "daemon never became ready ($(cat "$2"))"
+start_daemon() { # state_dir log_file  (pid in SPAWNED_PID)
+  start_tecfand "$1" "$2" "$DAEMON_PORT" /readyz \
+    -workers 2 -queue 32 -checkpoint-every 1
 }
 
 # --- Reference pass: no proxy, no faults. --------------------------------
 say "reference pass ($JOBS jobs, scale $SCALE)"
-start_daemon "$WORK/ref-state" "$WORK/ref-daemon.log" >/dev/null
+start_daemon "$WORK/ref-state" "$WORK/ref-daemon.log"
 "$WORK/netchaosdrill" -mode ref -daemon "http://127.0.0.1:$DAEMON_PORT" \
   -jobs "$JOBS" -scale "$SCALE" -out "$WORK/ref-results"
-kill -9 "${PIDS[0]}" 2>/dev/null || true
+kill -9 "$SPAWNED_PID" 2>/dev/null || true
 
 # --- Chaos pass: daemon behind the proxy, kill/restart mid-drill. --------
 say "chaos pass"
-VICTIM_PID="$(start_daemon "$WORK/state" "$WORK/daemon.log")"
-"$WORK/tecfan-netchaos" -listen "127.0.0.1:$PROXY_PORT" \
+start_daemon "$WORK/state" "$WORK/daemon.log"
+VICTIM_PID="$SPAWNED_PID"
+spawn_victim "$WORK/proxy.log" "$WORK/tecfan-netchaos" -listen "127.0.0.1:$PROXY_PORT" \
   -target "127.0.0.1:$DAEMON_PORT" -seed 42 \
   -latency 2ms -jitter 5ms -drop 0.15 -reset 0.10 \
-  -partition "300ms-500ms" -period 2s >"$WORK/proxy.log" 2>&1 &
-PROXY_PID=$!
-disown "$PROXY_PID" # cleanup kills it deliberately; keep bash quiet about it
-PIDS+=("$PROXY_PID")
+  -partition "300ms-500ms" -period 2s
 
 KILLFILE="$WORK/kill-now"
 RESTARTEDFILE="$WORK/restarted"
-"$WORK/netchaosdrill" -mode chaos -daemon "http://127.0.0.1:$PROXY_PORT" \
+spawn "$WORK/driver.log" "$WORK/netchaosdrill" -mode chaos \
+  -daemon "http://127.0.0.1:$PROXY_PORT" \
   -jobs "$JOBS" -scale "$SCALE" -out "$WORK/chaos-results" \
-  -kill-file "$KILLFILE" -restarted-file "$RESTARTEDFILE" \
-  >"$WORK/driver.log" 2>&1 &
-DRIVER_PID=$!
-PIDS+=("$DRIVER_PID")
+  -kill-file "$KILLFILE" -restarted-file "$RESTARTEDFILE"
+DRIVER_PID="$SPAWNED_PID"
 
 # Kill handshake: the driver creates KILLFILE once the drill is mid-flight.
 for _ in $(seq 1 3000); do
   [ -f "$KILLFILE" ] && break
-  kill -0 "$DRIVER_PID" 2>/dev/null || { cat "$WORK/driver.log"; die "driver exited before the kill point"; }
+  kill -0 "$DRIVER_PID" 2>/dev/null || { cat "$WORK/driver.log" >&2; die "driver exited before the kill point"; }
   sleep 0.1
 done
 [ -f "$KILLFILE" ] || die "driver never reached the kill point"
@@ -91,14 +69,14 @@ say "SIGKILL daemon mid-drill"
 kill -9 "$VICTIM_PID"
 sleep 0.5
 say "restarting daemon on the same state dir"
-start_daemon "$WORK/state" "$WORK/daemon-restart.log" >/dev/null
+start_daemon "$WORK/state" "$WORK/daemon-restart.log"
 touch "$RESTARTEDFILE"
 
 if ! wait "$DRIVER_PID"; then
-  cat "$WORK/driver.log"
+  cat "$WORK/driver.log" >&2
   die "chaos driver failed"
 fi
-cat "$WORK/driver.log"
+cat "$WORK/driver.log" >&2
 
 # --- Byte-compare every fixed-id result against the reference. -----------
 for i in $(seq 0 $((JOBS - 1))); do

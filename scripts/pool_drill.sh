@@ -1,0 +1,146 @@
+#!/usr/bin/env bash
+# Worker-pool drill: run tecfand as a pool coordinator with three
+# tecfan-worker processes — one of them reaching the coordinator only
+# through a tecfan-netchaos partition proxy — and prove the lease/fencing
+# protocol end to end:
+#   - a zombie claimant that goes silent past its lease TTL has its shard
+#     fenced and regranted; its late checkpoint upload is answered 410 Gone
+#     AND logged by the coordinator;
+#   - one worker is SIGSTOPped past its lease (then resumed, fenced, and
+#     SIGKILLed) and another SIGKILLed outright, both mid-sweep; the last
+#     worker — behind the partition proxy — finishes every shard;
+#   - every shard completes exactly once (completes == shards planned);
+#   - the merged pooled result is byte-identical to a single-process
+#     fault-free reference run.
+#
+# Usage: scripts/pool_drill.sh
+# Env:   DRILL_SCALE (default 0.05) — instruction-budget scale of the sweep.
+set -euo pipefail
+
+DRILL_NAME=pool_drill
+. "$(dirname "$0")/lib.sh"
+drill_init
+
+SCALE="${DRILL_SCALE:-0.05}"
+COORD_PORT=18041
+PROXY_PORT=18042
+COORD="http://127.0.0.1:$COORD_PORT"
+LEASE_TTL=2s
+
+cd "$ROOT"
+go build -o "$WORK/tecfand" ./cmd/tecfand
+go build -o "$WORK/tecfan-worker" ./cmd/tecfan-worker
+go build -o "$WORK/tecfan-netchaos" ./cmd/tecfan-netchaos
+mkdir -p "$WORK/scratch"
+
+SPEC='{"id":"pooldrill","kind":"chaos","bench":"cholesky","threads":16,"scale":'"$SCALE"',"seed":7}'
+
+submit() { # base_url
+  curl -fsS -X POST "$1/jobs" -H 'Content-Type: application/json' -d "$SPEC" >/dev/null
+}
+
+stat_field() { # key -> value (empty when unreachable)
+  curl -fsS "$COORD/pool/stats" 2>/dev/null | sed -nE 's/.*"'"$1"'": *([0-9]+).*/\1/p' | head -n1
+}
+
+wait_stat() { # key min [tries]
+  local key="$1" min="$2" tries="${3:-600}" v=""
+  for _ in $(seq 1 "$tries"); do
+    v="$(stat_field "$key")"
+    if [ -n "$v" ] && [ "$v" -ge "$min" ]; then return 0; fi
+    sleep 0.1
+  done
+  die "pool stat $key never reached $min (last: ${v:-unreachable})"
+}
+
+# --- Reference pass: the same sweep, single-process, fault-free. ---------
+say "reference pass (scale $SCALE)"
+start_tecfand "$WORK/ref-state" "$WORK/ref-daemon.log" "$COORD_PORT" /readyz \
+  -checkpoint-every 1
+submit "$COORD"
+wait_job "$COORD" pooldrill
+curl -fsS "$COORD/jobs/pooldrill/result" >"$WORK/ref.json"
+kill -9 "$SPAWNED_PID" 2>/dev/null || true
+sleep 0.3
+
+# --- Pool pass: coordinator + 3 workers + choreographed failures. --------
+say "pool pass: coordinator + zombie claimant + 3 workers"
+start_tecfand "$WORK/pool-state" "$WORK/coord.log" "$COORD_PORT" /livez \
+  -checkpoint-every 1 -pool -pool-chunk 1 -pool-lease-ttl "$LEASE_TTL"
+submit "$COORD"
+
+# A zombie claims the first shard over raw HTTP and then goes silent: no
+# heartbeat, ever. Its lease must expire and its late write must be fenced.
+ZGRANT="$WORK/zombie-grant.json"
+code=000
+for _ in $(seq 1 200); do
+  code="$(curl -sS -o "$ZGRANT" -w '%{http_code}' -X POST "$COORD/pool/claim" \
+    -H 'Content-Type: application/json' -d '{"worker":"drill-zombie"}')"
+  [ "$code" = "200" ] && break
+  sleep 0.1
+done
+[ "$code" = "200" ] || die "zombie never got a grant (last code $code)"
+ZJOB="$(json_field "$ZGRANT" job_id)"
+ZSHARD="$(json_field "$ZGRANT" id)"
+ZTOKEN="$(json_field "$ZGRANT" token)"
+say "zombie holds $ZJOB/$ZSHARD token $ZTOKEN"
+SHARDS="$(stat_field shards_total)"
+[ -n "$SHARDS" ] && [ "$SHARDS" -gt 3 ] || die "implausible shard plan: ${SHARDS:-none}"
+
+# Worker 1 reaches the coordinator only through a repeating partition window.
+spawn_victim "$WORK/proxy.log" "$WORK/tecfan-netchaos" \
+  -listen "127.0.0.1:$PROXY_PORT" -target "127.0.0.1:$COORD_PORT" \
+  -seed 7 -partition "400ms-600ms" -period 3s
+start_worker() { # name coordinator_url  (pid in SPAWNED_PID)
+  spawn_victim "$WORK/$1.log" "$WORK/tecfan-worker" \
+    -coordinator "$2" -name "$1" -poll 100ms -scratch-dir "$WORK/scratch"
+}
+start_worker w1 "http://127.0.0.1:$PROXY_PORT"
+W1_PID="$SPAWNED_PID"
+start_worker w2 "$COORD"
+W2_PID="$SPAWNED_PID"
+start_worker w3 "$COORD"
+W3_PID="$SPAWNED_PID"
+
+# The zombie's lease expires as live workers drive the lazy expiry sweep.
+wait_stat expired_leases 1
+say "zombie lease expired; replaying its stale checkpoint upload"
+code="$(curl -sS -o "$WORK/zombie-upload.json" -w '%{http_code}' \
+  -X POST "$COORD/pool/checkpoint" -H 'Content-Type: application/json' \
+  -d '{"worker":"drill-zombie","job_id":"'"$ZJOB"'","shard_id":"'"$ZSHARD"'","token":'"$ZTOKEN"',"data":"c3RhbGU="}')"
+[ "$code" = "410" ] || die "zombie checkpoint upload answered $code, want 410 Gone ($(cat "$WORK/zombie-upload.json"))"
+grep -q "fenced checkpoint upload" "$WORK/coord.log" \
+  || die "coordinator log missing the fenced-upload line"
+say "zombie upload fenced (410) and logged"
+
+# Worker 2: stall past the lease TTL (SIGSTOP), resume so its in-flight
+# writes get fenced, then SIGKILL it. Worker 3: SIGKILL outright.
+say "SIGSTOP w2 past its lease"
+kill -STOP "$W2_PID"
+sleep 2.5
+kill -CONT "$W2_PID"
+sleep 0.4
+say "SIGKILL w2 and w3 mid-sweep"
+[ "$(stat_field jobs)" = "1" ] || die "sweep finished before the kill choreography; raise DRILL_SCALE"
+kill -9 "$W2_PID" "$W3_PID"
+
+# Only the partition-stricken w1 remains; it must finish every shard.
+wait_job "$COORD" pooldrill
+curl -fsS "$COORD/jobs/pooldrill/result" >"$WORK/pool.json"
+
+# --- Acceptance. ---------------------------------------------------------
+cmp -s "$WORK/ref.json" "$WORK/pool.json" \
+  || die "pooled result differs from single-process reference ($(wc -c <"$WORK/ref.json") vs $(wc -c <"$WORK/pool.json") bytes)"
+
+COMPLETES="$(stat_field completes)"
+GRANTS="$(stat_field grants)"
+FENCED="$(stat_field fenced_rejects)"
+EXPIRED="$(stat_field expired_leases)"
+say "stats: shards=$SHARDS grants=$GRANTS completes=$COMPLETES fenced=$FENCED expired=$EXPIRED"
+[ "$COMPLETES" = "$SHARDS" ] \
+  || die "completes=$COMPLETES != shards=$SHARDS (exactly-once violated)"
+[ "$GRANTS" -gt "$SHARDS" ] \
+  || die "grants=$GRANTS <= shards=$SHARDS: no reassignment ever happened"
+[ "${FENCED:-0}" -ge 1 ] || die "no fenced rejects recorded"
+grep -q "pool: fenced" "$WORK/coord.log" || die "coordinator log missing fencing lines"
+say "PASS: $SHARDS shards exactly once across zombie + SIGSTOP + 2x SIGKILL + partition; result byte-identical"
