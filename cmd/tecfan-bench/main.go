@@ -135,7 +135,7 @@ func main() {
 	// for explicitly (never as part of "all").
 	if *which == "report" {
 		start := time.Now()
-		if err := sys.WriteReportContext(ctx, w, tecfan.ReportOptions{TraceSeconds: *traceSec}); err != nil {
+		if err := sys.WriteReportContext(ctx, w, tecfan.ReportOptions{TraceSeconds: *traceSec, Now: time.Now}); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(w, "(report in %v)\n", time.Since(start).Round(time.Millisecond))

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"tecfan/internal/analysis"
+	"tecfan/internal/cmdutil"
+)
+
+func sampleFindings() []analysis.Finding {
+	pos := token.Position{Filename: "internal/sim/sim.go", Line: 42, Column: 7}
+	return []analysis.Finding{{
+		Analyzer: "nondeterminism",
+		Pos:      pos,
+		File:     pos.Filename, Line: pos.Line, Col: pos.Column,
+		Message: "time.Now reads the wall clock",
+	}}
+}
+
+func TestEmitText(t *testing.T) {
+	var buf bytes.Buffer
+	if code := emit(&buf, sampleFindings(), false); code != 1 {
+		t.Fatalf("exit code %d with findings, want 1", code)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "internal/sim/sim.go:42:7") ||
+		!strings.Contains(out, "(nondeterminism)") ||
+		!strings.Contains(out, "tecfan-lint: 1 finding(s)") {
+		t.Fatalf("text output incomplete:\n%s", out)
+	}
+
+	buf.Reset()
+	if code := emit(&buf, nil, false); code != 0 {
+		t.Fatalf("exit code %d with no findings, want 0", code)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("clean run produced output: %q", buf.String())
+	}
+}
+
+// JSON mode always exits 0 — consumers read the array and decide — and an
+// empty result must be a decodable empty array, not "null".
+func TestEmitJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if code := emit(&buf, sampleFindings(), true); code != 0 {
+		t.Fatalf("JSON exit code %d, want 0", code)
+	}
+	var got []analysis.Finding
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not a findings array: %v\n%s", err, buf.String())
+	}
+	if len(got) != 1 || got[0].Analyzer != "nondeterminism" || got[0].Line != 42 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+
+	buf.Reset()
+	if code := emit(&buf, nil, true); code != 0 {
+		t.Fatalf("empty JSON exit code %d, want 0", code)
+	}
+	if s := strings.TrimSpace(buf.String()); s != "[]" {
+		t.Fatalf("empty findings encode as %q, want []", s)
+	}
+}
+
+// TestVersionLine pins the exact shape cmd/go's toolID parser requires of a
+// -V=full response: >= 3 fields, "version" second, and — because the third
+// is "devel" — a final field carrying the buildID.
+func TestVersionLine(t *testing.T) {
+	var buf bytes.Buffer
+	printVersion(&buf)
+	line := strings.TrimSpace(buf.String())
+	f := strings.Fields(line)
+	if len(f) < 3 || f[0] != "tecfan-lint" || f[1] != "version" {
+		t.Fatalf("malformed -V=full line: %q", line)
+	}
+	if f[2] == "devel" && !strings.HasPrefix(f[len(f)-1], "buildID=") {
+		t.Fatalf("devel version line missing buildID field: %q", line)
+	}
+}
+
+// TestFlagDefs pins the -flags contract: a JSON array of {Name,Bool,Usage}
+// objects that cmd/go uses to decide which flags it may forward.
+func TestFlagDefs(t *testing.T) {
+	var buf bytes.Buffer
+	printFlagDefs(&buf)
+	var defs []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(buf.Bytes(), &defs); err != nil {
+		t.Fatalf("-flags output is not JSON: %v\n%s", err, buf.String())
+	}
+	found := false
+	for _, d := range defs {
+		if d.Name == "json" && d.Bool {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("-flags does not declare the boolean json flag: %+v", defs)
+	}
+}
+
+// TestPatternValidation mirrors main's eager argument check: the same
+// cmdutil helper must reject flag-looking and mangled patterns before any
+// go list run.
+func TestPatternValidation(t *testing.T) {
+	if err := cmdutil.CheckPackagePattern("tecfan-lint", "./..."); err != nil {
+		t.Fatal(err)
+	}
+	for _, pat := range []string{"", "-json", "./... ./cmd"} {
+		if err := cmdutil.CheckPackagePattern("tecfan-lint", pat); err == nil {
+			t.Errorf("pattern %q accepted", pat)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"tecfan/internal/analysis"
+)
+
+// vetConfig mirrors the subset of cmd/go's internal vetConfig that this
+// driver consumes. cmd/go serializes it to <objdir>/vet.cfg and passes the
+// path as the sole positional argument.
+type vetConfig struct {
+	ID         string   // package ID, e.g. "tecfan/internal/sim"
+	Compiler   string   // "gc"
+	Dir        string   // package directory
+	ImportPath string   // canonical import path
+	GoFiles    []string // absolute paths of the package's Go sources
+
+	ImportMap   map[string]string // source import path → canonical package path
+	PackageFile map[string]string // canonical package path → export data file
+
+	VetxOnly   bool   // facts-only run for a dependency: nothing to do here
+	VetxOutput string // where cmd/go expects the (empty) facts file
+
+	SucceedOnTypecheckFailure bool // cmd/go asks us to stay quiet on broken packages
+}
+
+// vetMode runs the suite over one package described by a vet.cfg file and
+// returns the process exit code.
+func vetMode(cfgPath string, asJSON bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", cfgPath, err))
+	}
+
+	// cmd/go caches per-package results keyed on the facts file; write it
+	// even though no tecfan analyzer exports facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fatal(err)
+		}
+	}
+	// Dependencies are analyzed when cmd/go reaches them as targets;
+	// facts-only runs have nothing further to produce.
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	pkg, err := typecheckCfg(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fatal(err)
+	}
+	findings, err := analysis.RunPackage(pkg, analysis.All(), nil)
+	if err != nil {
+		fatal(err)
+	}
+	// Diagnostics go to stderr in driver mode: cmd/go interleaves them
+	// with its own "# package" headers.
+	return emit(os.Stderr, findings, asJSON)
+}
+
+// typecheckCfg loads the package the way the loader package does, but from
+// the driver config instead of `go list` output.
+func typecheckCfg(cfg *vetConfig) (*analysis.Package, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, path := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		return compilerImp.Import(importPath)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
+	}
+	return &analysis.Package{Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,137 @@
+// Package analysistest is the golden-test harness for the analysis suite,
+// mirroring golang.org/x/tools/go/analysis/analysistest: a fixture is a
+// self-contained module under testdata/, its sources carry expectations as
+// trailing comments, and Run checks that the analyzers produce exactly the
+// expected findings — no more, no fewer.
+//
+// Expectation syntax, on the line the finding is reported at:
+//
+//	now := time.Now() // want "reads the wall clock"
+//
+// The quoted string is a regexp matched against the finding message.
+// Several expectations may sit on one line (`// want "a" "b"`), and both
+// `"..."` and backquoted forms are accepted. Lines without a want comment
+// must produce no finding; //lint:tecfan-ignore directives in fixtures are
+// processed exactly as in production, which is how the directive semantics
+// themselves are tested (see testdata/ignore).
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tecfan/internal/analysis"
+	"tecfan/internal/analysis/loader"
+)
+
+// A want is one parsed expectation: a message regexp anchored to file:line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// wantRE extracts the expectation list from a comment's text. The marker
+// may follow other comment content (e.g. an ignore directive under test),
+// so it is searched for anywhere in the text.
+var wantRE = regexp.MustCompile(`// want((?:\s+(?:"(?:[^"\\]|\\.)*"|` + "`[^`]*`" + `))+)`)
+
+var wantArgRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
+
+// Run loads the fixture module rooted at dir (its go.mod makes it
+// invisible to the enclosing module), applies the analyzers to every
+// package in it, and reports any mismatch between findings and // want
+// expectations as test errors.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := loader.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s matched no packages", dir)
+	}
+	for _, pkg := range pkgs {
+		wants, err := collectWants(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		findings, err := analysis.RunPackage(pkg, analyzers, nil)
+		if err != nil {
+			t.Fatalf("fixture %s: %v", dir, err)
+		}
+		for _, f := range findings {
+			if !claim(wants, f) {
+				t.Errorf("%s: unexpected finding: %s (%s)", f.Pos, f.Message, f.Analyzer)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.raw)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched want on the finding's line whose regexp
+// matches the message. One want consumes exactly one finding, so duplicate
+// findings on a line need duplicate wants.
+func claim(wants []*want, f analysis.Finding) bool {
+	for _, w := range wants {
+		if w.matched || w.file != f.File || w.line != f.Line {
+			continue
+		}
+		if w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(pkg *analysis.Package) ([]*want, error) {
+	var out []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want") {
+						pos := pkg.Fset.Position(c.Pos())
+						return nil, fmt.Errorf("%s: malformed want comment: %s", pos, c.Text)
+					}
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, arg := range wantArgRE.FindAllString(m[1], -1) {
+					pat, err := unquoteWant(arg)
+					if err != nil {
+						return nil, fmt.Errorf("%s: %v", pos, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %s: %v", pos, arg, err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func unquoteWant(arg string) (string, error) {
+	if strings.HasPrefix(arg, "`") {
+		return strings.Trim(arg, "`"), nil
+	}
+	s, err := strconv.Unquote(arg)
+	if err != nil {
+		return "", fmt.Errorf("bad want string %s: %v", arg, err)
+	}
+	return s, nil
+}

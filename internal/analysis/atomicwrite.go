@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+// atomicScope covers the packages that persist or hand off daemon state:
+// the control-plane daemon, the pool coordinator, and the worker. State
+// there survives SIGKILL only because every write goes through the
+// internal/checkpoint envelope (temp file + fsync + atomic rename +
+// versioned SHA-256 header, §10); a raw os.WriteFile can be half-written
+// at crash time and then served as truth after restart. internal/checkpoint
+// itself is outside the scope — it is the one place allowed to touch the
+// primitives.
+var atomicScope = regexp.MustCompile(`(^|/)internal/(daemon|pool|worker)(/|$)`)
+
+// rawWriteFuncs are the os entry points that create or overwrite files
+// directly.
+var rawWriteFuncs = map[string]bool{
+	"WriteFile": true, "Create": true, "OpenFile": true, "CreateTemp": true,
+}
+
+// Atomicwrite forbids raw file creation in the state-bearing packages:
+// state must go through internal/checkpoint (or carry a justified ignore
+// directive for genuinely non-state files such as probe scratch).
+var Atomicwrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc: "forbids raw os.WriteFile/os.Create/os.OpenFile/os.CreateTemp in " +
+		"internal/{daemon,pool,worker}; daemon state must be written through the " +
+		"internal/checkpoint atomic envelope so a crash can never leave torn state",
+	Run: runAtomicwrite,
+}
+
+func runAtomicwrite(pass *Pass) error {
+	if !atomicScope.MatchString(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" ||
+				!isPackageLevel(fn) || !rawWriteFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"raw os.%s in state-bearing package %s; write state through internal/checkpoint (atomic fsynced envelope) so a crash cannot tear it",
+				fn.Name(), pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"tecfan/internal/analysis"
+	"tecfan/internal/analysis/loader"
+)
+
+// TestAnalyzersCleanOnTree is the in-process twin of the CI lint gate: it
+// runs the full registry over every package of the repository and fails on
+// any unjustified finding. A regression that sneaks past `go vet -vettool`
+// locally (or a CI config rot that silently drops the lint job) still dies
+// here, inside plain `go test ./...`.
+func TestAnalyzersCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tree-wide lint in -short mode")
+	}
+	pkgs, err := loader.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading repository tree: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; pattern or module root wrong", len(pkgs))
+	}
+	var total int
+	for _, pkg := range pkgs {
+		findings, err := analysis.RunPackage(pkg, analysis.All(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range findings {
+			total++
+			t.Errorf("%s", f)
+		}
+	}
+	if total > 0 {
+		t.Errorf("%d unjustified finding(s); fix them or add a //lint:tecfan-ignore <analyzer> -- <why> directive", total)
+	}
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxloop enforces the §10 cancellation contract: any function that takes
+// a context.Context must consult it inside unbounded loops (`for {}` and
+// `for cond {}`), either directly (ctx.Err / ctx.Done) or by passing ctx
+// to a blocking call each iteration. A loop that never mentions ctx keeps
+// running after cancellation, which is exactly how the <1-control-period
+// shutdown guarantee and the SIGTERM drain rot.
+//
+// Bounded three-clause loops and range loops are exempt: simulation-length
+// `for step := 0; step < n; step++` bodies already check ctx once per
+// control period via the sim/exp helpers, and flagging every bounded loop
+// would drown the signal.
+var Ctxloop = &Analyzer{
+	Name: "ctxloop",
+	Doc: "functions taking a context.Context must consult ctx (ctx.Err()/ctx.Done(), or " +
+		"pass ctx to a callee) inside every unbounded `for {}` / `for cond {}` loop, so " +
+		"cancellation is honored within one iteration",
+	Run: runCtxloop,
+}
+
+func runCtxloop(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxFunc(pass, fd.Name.Name, fd.Type, fd.Body, nil)
+		}
+	}
+	return nil
+}
+
+// checkCtxFunc walks one function unit. visible accumulates the ctx
+// parameter objects in scope — the unit's own plus any from enclosing
+// functions, since a closure may legitimately honor the outer ctx.
+func checkCtxFunc(pass *Pass, name string, ft *ast.FuncType, body *ast.BlockStmt, visible []types.Object) {
+	visible = append(visible[:len(visible):len(visible)], ctxParams(pass, ft)...)
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A nested function is its own unit (often its own goroutine):
+			// recurse with the enclosing ctx objects still visible.
+			checkCtxFunc(pass, name+" (func literal)", n.Type, n.Body, visible)
+			return false
+		case *ast.ForStmt:
+			if len(visible) > 0 && unboundedFor(n) && !usesAny(pass, n.Body, visible) {
+				pass.Reportf(n.Pos(),
+					"unbounded loop in context-aware function %s never consults its context; check ctx.Err(), select on ctx.Done(), or pass ctx to a blocking call each iteration",
+					name)
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// ctxParams returns the objects of named, non-blank context.Context
+// parameters. A blank `_ context.Context` cannot be consulted, so the
+// function is treated as context-unaware rather than flagged on every
+// loop.
+func ctxParams(pass *Pass, ft *ast.FuncType) []types.Object {
+	var out []types.Object
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.ObjectOf(name)
+			if obj != nil && isContextType(obj.Type()) {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// unboundedFor reports whether the loop has no termination structure of
+// its own: `for {}` or a while-style `for cond {}`.
+func unboundedFor(n *ast.ForStmt) bool {
+	if n.Cond == nil {
+		return true
+	}
+	return n.Init == nil && n.Post == nil
+}
+
+// usesAny reports whether any identifier in body resolves to one of the
+// given objects.
+func usesAny(pass *Pass, body ast.Node, objs []types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		use := pass.TypesInfo.Uses[id]
+		if use == nil {
+			return true
+		}
+		for _, obj := range objs {
+			if use == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

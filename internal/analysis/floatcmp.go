@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Floatcmp forbids ==/!= on floating-point values. Temperatures, powers,
+// and energies in this repo come out of iterative solvers and accumulate
+// rounding; exact equality on them is either dead (never true) or flaky
+// (true on one architecture's FMA contraction and false on another's).
+// Use internal/floats.Near for tolerance compares or floats.Same for an
+// intentional, self-documenting exact compare.
+//
+// Two idiomatic exceptions are built in rather than requiring directives:
+// comparison against an exact constant zero (sentinel/guard checks such as
+// `if dt == 0` on values that are assigned literally, not computed), and
+// the x != x NaN test.
+var Floatcmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "forbids ==/!= on float32/float64 outside test files; use " +
+		"internal/floats.Near (epsilon) or floats.Same (intentional exact compare); " +
+		"comparisons against literal 0 and the x != x NaN idiom are allowed",
+	Run: runFloatcmp,
+}
+
+func runFloatcmp(pass *Pass) error {
+	// The helper package is the one place allowed to spell the raw
+	// comparison.
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/floats") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypesInfo.TypeOf(be.X)) && !isFloat(pass.TypesInfo.TypeOf(be.Y)) {
+				return true
+			}
+			if isExactZero(pass.TypesInfo, be.X) || isExactZero(pass.TypesInfo, be.Y) {
+				return true
+			}
+			// Both sides constant: folded at compile time, deterministic.
+			if isConst(pass.TypesInfo, be.X) && isConst(pass.TypesInfo, be.Y) {
+				return true
+			}
+			// NaN idiom: x != x.
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true
+			}
+			pass.Reportf(be.Pos(),
+				"%s compares floats exactly; use floats.Near(a, b, eps) for tolerance or floats.Same(a, b) to mark an intentional exact compare",
+				be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isExactZero(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float && v.Kind() != constant.Int {
+		return false
+	}
+	f, _ := constant.Float64Val(v)
+	return f == 0
+}

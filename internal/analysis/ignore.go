@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// A directive is one parsed //lint:tecfan-ignore comment. It suppresses
+// findings of exactly one analyzer on exactly one line: the line the
+// comment sits on (trailing form) or the line immediately below it
+// (comment-above form). It never blankets a file or a block — broad
+// exemptions belong in the analyzer's scope, not in directives.
+type directive struct {
+	Analyzer      string
+	Justification string
+	Pos           token.Pos
+	File          string
+	Line          int
+}
+
+// directiveRE matches the full comment text. The justification separator
+// "--" is mandatory syntax; what follows it may still be empty, which
+// RunPackage turns into a finding.
+var directiveRE = regexp.MustCompile(`^//lint:tecfan-ignore\s+([A-Za-z0-9_-]+)\s*(?:--(.*))?$`)
+
+func collectDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//lint:tecfan-ignore") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d := directive{Pos: c.Pos(), File: pos.Filename, Line: pos.Line}
+				if m := directiveRE.FindStringSubmatch(c.Text); m != nil {
+					d.Analyzer = m[1]
+					d.Justification = strings.TrimSpace(m[2])
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a finding of analyzer at pos is covered by a
+// well-formed directive (same file, same line or the line above, matching
+// analyzer, non-empty justification). Malformed directives never suppress;
+// they are reported instead.
+func suppressed(directives []directive, analyzer string, pos token.Position) bool {
+	for _, d := range directives {
+		if d.Analyzer != analyzer || d.Justification == "" {
+			continue
+		}
+		if d.File != pos.Filename {
+			continue
+		}
+		if d.Line == pos.Line || d.Line == pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+package loader
+
+import (
+	"testing"
+)
+
+func TestLoadSelf(t *testing.T) {
+	pkgs, err := Load(".", ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Types.Path() != "tecfan/internal/analysis/loader" {
+		t.Fatalf("loaded %q", pkg.Types.Path())
+	}
+	if len(pkg.Files) == 0 || pkg.Info == nil || pkg.Fset == nil {
+		t.Fatal("package missing syntax or type information")
+	}
+	// Comments must be retained: the ignore directives and the analysistest
+	// want expectations both live in them.
+	hasComments := false
+	for _, f := range pkg.Files {
+		if len(f.Comments) > 0 {
+			hasComments = true
+		}
+	}
+	if !hasComments {
+		t.Fatal("loader dropped comments; directives would be invisible")
+	}
+}
+
+func TestLoadDeps(t *testing.T) {
+	// Loading a package with intra-module dependencies must type-check it
+	// against their export data and must not return the dependencies
+	// themselves.
+	pkgs, err := Load(".", "tecfan/internal/analysis/analysistest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Types.Path() != "tecfan/internal/analysis/analysistest" {
+		t.Fatalf("got %d packages", len(pkgs))
+	}
+}
+
+func TestLoadBadPattern(t *testing.T) {
+	if _, err := Load(".", "./no/such/dir"); err == nil {
+		t.Fatal("nonexistent pattern loaded without error")
+	}
+}

@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Lockedio flags blocking I/O performed while a sync.Mutex/RWMutex is
+// held. This is the §11 breaker-race bug class fixed in PR 4: an HTTP call
+// made under the client's breaker mutex serialized every request behind
+// the slowest peer and deadlocked the half-open probe path. The rule:
+// copy what you need under the lock, unlock, then do the I/O.
+var Lockedio = &Analyzer{
+	Name: "lockedio",
+	Doc: "forbids network and file I/O inside a mutex critical section " +
+		"(between x.Lock()/x.RLock() and the matching unlock, or after a deferred " +
+		"unlock); snapshot state under the lock and perform I/O outside it",
+	Run: runLockedio,
+}
+
+// ioFuncs maps package path → function/method names that block on the
+// network or the filesystem. Methods are matched by defining package, so
+// (*os.File).Write and (net.Conn).Read are covered by their package rows.
+var ioFuncs = map[string]map[string]bool{
+	"os": {
+		"WriteFile": true, "ReadFile": true, "Open": true, "Create": true,
+		"OpenFile": true, "CreateTemp": true, "Remove": true, "RemoveAll": true,
+		"Rename": true, "Mkdir": true, "MkdirAll": true, "ReadDir": true,
+		"Stat": true, "Lstat": true, "Truncate": true,
+		"Write": true, "WriteString": true, "WriteAt": true,
+		"Read": true, "ReadAt": true, "Sync": true,
+	},
+	"net": {
+		"Dial": true, "DialTimeout": true, "Listen": true,
+		"Read": true, "Write": true, "Accept": true,
+	},
+	"net/http": {
+		"Get": true, "Head": true, "Post": true, "PostForm": true,
+		"Do": true, "RoundTrip": true, "ListenAndServe": true, "Serve": true,
+	},
+	"os/exec": {
+		"Run": true, "Start": true, "Output": true, "CombinedOutput": true, "Wait": true,
+	},
+}
+
+func runLockedio(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Each function literal is its own unit: its body usually runs
+			// on another goroutine or after the lock is released.
+			units := []*ast.BlockStmt{fd.Body}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					units = append(units, lit.Body)
+				}
+				return true
+			})
+			for _, unit := range units {
+				checkLockedUnit(pass, unit)
+			}
+		}
+	}
+	return nil
+}
+
+// checkLockedUnit scans every statement list in the unit for critical
+// sections and flags I/O calls inside them. Critical sections are
+// recognized lexically: Lock()/RLock() followed either by a deferred
+// unlock (section = rest of the unit) or by the matching unlock statement
+// in the same block (section = the statements between them).
+func checkLockedUnit(pass *Pass, unit *ast.BlockStmt) {
+	ast.Inspect(unit, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != unit {
+			return false // nested unit handled separately
+		}
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			recv, kind := mutexCall(pass, stmt, "Lock", "RLock")
+			if kind == "" {
+				continue
+			}
+			lo, hi := stmt.End(), block.End()
+			deferred := false
+			if i+1 < len(block.List) {
+				if d, ok := block.List[i+1].(*ast.DeferStmt); ok {
+					if r, k := mutexCallExpr(pass, d.Call, "Unlock", "RUnlock"); k != "" && r == recv {
+						deferred = true
+						hi = unit.End()
+					}
+				}
+			}
+			if !deferred {
+				for _, later := range block.List[i+1:] {
+					if r, k := mutexCall(pass, later, "Unlock", "RUnlock"); k != "" && r == recv {
+						hi = later.Pos()
+						break
+					}
+				}
+			}
+			flagIOInRange(pass, unit, recv, lo, hi)
+		}
+		return true
+	})
+}
+
+// mutexCall matches an expression statement of the form recv.Name() where
+// Name is one of names and the method is sync.(RW)Mutex's. Returns the
+// receiver's source text as the section key.
+func mutexCall(pass *Pass, stmt ast.Stmt, names ...string) (string, string) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", ""
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	return mutexCallExpr(pass, call, names...)
+}
+
+func mutexCallExpr(pass *Pass, call *ast.CallExpr, names ...string) (string, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	name, ok := pkgFuncCall(pass.TypesInfo, call, "sync", names...)
+	if !ok {
+		return "", ""
+	}
+	return types.ExprString(sel.X), name
+}
+
+// flagIOInRange reports I/O calls positioned inside [lo, hi) of the unit,
+// not descending into nested function literals.
+func flagIOInRange(pass *Pass, unit *ast.BlockStmt, recv string, lo, hi token.Pos) {
+	ast.Inspect(unit, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if call.Pos() < lo || call.Pos() >= hi {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkgPath := fn.Pkg().Path()
+		blocking := false
+		if names, ok := ioFuncs[pkgPath]; ok && names[fn.Name()] {
+			blocking = true
+		}
+		// The repo's own hardened daemon client is pure network I/O with
+		// retries — holding a lock across its exported surface recreates
+		// the §11 breaker race exactly. The client's own internals are
+		// exempt: its helpers run under its mutex by design and are
+		// guarded by the package's race tests.
+		if strings.HasSuffix(pkgPath, "internal/client") &&
+			pkgPath != pass.Pkg.Path() && ast.IsExported(fn.Name()) {
+			blocking = true
+		}
+		if blocking {
+			pass.Reportf(call.Pos(),
+				"%s.%s performs blocking I/O while %s is locked; snapshot state under the lock, unlock, then do the I/O",
+				fn.Pkg().Name(), fn.Name(), recv)
+		}
+		return true
+	})
+}

@@ -1,0 +1,25 @@
+package analysis
+
+// All returns the full analyzer suite in catalog order (DESIGN.md §13).
+// cmd/tecfan-lint, the CI lint job, and TestAnalyzersCleanOnTree all run
+// exactly this set, so adding an analyzer here enforces it everywhere at
+// once.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Nondeterminism,
+		Ctxloop,
+		Atomicwrite,
+		Lockedio,
+		Floatcmp,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+// Package daemon is an in-scope fixture for the atomicwrite analyzer: the
+// import path matches internal/{daemon,pool,worker}, so raw file-creating
+// os calls are findings unless justified.
+package daemon
+
+import "os"
+
+func save(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `raw os\.WriteFile in state-bearing package`
+}
+
+func create(path string) (*os.File, error) {
+	return os.Create(path) // want `raw os\.Create in state-bearing package`
+}
+
+func appendLog(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644) // want `raw os\.OpenFile in state-bearing package`
+}
+
+// probe shows the sanctioned escape hatch for genuinely non-state files.
+func probe(dir string) error {
+	f, err := os.CreateTemp(dir, ".probe-*") //lint:tecfan-ignore atomicwrite -- fixture: probe scratch, never read back
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	_ = f.Close()
+	return os.Remove(name)
+}
+
+// read-side calls are not the analyzer's business.
+func load(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

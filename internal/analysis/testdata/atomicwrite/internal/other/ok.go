@@ -1,0 +1,9 @@
+// Package other is outside the state-bearing scope, so raw writes are
+// allowed.
+package other
+
+import "os"
+
+func Save(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

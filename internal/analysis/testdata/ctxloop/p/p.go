@@ -1,0 +1,97 @@
+// Package p exercises the ctxloop analyzer: unbounded loops in
+// context-taking functions must consult ctx; bounded and range loops, and
+// functions without a usable ctx, are exempt.
+package p
+
+import (
+	"context"
+	"fmt"
+)
+
+func spin(ctx context.Context, work chan int) {
+	for { // want `unbounded loop in context-aware function spin never consults its context`
+		<-work
+	}
+}
+
+func while(ctx context.Context, n int) {
+	for n > 0 { // want `unbounded loop in context-aware function while never consults its context`
+		n--
+	}
+}
+
+func polite(ctx context.Context, work chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case w := <-work:
+			fmt.Println(w)
+		}
+	}
+}
+
+func errCheck(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+func delegate(ctx context.Context, step func(context.Context) bool) {
+	for {
+		if step(ctx) {
+			return
+		}
+	}
+}
+
+func bounded(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}
+
+func ranged(ctx context.Context, xs []int) {
+	for range xs {
+	}
+}
+
+// noCtx takes no context, so its unbounded loop is out of scope.
+func noCtx(work chan int) {
+	for {
+		if _, ok := <-work; !ok {
+			return
+		}
+	}
+}
+
+// blank ctx cannot be consulted; the function is context-unaware.
+func blank(_ context.Context, work chan int) {
+	for {
+		if _, ok := <-work; !ok {
+			return
+		}
+	}
+}
+
+// honorsOuter: a closure may satisfy the contract through the enclosing
+// function's ctx.
+func honorsOuter(ctx context.Context) func() {
+	return func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+		}
+	}
+}
+
+func deaf(ctx context.Context, work chan int) func() {
+	return func() {
+		for { // want `unbounded loop in context-aware function deaf \(func literal\) never consults its context`
+			<-work
+		}
+	}
+}

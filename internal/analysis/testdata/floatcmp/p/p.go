@@ -1,0 +1,40 @@
+// Package p exercises the floatcmp analyzer: exact ==/!= on floats is a
+// finding; literal-zero guards, the NaN idiom, constant folding, and
+// non-float comparisons are exempt.
+package p
+
+func equal(a, b float64) bool {
+	return a == b // want `== compares floats exactly`
+}
+
+func notEqual(a, b float32) bool {
+	return a != b // want `!= compares floats exactly`
+}
+
+func mixed(a float64, b int) bool {
+	return a == float64(b) // want `== compares floats exactly`
+}
+
+func zeroGuard(dt float64) bool {
+	return dt == 0
+}
+
+func zeroGuardLeft(dt float64) bool {
+	return 0.0 != dt
+}
+
+func nan(x float64) bool {
+	return x != x
+}
+
+func ints(a, b int) bool {
+	return a == b
+}
+
+func constFolded() bool {
+	return 1.5 == 3.0/2.0
+}
+
+func justified(a, b float64) bool {
+	return a == b //lint:tecfan-ignore floatcmp -- fixture: intentional exact compare
+}

@@ -1,0 +1,39 @@
+// Package sim exercises the //lint:tecfan-ignore directive semantics
+// against the nondeterminism analyzer (the package sits in its scope so
+// every time.Now read is a finding unless suppressed).
+package sim
+
+import "time"
+
+// Trailing form: the directive suppresses the finding on its own line.
+func trailing() time.Time {
+	return time.Now() //lint:tecfan-ignore nondeterminism -- fixture: trailing-form suppression
+}
+
+// Comment-above form covers exactly the next line: the second read is
+// still reported.
+func oneLineOnly() (time.Time, time.Time) {
+	//lint:tecfan-ignore nondeterminism -- fixture: covers only the next line
+	a := time.Now()
+	b := time.Now() // want `time\.Now reads the wall clock`
+	return a, b
+}
+
+// A directive without a justification suppresses nothing and is itself a
+// finding.
+func unjustified() time.Time {
+	//lint:tecfan-ignore nondeterminism // want `needs a justification`
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// Naming an analyzer outside the registry is reported, not silently
+// ignored — and it suppresses nothing.
+func typo() time.Time {
+	return time.Now() //lint:tecfan-ignore nodeterminism -- fixture: misspelled name // want `unknown analyzer "nodeterminism"` `time\.Now reads the wall clock`
+}
+
+// A justified directive for analyzer A does not blanket analyzer B's
+// findings on the same line.
+func wrongAnalyzer() time.Time {
+	return time.Now() //lint:tecfan-ignore floatcmp -- fixture: names the wrong analyzer // want `time\.Now reads the wall clock`
+}

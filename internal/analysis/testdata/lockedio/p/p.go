@@ -1,0 +1,64 @@
+// Package p exercises the lockedio analyzer: blocking file/network I/O
+// between Lock/RLock and the matching unlock (explicit or deferred) is a
+// finding; the snapshot-unlock-then-I/O pattern is the sanctioned shape.
+package p
+
+import (
+	"net/http"
+	"os"
+	"sync"
+)
+
+type store struct {
+	mu   sync.Mutex
+	path string
+	data []byte
+}
+
+func (s *store) explicitUnlock() error {
+	s.mu.Lock()
+	err := os.WriteFile(s.path, s.data, 0o644) // want `os\.WriteFile performs blocking I/O while s\.mu is locked`
+	s.mu.Unlock()
+	return err
+}
+
+func (s *store) deferredUnlock(url string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := http.Get(url) // want `http\.Get performs blocking I/O while s\.mu is locked`
+	return err
+}
+
+// snapshot is the fix: copy under the lock, release, then do the I/O.
+func (s *store) snapshot() error {
+	s.mu.Lock()
+	path, data := s.path, s.data
+	s.mu.Unlock()
+	return os.WriteFile(path, data, 0o644)
+}
+
+// spawned function literals are separate units: their bodies conventionally
+// run off-lock (another goroutine, or after return).
+func (s *store) spawns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		_ = os.Remove(s.path)
+	}()
+}
+
+type cache struct {
+	mu sync.RWMutex
+}
+
+func (c *cache) readLocked(path string) ([]byte, error) {
+	c.mu.RLock()
+	b, err := os.ReadFile(path) // want `os\.ReadFile performs blocking I/O while c\.mu is locked`
+	c.mu.RUnlock()
+	return b, err
+}
+
+// unrelated locks do not leak across functions.
+func plainIO(path string) error {
+	return os.Remove(path)
+}

@@ -1,0 +1,77 @@
+// Package sim is an in-scope fixture for the nondeterminism analyzer: its
+// import path (fixture/internal/sim) matches the deterministic-package
+// scope, so wall-clock reads, global RNG draws, and order-sensitive map
+// iteration are findings, while the injected seams stay clean.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Config mirrors the production clock/RNG seams.
+type Config struct {
+	Now func() time.Time
+	RNG *rand.Rand
+}
+
+func wallClock(cfg *Config) time.Duration {
+	start := time.Now()   // want `time\.Now reads the wall clock`
+	_ = time.Since(start) // want `time\.Since reads the wall clock`
+	return cfg.Now().Sub(start)
+}
+
+func draw(cfg *Config) int {
+	n := rand.Intn(6) // want `global math/rand\.Intn draws from the shared process RNG`
+	return n + cfg.RNG.Intn(6)
+}
+
+func seeded() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(6)
+}
+
+func defaults(cfg *Config) {
+	if cfg.Now == nil {
+		cfg.Now = time.Now // want `time\.Now captured as a value`
+	}
+}
+
+func render(m map[string]float64) {
+	for k, v := range m { // want `map iteration order is randomized but this loop feeds fmt\.Println`
+		fmt.Println(k, v)
+	}
+}
+
+// sortedKeys is the canonical fix: collecting only the key is exempt, and
+// the subsequent range is over a slice.
+func sortedKeys(m map[string]float64) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+func values(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m { // want `map iteration order is randomized but this loop feeds append to out`
+		out = append(out, v)
+	}
+	return out
+}
+
+// localAccumulation appends to a slice declared inside the loop, which
+// cannot outlive an iteration.
+func localAccumulation(m map[string]float64) {
+	for _, v := range m {
+		var one []float64
+		one = append(one, v)
+		_ = one
+	}
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// isTestFile reports whether the file holding pos is a _test.go file. All
+// five analyzers skip test files: the invariants guard production control
+// paths, and tests legitimately use wall clocks, exact comparisons against
+// golden values, and raw temp-file writes.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package-level function or method), or nil for builtins, conversions,
+// and calls of function-typed variables.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// pkgFuncCall reports whether call invokes a function or method defined in
+// package pkgPath with one of the given names. An empty names list matches
+// any name in the package.
+func pkgFuncCall(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	if len(names) == 0 {
+		return fn.Name(), true
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// isPackageLevel reports whether fn is a package-level function (no
+// receiver) — distinguishes the global math/rand funcs from methods on an
+// injected *rand.Rand.
+func isPackageLevel(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// declaredOutside reports whether the object bound to expr (an identifier
+// or selector base) was declared outside the [lo, hi] source range — used
+// to detect accumulation into variables that outlive a loop.
+func declaredOutside(info *types.Info, expr ast.Expr, lo, hi token.Pos) bool {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		// field or method on some base: x.rows — treat the selection's
+		// root identifier as the declaration site.
+		base := e.X
+		for {
+			if sel, ok := ast.Unparen(base).(*ast.SelectorExpr); ok {
+				base = sel.X
+				continue
+			}
+			break
+		}
+		id, _ = ast.Unparen(base).(*ast.Ident)
+	}
+	if id == nil {
+		return false
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	pos := obj.Pos()
+	return pos < lo || pos > hi
+}

@@ -143,6 +143,33 @@ func CheckProbability(flagName string, p float64) error {
 	return nil
 }
 
+// CheckPackagePattern validates a go-tool package pattern argument
+// ("./...", "tecfan/internal/sim", "std") eagerly, so tecfan-lint rejects
+// a flag-looking or whitespace-mangled argument before spending seconds in
+// `go list`.
+func CheckPackagePattern(flagName, pattern string) error {
+	if pattern == "" {
+		return fmt.Errorf("%s: package pattern must not be empty", flagName)
+	}
+	if strings.HasPrefix(pattern, "-") {
+		return fmt.Errorf("%s: package pattern %q looks like a flag; flags must precede patterns", flagName, pattern)
+	}
+	if strings.ContainsAny(pattern, " \t\n") {
+		return fmt.Errorf("%s: package pattern %q contains whitespace", flagName, pattern)
+	}
+	return nil
+}
+
+// CheckOneOf validates an enum-valued flag against its allowed values.
+func CheckOneOf(flagName, got string, valid ...string) error {
+	for _, v := range valid {
+		if got == v {
+			return nil
+		}
+	}
+	return fmt.Errorf("-%s must be one of %s, got %q", flagName, strings.Join(valid, ", "), got)
+}
+
 // PrintLists prints the valid benchmarks and policies — the body of every
 // tool's -list flag.
 func PrintLists(sys System) {

@@ -134,3 +134,36 @@ func TestCheckProbability(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckPackagePattern(t *testing.T) {
+	for _, pat := range []string{"./...", ".", "tecfan/internal/sim", "std", "./cmd/tecfan-lint"} {
+		if err := CheckPackagePattern("tecfan-lint", pat); err != nil {
+			t.Errorf("CheckPackagePattern(%q) = %v", pat, err)
+		}
+	}
+	bad := map[string]string{
+		"":            "empty",
+		"-json":       "flag-looking",
+		"./... extra": "embedded space",
+		"a\tb":        "embedded tab",
+		"a\nb":        "embedded newline",
+	}
+	for pat, why := range bad {
+		if err := CheckPackagePattern("tecfan-lint", pat); err == nil {
+			t.Errorf("CheckPackagePattern(%q) accepted (%s)", pat, why)
+		}
+	}
+}
+
+func TestCheckOneOf(t *testing.T) {
+	if err := CheckOneOf("mode", "text", "text", "json"); err != nil {
+		t.Error(err)
+	}
+	err := CheckOneOf("mode", "xml", "text", "json")
+	if err == nil {
+		t.Fatal("invalid enum value accepted")
+	}
+	if !strings.Contains(err.Error(), "text, json") {
+		t.Errorf("error %q does not list the valid values", err)
+	}
+}

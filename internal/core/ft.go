@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"tecfan/internal/floats"
 	"tecfan/internal/sim"
 	"tecfan/internal/tec"
 )
@@ -338,7 +339,7 @@ func (f *FT) sanitize(s *sim.Observation, raw []float64) {
 	moved := false
 	if f.haveRaw {
 		for i := 0; i < f.nDie; i++ {
-			if !f.distrust[i] && raw[i] != f.lastRaw[i] {
+			if !f.distrust[i] && !floats.Same(raw[i], f.lastRaw[i]) {
 				moved = true
 				break
 			}
@@ -359,7 +360,7 @@ func (f *FT) sanitize(s *sim.Observation, raw []float64) {
 			switch {
 			case !finite(raw[i]) || raw[i] < f.Cfg.TempMin || raw[i] > f.Cfg.TempMax:
 				f.distrustSensor(i, s.Time)
-			case f.haveRaw && raw[i] == f.lastRaw[i] && moved:
+			case f.haveRaw && floats.Same(raw[i], f.lastRaw[i]) && moved:
 				f.freeze[i]++
 				if f.freeze[i] >= f.Cfg.FreezeStreak {
 					f.distrustSensor(i, s.Time)

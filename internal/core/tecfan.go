@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"tecfan/internal/floats"
 	"tecfan/internal/sim"
 )
 
@@ -168,7 +169,7 @@ func (c *Controller) offTECOverHottestSpot(cand Candidate, est Estimate, thresho
 		// ties would otherwise resolve by randomized map order.
 		for _, ce := range pl.CoverList {
 			t := est.Temps[ce.Comp]
-			if t < bestT || (t == bestT && ce.Frac <= bestCover) {
+			if t < bestT || (floats.Same(t, bestT) && ce.Frac <= bestCover) {
 				continue
 			}
 			bestL, bestT, bestCover = l, t, ce.Frac

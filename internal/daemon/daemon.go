@@ -36,7 +36,7 @@ import (
 // Config tunes the daemon. Zero values take the documented defaults.
 type Config struct {
 	// StateDir holds job checkpoints (<id>.ckpt) and results
-	// (<id>.result.json). Required.
+	// (<id>.result — the same atomic checkpoint envelope). Required.
 	StateDir string
 	// Workers is the number of concurrent job executors (default 1: the
 	// simulations are CPU-bound and single-threaded).
@@ -733,7 +733,7 @@ func (s *Server) ckptPath(id string) string {
 }
 
 func (s *Server) resultPath(id string) string {
-	return filepath.Join(s.cfg.StateDir, id+".result.json")
+	return filepath.Join(s.cfg.StateDir, id+".result")
 }
 
 // Handler returns the daemon's HTTP API, wrapped in the request-ID and
@@ -810,10 +810,10 @@ func (s *Server) recover() error {
 	// them so GET /jobs shows history across restarts.
 	for _, e := range entries {
 		name := e.Name()
-		if !strings.HasSuffix(name, ".result.json") {
+		if !strings.HasSuffix(name, ".result") {
 			continue
 		}
-		id := strings.TrimSuffix(name, ".result.json")
+		id := strings.TrimSuffix(name, ".result")
 		if _, ok := s.jobs[id]; ok {
 			continue
 		}

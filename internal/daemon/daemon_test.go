@@ -13,6 +13,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"tecfan/internal/checkpoint"
 )
 
 // fastConfig is a test-sized daemon: millisecond backoff, quiet logs.
@@ -439,7 +441,7 @@ func TestChaosJobEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitState(t, s, id, StateDone)
-	data, err := os.ReadFile(s.resultPath(id))
+	data, err := checkpoint.ReadFile(s.resultPath(id))
 	if err != nil {
 		t.Fatal(err)
 	}

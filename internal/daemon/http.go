@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+
+	"tecfan/internal/checkpoint"
 )
 
 // maxBodyBytes bounds a submission body; a JobSpec is a few hundred bytes.
@@ -60,9 +62,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// stateDirWritable probes that a checkpoint could land right now.
+// stateDirWritable probes that a checkpoint could land right now. The
+// probe file is scratch by design — it must NOT be a checkpoint: we are
+// testing the directory, and an envelope write that failed halfway would
+// leave a plausible-looking .ckpt for recover() to trip on.
 func (s *Server) stateDirWritable() error {
-	f, err := os.CreateTemp(s.cfg.StateDir, ".readyz-probe-*")
+	f, err := os.CreateTemp(s.cfg.StateDir, ".readyz-probe-*") //lint:tecfan-ignore atomicwrite -- readiness probe scratch, not state; never read back
 	if err != nil {
 		return err
 	}
@@ -144,7 +149,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, v)
 		return
 	}
-	data, err := os.ReadFile(s.resultPath(id))
+	// checkpoint.ReadFile verifies the envelope checksum: a result rotted
+	// on disk surfaces as a 500 here instead of being served as truth.
+	data, err := checkpoint.ReadFile(s.resultPath(id))
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "result file unreadable: "+err.Error())
 		return

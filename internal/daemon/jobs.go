@@ -6,8 +6,6 @@ import (
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 
 	"tecfan/internal/checkpoint"
 	"tecfan/internal/exp"
@@ -293,35 +291,20 @@ func appendF4Case(cases []exp.Fig4Case, c exp.Fig4Case) []exp.Fig4Case {
 	return append(cases, c)
 }
 
-// writeResult durably persists the job's result as JSON: temp file, fsync,
-// atomic rename — the same discipline as the checkpoints, because a result
-// half-written at crash time would be served as truth after restart.
+// writeResult durably persists the job's result through the checkpoint
+// envelope: atomic rename so a crash can never tear it, and a SHA-256
+// checksum so a result rotted on disk is refused instead of served as
+// truth after restart. (This used to hand-roll the temp+fsync+rename
+// dance; the atomicwrite analyzer now pins all state writes to
+// internal/checkpoint.)
 func (s *Server) writeResult(id string, v any) error {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return fmt.Errorf("daemon: encoding result %s: %w", id, err)
 	}
 	data = append(data, '\n')
-	path := s.resultPath(id)
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("daemon: %w", err)
-	}
-	tmpName := tmp.Name()
-	defer os.Remove(tmpName)
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return fmt.Errorf("daemon: writing %s: %w", tmpName, err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("daemon: syncing %s: %w", tmpName, err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("daemon: closing %s: %w", tmpName, err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		return fmt.Errorf("daemon: %w", err)
+	if err := checkpoint.WriteFile(s.resultPath(id), data); err != nil {
+		return fmt.Errorf("daemon: result %s: %w", id, err)
 	}
 	return nil
 }

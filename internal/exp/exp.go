@@ -22,6 +22,7 @@ import (
 	"tecfan/internal/core"
 	"tecfan/internal/fan"
 	"tecfan/internal/fault"
+	"tecfan/internal/floats"
 	"tecfan/internal/floorplan"
 	"tecfan/internal/perf"
 	"tecfan/internal/policy"
@@ -82,7 +83,7 @@ func NewEnv() *Env {
 // scaled returns a copy of the benchmark with the instruction budget (and
 // hence run time) scaled.
 func (e *Env) scaled(b *workload.Benchmark) *workload.Benchmark {
-	if e.Scale == 1 {
+	if floats.Same(e.Scale, 1) {
 		return b
 	}
 	c := *b

@@ -36,8 +36,15 @@ type ScalingRow struct {
 
 // ControllerScaling measures a worst-case (hot, all knobs engaged) control
 // period for square tile grids of the given dimensions (e.g. 1, 2, 4, 6 →
-// 1, 4, 16, 36 cores).
-func ControllerScaling(grids []int) ([]ScalingRow, error) {
+// 1, 4, 16, 36 cores). The clock is injected by the caller (the facade
+// passes time.Now): wall time is this experiment's measurand, but reading
+// the wall clock directly here would break the exp package's determinism
+// invariant — with a nil clock every Elapsed is zero and the remaining
+// columns are reproducible.
+func ControllerScaling(now func() time.Time, grids []int) ([]ScalingRow, error) {
+	if now == nil {
+		now = func() time.Time { return time.Time{} }
+	}
 	var rows []ScalingRow
 	for _, g := range grids {
 		chip := floorplan.NewChip(g, g)
@@ -85,9 +92,9 @@ func ControllerScaling(grids []int) ([]ScalingRow, error) {
 			FanLevel:  1,
 			Threshold: peak - 10,
 		}
-		start := time.Now()
+		start := now()
 		ctl.Control(obs)
-		elapsed := time.Since(start)
+		elapsed := now().Sub(start)
 
 		// log10(M^N · 2^{N·L}): N·log10(M) + N·L·log10(2).
 		n := float64(nCores)

@@ -1,0 +1,32 @@
+// Package floats holds the approved float-comparison helpers enforced by
+// the floatcmp analyzer (DESIGN.md §13): solver outputs — temperatures,
+// powers, energies — carry rounding error, so exact ==/!= on them is
+// either dead or architecture-dependent. Near is the default; Same exists
+// so the rare intentional exact compare is spelled loudly instead of
+// looking like a bug.
+package floats
+
+import "math"
+
+// Near reports whether a and b agree within eps, absolutely or relative
+// to the larger magnitude — the standard mixed tolerance, so it works for
+// both ~0 residuals and ~350 K temperatures with one epsilon.
+func Near(a, b, eps float64) bool {
+	if a == b { //lint:tecfan-ignore floatcmp -- this package defines the approved comparison
+		return true
+	}
+	d := math.Abs(a - b)
+	if d <= eps {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= eps*m
+}
+
+// Same is an intentional exact comparison: bitwise-equal semantics for
+// sentinels and for the byte-identical replay proofs, where values must
+// round-trip exactly, not approximately. (NaN compares unequal to itself,
+// as with ==.)
+func Same(a, b float64) bool {
+	return a == b //lint:tecfan-ignore floatcmp -- this package defines the approved comparison
+}

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"tecfan/internal/floats"
 )
 
 // HotSpot .flp interop. HotSpot (the paper's §IV-B thermal simulator) reads
@@ -147,7 +149,7 @@ func ChipFromFLP(units []FLPUnit) (*Chip, error) {
 	// stable regardless of file order.
 	sort.SliceStable(chip.Components, func(a, b int) bool {
 		ca, cb := chip.Components[a], chip.Components[b]
-		if ca.Y != cb.Y {
+		if !floats.Same(ca.Y, cb.Y) {
 			return ca.Y < cb.Y
 		}
 		return ca.X < cb.X

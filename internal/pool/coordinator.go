@@ -143,7 +143,9 @@ func New(cfg Config) *Coordinator {
 		cfg.Logf = func(string, ...any) {}
 	}
 	if cfg.Now == nil {
-		cfg.Now = time.Now
+		// Lease expiry is wall-clock by nature; determinism lives in the
+		// shard plan/merge, which never reads Now. Tests inject a fake.
+		cfg.Now = time.Now //lint:tecfan-ignore nondeterminism -- clock seam default; lease timing is wall-clock by design, tests inject
 	}
 	return &Coordinator{
 		cfg:      cfg,

@@ -81,13 +81,13 @@ for _ in $(seq 1 3000); do
     say "SIGKILL after checkpoint of $size bytes"
     break
   fi
-  if [ -f "$WORK/state/drill.result.json" ]; then
+  if [ -f "$WORK/state/drill.result" ]; then
     die "job finished before the kill landed; raise DRILL_SCALE"
   fi
   sleep 0.01
 done
 [ "$killed" = 1 ] || die "no mid-run checkpoint appeared"
-[ ! -f "$WORK/state/drill.result.json" ] || die "result exists despite mid-run kill"
+[ ! -f "$WORK/state/drill.result" ] || die "result exists despite mid-run kill"
 
 # --- Restart: the next incarnation must resume and finish. ---------------
 say "restarting"

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# lint.sh — run the tecfan static-invariant suite (DESIGN.md §13) over the
+# whole tree, exactly as CI's blocking lint job does: build cmd/tecfan-lint
+# from the tree being checked, then run it through `go vet -vettool` so the
+# analyzers see every package with full type information and cmd/go's vet
+# cache keeps re-runs fast.
+#
+#   scripts/lint.sh              # whole tree
+#   scripts/lint.sh ./internal/sim/ ./cmd/...   # specific packages
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOOL="$(mktemp -d)/tecfan-lint"
+trap 'rm -rf "$(dirname "$TOOL")"' EXIT
+
+go build -o "$TOOL" ./cmd/tecfan-lint
+go vet -vettool="$TOOL" "${@:-./...}"
+echo "lint.sh: clean"

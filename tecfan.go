@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"tecfan/internal/exp"
 	"tecfan/internal/fault"
+	"tecfan/internal/floats"
 	"tecfan/internal/perf"
 	"tecfan/internal/power"
 	"tecfan/internal/sim"
@@ -150,7 +152,7 @@ func (s *System) RunContext(ctx context.Context, bench string, threads int, poli
 
 // scaled applies the system's scale to a benchmark.
 func (s *System) scaled(b *workload.Benchmark) *workload.Benchmark {
-	if s.env.Scale == 1 {
+	if floats.Same(s.env.Scale, 1) {
 		return b
 	}
 	c := *b
@@ -259,9 +261,10 @@ func (s *System) PlacementAblation() (aligned, uniform float64, err error) {
 // ControllerScaling measures one worst-case TECfan control period on
 // growing tile grids — the paper's O(NL + N²M) vs O(M^N·2^{NL}) complexity
 // argument, measured. grids lists square tile-grid dimensions (2 → 4
-// cores, 4 → 16 cores, ...).
+// cores, 4 → 16 cores, ...). The wall clock is injected here, at the
+// facade: the exp package itself stays deterministic (DESIGN.md §13).
 func ControllerScaling(grids []int) ([]exp.ScalingRow, error) {
-	return exp.ControllerScaling(grids)
+	return exp.ControllerScaling(time.Now, grids)
 }
 
 // Timescales measures the 90 % step-response settling time of the three
