@@ -22,6 +22,8 @@
 //	GET    /jobs/{id}         job status
 //	DELETE /jobs/{id}         cancel a job (checkpoints, then stops)
 //	GET    /jobs/{id}/result  durable result of a finished job
+//	GET    /storage           storage-robustness counters (degraded mode,
+//	                          quarantines, scrub repairs)
 //
 // With -pool, execution moves to tecfan-worker processes and the worker
 // protocol is mounted as well:
@@ -54,6 +56,7 @@ import (
 
 	"tecfan/internal/cmdutil"
 	"tecfan/internal/daemon"
+	"tecfan/internal/diskfault"
 )
 
 func main() {
@@ -75,6 +78,11 @@ func main() {
 	poolMode := flag.Bool("pool", false, "coordinate tecfan-worker processes instead of executing in-process")
 	poolLeaseTTL := flag.Duration("pool-lease-ttl", 10*time.Second, "shard lease TTL before a silent worker is fenced (with -pool)")
 	poolChunk := flag.Int("pool-chunk", 2, "sweep rows per shard (with -pool)")
+	ckptKeep := flag.Int("checkpoint-keep", 3, "checkpoint generations retained per job, head included (1 disables rotation)")
+	scrubInterval := flag.Duration("scrub-interval", 30*time.Second, "background checkpoint-scrub cadence (<0 disables)")
+	probeInterval := flag.Duration("storage-probe-interval", 2*time.Second, "degraded-mode recovery probe cadence")
+	dfSchedule := flag.String("diskfault-schedule", "", "JSON disk-fault schedule file; injects storage faults into all state I/O (testing only)")
+	dfSeed := flag.Int64("diskfault-seed", 0, "override the schedule's seed (with -diskfault-schedule)")
 	flag.Parse()
 
 	for _, err := range []error{
@@ -90,6 +98,8 @@ func main() {
 		cmdutil.CheckPositiveDuration("idle-timeout", *idleTimeout),
 		cmdutil.CheckPositiveDuration("pool-lease-ttl", *poolLeaseTTL),
 		cmdutil.CheckPositiveInt("pool-chunk", *poolChunk),
+		cmdutil.CheckPositiveInt("checkpoint-keep", *ckptKeep),
+		cmdutil.CheckPositiveDuration("storage-probe-interval", *probeInterval),
 	} {
 		if err != nil {
 			fatal(err)
@@ -105,19 +115,53 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// With a -diskfault-schedule every byte of daemon state flows through a
+	// seeded fault filesystem; a scheduled power cut kills the process with
+	// exit 3, the same contract the SIGKILL crash drill exercises.
+	fsys := diskfault.OS
+	if *dfSchedule != "" {
+		raw, err := os.ReadFile(*dfSchedule)
+		if err != nil {
+			fatal(err)
+		}
+		sched, err := diskfault.ParseSchedule(raw)
+		if err != nil {
+			fatal(err)
+		}
+		if *dfSeed != 0 {
+			sched.Seed = *dfSeed
+		}
+		ffs, err := diskfault.New(sched, &diskfault.Options{
+			Logf: log.Printf,
+			OnCrash: func() {
+				log.Printf("tecfand: simulated power cut: unsynced state discarded, exiting")
+				os.Exit(3)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fsys = ffs
+		log.Printf("tecfand: DISK FAULT INJECTION ACTIVE (schedule %s, seed %d)", *dfSchedule, sched.Seed)
+	}
+
 	s, err := daemon.New(daemon.Config{
-		StateDir:        *stateDir,
-		Workers:         *workers,
-		QueueDepth:      *queueDepth,
-		CheckpointEvery: *ckptEvery,
-		MaxAttempts:     *maxAttempts,
-		WatchdogTimeout: *watchdog,
-		SubmitRate:      *submitRate,
-		SubmitBurst:     *submitBurst,
-		RequestTimeout:  *requestTimeout,
-		PoolEnabled:     *poolMode,
-		PoolLeaseTTL:    *poolLeaseTTL,
-		PoolChunk:       *poolChunk,
+		StateDir:             *stateDir,
+		Workers:              *workers,
+		QueueDepth:           *queueDepth,
+		CheckpointEvery:      *ckptEvery,
+		MaxAttempts:          *maxAttempts,
+		WatchdogTimeout:      *watchdog,
+		SubmitRate:           *submitRate,
+		SubmitBurst:          *submitBurst,
+		RequestTimeout:       *requestTimeout,
+		PoolEnabled:          *poolMode,
+		PoolLeaseTTL:         *poolLeaseTTL,
+		PoolChunk:            *poolChunk,
+		FS:                   fsys,
+		CheckpointKeep:       *ckptKeep,
+		ScrubInterval:        *scrubInterval,
+		StorageProbeInterval: *probeInterval,
 	})
 	if err != nil {
 		fatal(err)

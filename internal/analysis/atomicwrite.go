@@ -6,29 +6,34 @@ import (
 )
 
 // atomicScope covers the packages that persist or hand off daemon state:
-// the control-plane daemon, the pool coordinator, and the worker. State
-// there survives SIGKILL only because every write goes through the
+// the checkpoint envelope itself, the control-plane daemon, the pool
+// coordinator, and the worker. State there survives SIGKILL — and, since
+// the diskfault seam, injected torn writes and power cuts — only because
+// every byte flows through internal/diskfault's FS interface and the
 // internal/checkpoint envelope (temp file + fsync + atomic rename +
 // versioned SHA-256 header, §10); a raw os.WriteFile can be half-written
-// at crash time and then served as truth after restart. internal/checkpoint
-// itself is outside the scope — it is the one place allowed to touch the
-// primitives.
-var atomicScope = regexp.MustCompile(`(^|/)internal/(daemon|pool|worker)(/|$)`)
+// at crash time and then served as truth after restart, and a raw
+// os.Rename bypasses the fault injection entirely. internal/diskfault is
+// outside the scope — it is the one place allowed to touch the primitives.
+var atomicScope = regexp.MustCompile(`(^|/)internal/(checkpoint|daemon|pool|worker)(/|$)`)
 
-// rawWriteFuncs are the os entry points that create or overwrite files
-// directly.
+// rawWriteFuncs are the os entry points that create, overwrite, or move
+// files directly.
 var rawWriteFuncs = map[string]bool{
 	"WriteFile": true, "Create": true, "OpenFile": true, "CreateTemp": true,
+	"Rename": true,
 }
 
-// Atomicwrite forbids raw file creation in the state-bearing packages:
-// state must go through internal/checkpoint (or carry a justified ignore
-// directive for genuinely non-state files such as probe scratch).
+// Atomicwrite forbids raw file mutation in the state-bearing packages:
+// state must go through the internal/diskfault FS seam and the
+// internal/checkpoint envelope (or carry a justified ignore directive for
+// genuinely non-state files such as probe scratch).
 var Atomicwrite = &Analyzer{
 	Name: "atomicwrite",
-	Doc: "forbids raw os.WriteFile/os.Create/os.OpenFile/os.CreateTemp in " +
-		"internal/{daemon,pool,worker}; daemon state must be written through the " +
-		"internal/checkpoint atomic envelope so a crash can never leave torn state",
+	Doc: "forbids raw os.WriteFile/os.Create/os.OpenFile/os.CreateTemp/os.Rename " +
+		"in internal/{checkpoint,daemon,pool,worker}; daemon state must be written " +
+		"through the internal/diskfault seam and the internal/checkpoint atomic " +
+		"envelope so a crash cannot tear it and fault injection covers every byte",
 	Run: runAtomicwrite,
 }
 
@@ -51,7 +56,7 @@ func runAtomicwrite(pass *Pass) error {
 				return true
 			}
 			pass.Reportf(call.Pos(),
-				"raw os.%s in state-bearing package %s; write state through internal/checkpoint (atomic fsynced envelope) so a crash cannot tear it",
+				"raw os.%s in state-bearing package %s; route state through the internal/diskfault seam and internal/checkpoint (atomic fsynced envelope) so a crash cannot tear it",
 				fn.Name(), pass.Pkg.Path())
 			return true
 		})

@@ -1,0 +1,31 @@
+// Package checkpoint is an in-scope fixture: since the diskfault seam
+// landed, the envelope package itself must route every file operation
+// through the injectable FS — raw os primitives here would dodge fault
+// injection for the most state-critical writes in the tree.
+package checkpoint
+
+import "os"
+
+func writeEnvelope(path string, data []byte) error {
+	tmp, err := os.CreateTemp(".", "ckpt-*") // want `raw os\.CreateTemp in state-bearing package`
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path) // want `raw os\.Rename in state-bearing package`
+}
+
+func saveTable(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o600) // want `raw os\.WriteFile in state-bearing package`
+}
+
+// Reads stay out of scope: verification happens at decode time either way.
+func loadEnvelope(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -17,6 +17,12 @@ func appendLog(path string) (*os.File, error) {
 	return os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644) // want `raw os\.OpenFile in state-bearing package`
 }
 
+// rotate: a raw rename moves state behind the diskfault seam's back — the
+// fault injector never sees it, and a quarantine can clobber evidence.
+func rotate(path string) error {
+	return os.Rename(path, path+".bak") // want `raw os\.Rename in state-bearing package`
+}
+
 // probe shows the sanctioned escape hatch for genuinely non-state files.
 func probe(dir string) error {
 	f, err := os.CreateTemp(dir, ".probe-*") //lint:tecfan-ignore atomicwrite -- fixture: probe scratch, never read back

@@ -28,8 +28,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
+
+	"tecfan/internal/diskfault"
 )
 
 // Version is the current envelope format version. Decode rejects any other
@@ -105,22 +106,25 @@ func Decode(data []byte) ([]byte, error) {
 	return append([]byte(nil), payload...), nil
 }
 
-// WriteFile atomically persists an enveloped payload: write to a temporary
-// file in the same directory, fsync, rename over the destination, fsync the
-// directory. A crash at any point leaves either the old file or the new one,
-// never a torn mix.
-func WriteFile(path string, payload []byte) error {
+// WriteFileFS atomically persists an enveloped payload through the given
+// filesystem seam: write to a temporary file in the same directory, fsync,
+// rename over the destination, fsync the directory. A crash at any point
+// leaves either the old file or the new one, never a torn mix. (A lying
+// fsync — simulated by diskfault, delivered by some real drives — can still
+// void that guarantee; generation fallback and the scrubber exist for the
+// corruption that slips through.)
+func WriteFileFS(fsys diskfault.FS, path string, payload []byte) error {
 	data, err := Encode(payload)
 	if err != nil {
 		return err
 	}
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	tmpName := tmp.Name()
-	defer os.Remove(tmpName) // no-op after a successful rename
+	defer fsys.Remove(tmpName) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return fmt.Errorf("checkpoint: writing %s: %w", tmpName, err)
@@ -132,28 +136,31 @@ func WriteFile(path string, payload []byte) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("checkpoint: closing %s: %w", tmpName, err)
 	}
-	if err := os.Rename(tmpName, path); err != nil {
+	if err := fsys.Rename(tmpName, path); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	if d, err := os.Open(dir); err == nil {
-		// Directory fsync makes the rename itself durable; best effort on
-		// filesystems that refuse it.
-		_ = d.Sync()
-		_ = d.Close()
-	}
+	// Directory fsync makes the rename itself durable; best effort on
+	// filesystems that refuse it.
+	_ = fsys.SyncDir(dir)
 	return nil
 }
 
-// ReadFile loads and verifies an enveloped file, returning the payload.
-func ReadFile(path string) ([]byte, error) {
-	fi, err := os.Stat(path)
+// WriteFile is WriteFileFS over the real filesystem.
+func WriteFile(path string, payload []byte) error {
+	return WriteFileFS(diskfault.OS, path, payload)
+}
+
+// ReadFileFS loads and verifies an enveloped file through the seam,
+// returning the payload.
+func ReadFileFS(fsys diskfault.FS, path string) ([]byte, error) {
+	fi, err := fsys.Stat(path)
 	if err != nil {
 		return nil, err
 	}
 	if fi.Size() > headerSize+MaxPayload {
 		return nil, fmt.Errorf("%w: file is %d bytes", ErrTooLarge, fi.Size())
 	}
-	data, err := os.ReadFile(path)
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -162,4 +169,9 @@ func ReadFile(path string) ([]byte, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return payload, nil
+}
+
+// ReadFile is ReadFileFS over the real filesystem.
+func ReadFile(path string) ([]byte, error) {
+	return ReadFileFS(diskfault.OS, path)
 }

@@ -6,6 +6,9 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"tecfan/internal/diskfault"
 )
 
 // IdemStore is the daemon's durable idempotency table: client token → job
@@ -19,12 +22,15 @@ import (
 // Entries beyond the cap evict oldest-first: an idempotency token only needs
 // to outlive its client's retry horizon, not the daemon's lifetime.
 type IdemStore struct {
+	fs   diskfault.FS
 	path string
 	max  int
 
 	mu  sync.Mutex
 	m   map[string]idemEntry
 	seq uint64
+
+	quarantined atomic.Int64
 }
 
 type idemEntry struct {
@@ -41,27 +47,50 @@ type idemPayload struct {
 // DefaultIdemMaxEntries caps the table when OpenIdemStore is given max <= 0.
 const DefaultIdemMaxEntries = 4096
 
-// OpenIdemStore loads the table at path, which need not exist yet. An
-// unreadable table (torn write beaten by the atomic rename, version skew) is
-// quarantined to path+".bad" and replaced by an empty one: losing dedup
-// state degrades a retry to at-most-one-duplicate-visible-as-409, never to a
-// crash loop.
+// OpenIdemStore is OpenIdemStoreFS over the real filesystem.
 func OpenIdemStore(path string, max int) (*IdemStore, error) {
+	return OpenIdemStoreFS(diskfault.OS, path, max, nil)
+}
+
+// OpenIdemStoreFS loads the table at path through the seam; the file need
+// not exist yet. An unreadable table (torn write that beat the atomic
+// rename, version skew, bit rot) is quarantined to a unique "<path>.bad-N"
+// name and replaced by an empty one: losing dedup state degrades a retry to
+// at-most-one-duplicate-visible-as-409, never to a crash loop. Quarantine
+// failures are logged and counted, never fatal — the corrupt file is left
+// in place and the fresh table simply renames over it on the next persist.
+func OpenIdemStoreFS(fsys diskfault.FS, path string, max int, logf func(string, ...any)) (*IdemStore, error) {
+	if fsys == nil {
+		fsys = diskfault.OS
+	}
 	if max <= 0 {
 		max = DefaultIdemMaxEntries
 	}
-	s := &IdemStore{path: path, max: max, m: map[string]idemEntry{}}
-	payload, err := ReadFile(path)
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &IdemStore{fs: fsys, path: path, max: max, m: map[string]idemEntry{}}
+	quarantine := func(cause error) {
+		dst, qerr := Quarantine(fsys, path)
+		if qerr != nil {
+			logf("checkpoint: idempotency table %s unreadable (%v) and not quarantined: %v",
+				path, cause, qerr)
+			return
+		}
+		s.quarantined.Add(1)
+		logf("checkpoint: quarantined idempotency table %s -> %s: %v", path, dst, cause)
+	}
+	payload, err := ReadFileFS(fsys, path)
 	switch {
 	case os.IsNotExist(err):
 		return s, nil
 	case err != nil:
-		_ = os.Rename(path, path+".bad")
+		quarantine(err)
 		return s, nil
 	}
 	var p idemPayload
 	if jerr := json.Unmarshal(payload, &p); jerr != nil {
-		_ = os.Rename(path, path+".bad")
+		quarantine(jerr)
 		return s, nil
 	}
 	if p.Entries != nil {
@@ -70,6 +99,9 @@ func OpenIdemStore(path string, max int) (*IdemStore, error) {
 	s.seq = p.Seq
 	return s, nil
 }
+
+// Quarantined reports how many corrupt table files have been renamed aside.
+func (s *IdemStore) Quarantined() int64 { return s.quarantined.Load() }
 
 // Get returns the job id recorded for a token.
 func (s *IdemStore) Get(token string) (string, bool) {
@@ -143,5 +175,5 @@ func (s *IdemStore) persistLocked() error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: encoding idempotency table: %w", err)
 	}
-	return WriteFile(s.path, payload)
+	return WriteFileFS(s.fs, s.path, payload)
 }

@@ -85,8 +85,11 @@ func TestIdemStoreQuarantinesCorrupt(t *testing.T) {
 	if s.Len() != 0 {
 		t.Fatalf("corrupt store loaded %d entries", s.Len())
 	}
-	if _, err := os.Stat(path + ".bad"); err != nil {
+	if _, err := os.Stat(path + ".bad-1"); err != nil {
 		t.Fatalf("corrupt table not quarantined: %v", err)
+	}
+	if n := s.Quarantined(); n != 1 {
+		t.Fatalf("Quarantined() = %d, want 1", n)
 	}
 	// The store remains usable after quarantine.
 	if err := s.Put("tok", "job-1"); err != nil {

@@ -22,14 +22,15 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
-	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tecfan/internal/checkpoint"
+	"tecfan/internal/diskfault"
 	"tecfan/internal/pool"
 )
 
@@ -78,6 +79,22 @@ type Config struct {
 	PoolLeaseTTL time.Duration
 	// PoolChunk is how many sweep rows ride in one shard (default 2).
 	PoolChunk int
+	// FS is the filesystem seam every durable byte flows through (default
+	// the real filesystem; tests and the disk-chaos drill inject a
+	// diskfault.FaultFS).
+	FS diskfault.FS
+	// CheckpointKeep is how many generations of each job checkpoint to
+	// retain, head included (default 3; 1 disables rotation). Reads fall
+	// back from a corrupt head to the newest verifiable generation.
+	CheckpointKeep int
+	// ScrubInterval is the cadence of the background scrubber that
+	// re-verifies checkpoint envelopes on disk and repairs corrupt
+	// generations from a good copy (default 30 s; < 0 disables).
+	ScrubInterval time.Duration
+	// StorageProbeInterval is how often, while in ENOSPC degraded mode, the
+	// daemon test-writes the state dir to detect recovered space
+	// (default 2 s).
+	StorageProbeInterval time.Duration
 	// Logf receives operational log lines (default log.Printf).
 	Logf func(format string, args ...any)
 
@@ -128,6 +145,18 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.PoolChunk <= 0 {
 		c.PoolChunk = pool.DefaultChunk
+	}
+	if c.FS == nil {
+		c.FS = diskfault.OS
+	}
+	if c.CheckpointKeep <= 0 {
+		c.CheckpointKeep = checkpoint.DefaultKeepGenerations
+	}
+	if c.ScrubInterval == 0 {
+		c.ScrubInterval = 30 * time.Second
+	}
+	if c.StorageProbeInterval <= 0 {
+		c.StorageProbeInterval = 2 * time.Second
 	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
@@ -266,6 +295,20 @@ type Server struct {
 	beats         map[string]time.Time
 	attemptCancel map[string]context.CancelFunc
 
+	// genStores caches the per-job generational checkpoint stores (guarded
+	// by mu); ioMu serializes generation rotation against the scrubber so a
+	// repair never clobbers a checkpoint landing at the same instant.
+	genStores map[string]*checkpoint.GenStore
+	ioMu      sync.Mutex
+
+	// Storage-robustness state: degraded flips on ENOSPC (submissions shed,
+	// checkpoints skipped) and back off when a probe write lands again.
+	degraded           atomic.Bool
+	skippedWrites      atomic.Int64
+	scrubPasses        atomic.Int64
+	scrubRepairs       atomic.Int64
+	quarantinedRetired atomic.Int64
+
 	wg       sync.WaitGroup
 	rootCtx  context.Context
 	rootStop context.CancelFunc
@@ -277,10 +320,10 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+	if err := cfg.FS.MkdirAll(cfg.StateDir, 0o755); err != nil {
 		return nil, fmt.Errorf("daemon: %w", err)
 	}
-	idem, err := checkpoint.OpenIdemStore(filepath.Join(cfg.StateDir, "idempotency.idem"), cfg.IdemMaxEntries)
+	idem, err := checkpoint.OpenIdemStoreFS(cfg.FS, filepath.Join(cfg.StateDir, "idempotency.idem"), cfg.IdemMaxEntries, cfg.Logf)
 	if err != nil {
 		return nil, fmt.Errorf("daemon: %w", err)
 	}
@@ -293,6 +336,7 @@ func New(cfg Config) (*Server, error) {
 		admit:         newTokenBucket(cfg.SubmitRate, cfg.SubmitBurst, cfg.now),
 		beats:         map[string]time.Time{},
 		attemptCancel: map[string]context.CancelFunc{},
+		genStores:     map[string]*checkpoint.GenStore{},
 		rootCtx:       ctx,
 		rootStop:      stop,
 	}
@@ -316,6 +360,12 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.watchdog()
 	}
+	if cfg.ScrubInterval > 0 {
+		s.wg.Add(1)
+		go s.scrubber()
+	}
+	s.wg.Add(1)
+	go s.storageProbe()
 	return s, nil
 }
 
@@ -384,6 +434,12 @@ func (s *Server) SubmitIdempotent(spec JobSpec, token, requestID string) (id str
 func (s *Server) submit(spec JobSpec, requestID string) (string, error) {
 	if err := validateSpec(&spec); err != nil {
 		return "", err
+	}
+	if s.degraded.Load() {
+		// A spec that cannot be persisted would vanish in a crash; shed it
+		// with a retryable status instead of making a promise the disk
+		// cannot keep.
+		return "", ErrStorageDegraded
 	}
 	s.mu.Lock()
 	if s.draining {
@@ -662,8 +718,13 @@ func (s *Server) finish(id string, j *job, st JobState, msg string) {
 	close(j.done)
 	s.mu.Unlock()
 	if st == StateDone {
-		// The result file is durable; the checkpoint has served its purpose.
-		_ = os.Remove(s.ckptPath(id))
+		// The result file is durable; the checkpoint (all generations) has
+		// served its purpose. Quarantined .bad-N files stay for post-mortem.
+		g := s.gens(id)
+		s.ioMu.Lock()
+		_ = g.RemoveAll()
+		s.ioMu.Unlock()
+		s.dropGens(id)
 	}
 	if rid != "" {
 		s.cfg.Logf("daemon: job %s -> %s (request %s)", id, st, rid)
@@ -748,6 +809,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /storage", s.handleStorage)
 	if s.pool != nil {
 		mux.HandleFunc("POST /pool/claim", s.handlePoolClaim)
 		mux.HandleFunc("POST /pool/heartbeat", s.handlePoolHeartbeat)
@@ -770,30 +832,34 @@ func isSpecOnly(rec *persistedJob) bool {
 
 // recover scans StateDir on startup: jobs with results load as done; jobs
 // with only a checkpoint re-enter the queue and resume where they left off.
+// Job ids are derived from head files AND rotated generations, so a job
+// whose head was quarantined but whose .gN fallbacks survive still resumes.
 func (s *Server) recover() error {
-	entries, err := os.ReadDir(s.cfg.StateDir)
+	entries, err := s.cfg.FS.ReadDir(s.cfg.StateDir)
 	if err != nil {
 		return fmt.Errorf("daemon: %w", err)
 	}
+	seen := map[string]bool{}
 	for _, e := range entries {
-		name := e.Name()
-		if !strings.HasSuffix(name, ".ckpt") {
+		m := ckptFileRe.FindStringSubmatch(e.Name())
+		if m == nil || seen[m[1]] {
 			continue
 		}
-		id := strings.TrimSuffix(name, ".ckpt")
+		id := m[1]
+		seen[id] = true
 		rec, err := s.loadJob(id)
 		if err != nil {
-			// An unreadable checkpoint (torn write before the atomic rename
-			// landed, version skew after an upgrade) is not a crash: log,
-			// quarantine, move on.
-			s.cfg.Logf("daemon: ignoring unreadable checkpoint %s: %v", name, err)
-			_ = os.Rename(filepath.Join(s.cfg.StateDir, name), filepath.Join(s.cfg.StateDir, name+".bad"))
+			// No generation of this checkpoint verifies (torn write beaten by
+			// the atomic rename, version skew after an upgrade, rot). Not a
+			// crash: loadJob already quarantined the corpses; log, move on.
+			s.cfg.Logf("daemon: ignoring unreadable checkpoint for %s: %v", id, err)
 			continue
 		}
-		if _, err := os.Stat(s.resultPath(id)); err == nil {
+		if _, err := s.cfg.FS.Stat(s.resultPath(id)); err == nil {
 			// Finished before the previous incarnation died; the checkpoint
 			// outlived its usefulness.
-			_ = os.Remove(s.ckptPath(id))
+			_ = s.gens(id).RemoveAll()
+			s.dropGens(id)
 			continue
 		}
 		j := &job{spec: rec.Spec, state: StateQueued, resumed: true, done: make(chan struct{})}

@@ -422,7 +422,7 @@ func TestRecoverIgnoresCorruptCheckpoint(t *testing.T) {
 	if _, ok := s.Job("torn"); ok {
 		t.Fatal("corrupt checkpoint produced a job")
 	}
-	if _, err := os.Stat(cfg.StateDir + "/torn.ckpt.bad"); err != nil {
+	if _, err := os.Stat(cfg.StateDir + "/torn.ckpt.bad-1"); err != nil {
 		t.Fatalf("corrupt checkpoint not quarantined: %v", err)
 	}
 }

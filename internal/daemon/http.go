@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
-	"os"
 	"strconv"
 
 	"tecfan/internal/checkpoint"
@@ -43,7 +42,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if len(s.queue) >= cap(s.queue) {
 		reasons = append(reasons, "queue full")
 	}
-	if err := s.stateDirWritable(); err != nil {
+	if s.StorageDegraded() {
+		reasons = append(reasons, "storage degraded: state dir out of space")
+	} else if err := s.stateDirWritable(); err != nil {
 		reasons = append(reasons, "state dir unwritable: "+err.Error())
 	}
 	if s.pool != nil && s.pool.LiveWorkers() == 0 {
@@ -62,18 +63,30 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// stateDirWritable probes that a checkpoint could land right now. The
-// probe file is scratch by design — it must NOT be a checkpoint: we are
-// testing the directory, and an envelope write that failed halfway would
-// leave a plausible-looking .ckpt for recover() to trip on.
+// stateDirWritable probes that a checkpoint could land right now: it writes
+// and syncs a few hundred bytes through the seam (a zero-byte create can
+// succeed on a full disk — the bytes are what ENOSPC refuses). The probe
+// file is scratch by design — it must NOT be a checkpoint: we are testing
+// the directory, and an envelope write that failed halfway would leave a
+// plausible-looking .ckpt for recover() to trip on.
 func (s *Server) stateDirWritable() error {
-	f, err := os.CreateTemp(s.cfg.StateDir, ".readyz-probe-*") //lint:tecfan-ignore atomicwrite -- readiness probe scratch, not state; never read back
+	f, err := s.cfg.FS.CreateTemp(s.cfg.StateDir, ".readyz-probe-*")
 	if err != nil {
 		return err
 	}
 	name := f.Name()
+	if _, err := f.Write(make([]byte, 512)); err != nil {
+		_ = f.Close()
+		_ = s.cfg.FS.Remove(name)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = s.cfg.FS.Remove(name)
+		return err
+	}
 	_ = f.Close()
-	return os.Remove(name)
+	return s.cfg.FS.Remove(name)
 }
 
 // handleSubmit admits a job. The token bucket and the bounded queue both
@@ -106,6 +119,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrStorageDegraded):
+		// Retryable by design: degraded mode ends the moment space returns.
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, ErrDuplicateID):
@@ -149,13 +166,20 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, v)
 		return
 	}
-	// checkpoint.ReadFile verifies the envelope checksum: a result rotted
-	// on disk surfaces as a 500 here instead of being served as truth.
-	data, err := checkpoint.ReadFile(s.resultPath(id))
+	// The envelope checksum is verified on read: a result rotted on disk
+	// surfaces as a 500 here instead of being served as truth.
+	data, err := checkpoint.ReadFileFS(s.cfg.FS, s.resultPath(id))
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "result file unreadable: "+err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(data)
+}
+
+// handleStorage serves the storage-robustness counters: degraded flag,
+// skipped checkpoints, quarantines, scrub activity. The diskfault drill
+// polls it to prove the scrubber repaired an injected corruption.
+func (s *Server) handleStorage(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.StorageStats())
 }

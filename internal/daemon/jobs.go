@@ -36,16 +36,40 @@ type persistedJob struct {
 	Pool *pool.PersistedState
 }
 
+// persistJob checkpoints a job's state through its generational store: the
+// previous snapshot rotates to a fallback slot, the new one lands atomically
+// on the head. While the daemon is in ENOSPC degraded mode the write is
+// skipped (and counted) instead of attempted: in-flight jobs keep computing,
+// they just stop widening the checkpoint — at worst a restart recomputes
+// from the last pre-degradation snapshot, which is exactly the crash
+// guarantee the daemon already makes.
 func (s *Server) persistJob(rec *persistedJob) error {
+	if s.degraded.Load() {
+		s.skippedWrites.Add(1)
+		s.cfg.Logf("daemon: job %s: checkpoint skipped (storage degraded)", rec.Spec.ID)
+		return nil
+	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
 		return fmt.Errorf("daemon: encoding job %s: %w", rec.Spec.ID, err)
 	}
-	return checkpoint.WriteFile(s.ckptPath(rec.Spec.ID), buf.Bytes())
+	g := s.gens(rec.Spec.ID)
+	s.ioMu.Lock()
+	err := g.Write(buf.Bytes())
+	s.ioMu.Unlock()
+	if err != nil {
+		s.noteStorageError(err)
+	}
+	return err
 }
 
+// loadJob reads the newest verifiable checkpoint generation, falling back
+// (and quarantining) past corrupt or truncated ones.
 func (s *Server) loadJob(id string) (*persistedJob, error) {
-	payload, err := checkpoint.ReadFile(s.ckptPath(id))
+	g := s.gens(id)
+	s.ioMu.Lock()
+	payload, err := g.Read()
+	s.ioMu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +174,15 @@ func (s *Server) runTrace(ctx context.Context, id string, spec JobSpec, rec *per
 	cfg.CheckpointEvery = s.cfg.CheckpointEvery
 	cfg.OnCheckpoint = func(snap *sim.Snapshot) error {
 		s.heartbeat(id)
-		return s.persistJob(&persistedJob{Spec: spec, Threshold: threshold, Snap: snap})
+		if err := s.persistJob(&persistedJob{Spec: spec, Threshold: threshold, Snap: snap}); err != nil {
+			// A checkpoint is an optimization, not correctness: failing to
+			// widen it (torn write, EIO, ENOSPC — the latter just flipped
+			// the daemon degraded) costs recompute-after-crash, never a
+			// wrong result. Log and keep running, exactly as the sweep
+			// jobs treat row-persist failures.
+			s.cfg.Logf("daemon: job %s: checkpoint not persisted: %v", id, err)
+		}
+		return nil
 	}
 	ctl := env.Controllers()[spec.Policy]
 	if ctl == nil {
@@ -303,7 +335,8 @@ func (s *Server) writeResult(id string, v any) error {
 		return fmt.Errorf("daemon: encoding result %s: %w", id, err)
 	}
 	data = append(data, '\n')
-	if err := checkpoint.WriteFile(s.resultPath(id), data); err != nil {
+	if err := checkpoint.WriteFileFS(s.cfg.FS, s.resultPath(id), data); err != nil {
+		s.noteStorageError(err)
 		return fmt.Errorf("daemon: result %s: %w", id, err)
 	}
 	return nil

@@ -1,0 +1,104 @@
+// Package diskfault is the filesystem seam the control plane's durable
+// state flows through, plus a seeded, schedule-driven fault filesystem for
+// exercising that state under storage failure.
+//
+// The seam (FS) covers exactly the operations internal/checkpoint's atomic
+// envelope discipline needs — open/create/write/sync/rename/remove/readdir
+// and friends — with a passthrough OS default. The fault implementation
+// (FaultFS, see faultfs.go) can tear a write at byte k, lie about fsync and
+// later discard the unsynced bytes (power-cut simulation), return ENOSPC or
+// EIO on the Nth operation, and flip bits on read or silently on write (bit
+// rot) — all decisions derived from a base seed plus the global operation
+// index, mirroring the seeded-schedule shape of internal/netfault.
+//
+// Everything above the seam (checkpoint, daemon, pool persistence) is
+// forbidden by the atomicwrite analyzer from touching the os file-creation
+// primitives directly; this package is the one place allowed to.
+package diskfault
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"syscall"
+)
+
+// File is the subset of *os.File the state layer uses.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Name returns the path the file was opened under.
+	Name() string
+	// Sync flushes the file's contents to stable storage. On a FaultFS a
+	// schedule may make this lie: return nil while the bytes remain volatile
+	// and are discarded at the next simulated power cut.
+	Sync() error
+}
+
+// FS is the filesystem seam. OS is the passthrough default; FaultFS the
+// fault-injecting one. Implementations must be safe for concurrent use.
+type FS interface {
+	// OpenFile is the generalized open; flag/perm as in os.OpenFile.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Create truncates-or-creates name for writing.
+	Create(name string) (File, error)
+	// CreateTemp creates a uniquely named scratch file in dir (pattern as in
+	// os.CreateTemp) — the first step of every atomic envelope write.
+	CreateTemp(dir, pattern string) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// ReadFile reads the whole of name.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// ReadDir lists dir, sorted by filename.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Stat describes name.
+	Stat(name string) (fs.FileInfo, error)
+	// MkdirAll makes path and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir fsyncs a directory, making renames/removes inside it durable.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough FS: every call maps 1:1 onto the os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Create(name string) (File, error)             { return os.Create(name) }
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+func (osFS) Open(name string) (File, error)               { return os.Open(name) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// IsNoSpace reports whether err is (or wraps) ENOSPC — injected by a FaultFS
+// schedule or raised by a genuinely full disk. The daemon's degraded mode
+// keys off it.
+func IsNoSpace(err error) bool { return errors.Is(err, syscall.ENOSPC) }

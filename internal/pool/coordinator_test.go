@@ -325,8 +325,8 @@ func TestFencingTokensStrictlyMonotonicProperty(t *testing.T) {
 			}
 			c := newCoord()
 
-			lastObserved := map[string]uint64{}          // shard → highest token ever granted
-			held := map[string]*ClaimResponse{}          // worker → live grant
+			lastObserved := map[string]uint64{} // shard → highest token ever granted
+			held := map[string]*ClaimResponse{} // worker → live grant
 			workers := []string{"w1", "w2", "w3", "w4"}
 
 			for step := 0; step < 400; step++ {

@@ -1,0 +1,273 @@
+#!/usr/bin/env bash
+# Disk-fault drill for the tecfand control-plane daemon: prove that storage
+# faults — torn writes, lying fsyncs, a simulated power cut, bit rot, ENOSPC —
+# can never produce a wrong answer. The daemon either finishes with a result
+# byte-identical to a fault-free run or refuses cleanly with a log trail.
+#
+# Usage: scripts/diskfault_drill.sh [chaos|enospc|all]
+#
+#   chaos  (default with no arg runs chaos then enospc is skipped; "all" runs
+#          both) — three sub-phases:
+#          1. reference: fault-free run, capture the result.
+#          2. chaos: same job under a seeded schedule (torn checkpoint writes,
+#             silent bit flips, lying fsyncs, transient read rot) ending in a
+#             scheduled power cut; restart under residual faults and require
+#             either a resumed run or a clean refusal — and in both cases a
+#             final result byte-identical to the reference.
+#          3. rot: deterministic corruption — truncate the checkpoint head and
+#             the oldest generation of a crashed daemon; the restart must fall
+#             back to the intact middle generation, quarantine the bad head,
+#             scrub-repair the bad generation, and still match the reference.
+#   enospc — drive the daemon into a scheduled out-of-space window: it must
+#          shed submissions with 503, flip /readyz, keep the in-flight job and
+#          reads alive, and recover on its own when space returns.
+#
+# Env: DRILL_SCALE        (default 5)        job instruction-budget scale
+#      DISKFAULT_SEED     (default 42424242) schedule seed for the chaos phase
+#      DISKFAULT_CRASH_OP (default 900)      op index of the power cut
+set -euo pipefail
+
+DRILL_NAME=diskfault_drill
+. "$(dirname "$0")/lib.sh"
+drill_init
+
+MODE="${1:-chaos}"
+SCALE="${DRILL_SCALE:-5}"
+SEED="${DISKFAULT_SEED:-42424242}"
+CRASH_OP="${DISKFAULT_CRASH_OP:-900}"
+SPEC="{\"id\":\"drill\",\"kind\":\"trace\",\"bench\":\"cholesky\",\"threads\":16,\"policy\":\"TECfan-FT\",\"scale\":$SCALE}"
+
+cd "$ROOT"
+go build -o "$WORK/tecfand" ./cmd/tecfand
+
+# storage_field FILE KEY: numeric/bool field out of a /storage or job snapshot.
+storage_field() { json_field "$1" "$2"; }
+
+# wait_storage PORT KEY VALUE [TRIES]: poll GET /storage until KEY == VALUE.
+wait_storage() {
+  local port="$1" key="$2" want="$3" tries="${4:-300}" got=""
+  for _ in $(seq 1 "$tries"); do
+    curl -fsS "http://127.0.0.1:$port/storage" >"$WORK/storage.json" 2>/dev/null || true
+    got="$(storage_field "$WORK/storage.json" "$key")"
+    if [ "$got" = "$want" ]; then return 0; fi
+    sleep 0.1
+  done
+  die "/storage $key never reached $want (last: ${got:-unreadable})"
+}
+
+# wait_storage_min PORT KEY MIN [TRIES]: poll until KEY >= MIN.
+wait_storage_min() {
+  local port="$1" key="$2" min="$3" tries="${4:-300}" got=""
+  for _ in $(seq 1 "$tries"); do
+    curl -fsS "http://127.0.0.1:$port/storage" >"$WORK/storage.json" 2>/dev/null || true
+    got="$(storage_field "$WORK/storage.json" "$key")"
+    if [ -n "$got" ] && [ "$got" -ge "$min" ] 2>/dev/null; then return 0; fi
+    sleep 0.1
+  done
+  die "/storage $key never reached >= $min (last: ${got:-unreadable})"
+}
+
+# ---------------------------------------------------------------------------
+reference_run() { # produces $WORK/ref.json
+  say "reference run (fault-free)"
+  start_tecfand "$WORK/ref-state" "$WORK/ref.log" 18123 /healthz -checkpoint-every 1
+  curl -fsS -X POST -d "$SPEC" http://127.0.0.1:18123/jobs >/dev/null
+  wait_job http://127.0.0.1:18123 drill 3000
+  curl -fsS http://127.0.0.1:18123/jobs/drill/result >"$WORK/ref.json"
+  [ -s "$WORK/ref.json" ] || die "empty reference result"
+  kill -9 "$SPAWNED_PID" 2>/dev/null || true
+}
+
+chaos_phase() {
+  # --- Chaos run: seeded faults ending in a power cut. ---------------------
+  say "chaos run (seed $SEED, power cut at op $CRASH_OP)"
+  cat >"$WORK/sched_chaos.json" <<EOF
+{
+  "seed": $SEED,
+  "crash_at_op": $CRASH_OP,
+  "rules": [
+    {"action": "tear",       "path": "*.ckpt.tmp*", "prob": 0.20},
+    {"action": "flip_write", "path": "*.ckpt.tmp*", "prob": 0.05},
+    {"action": "lie_sync",   "path": "*.ckpt.tmp*", "prob": 0.50},
+    {"action": "flip_read",  "path": "*.ckpt*",     "prob": 0.03}
+  ]
+}
+EOF
+  start_tecfand "$WORK/chaos-state" "$WORK/chaos.log" 18124 /healthz \
+    -checkpoint-every 1 -max-attempts 10 \
+    -diskfault-schedule "$WORK/sched_chaos.json"
+  VICTIM="$SPAWNED_PID"
+  curl -fsS -X POST -d "$SPEC" http://127.0.0.1:18124/jobs >/dev/null
+
+  # The scheduled power cut must kill the daemon before the job finishes.
+  cut=0
+  for _ in $(seq 1 1200); do
+    if ! kill -0 "$VICTIM" 2>/dev/null; then cut=1; break; fi
+    if [ -f "$WORK/chaos-state/drill.result" ]; then
+      die "job finished before the power cut; lower DISKFAULT_CRASH_OP"
+    fi
+    sleep 0.1
+  done
+  [ "$cut" = 1 ] || die "power cut at op $CRASH_OP never fired"
+  grep -q "POWER CUT" "$WORK/chaos.log" || die "no POWER CUT line in chaos log"
+  grep -q "simulated power cut" "$WORK/chaos.log" \
+    || die "daemon did not log the power-cut exit"
+  say "power cut landed; restarting over the damaged state dir"
+
+  # --- Restart under residual faults: resume or refuse, never be wrong. ----
+  cat >"$WORK/sched_residual.json" <<EOF
+{"seed": $SEED, "rules": [{"action": "tear", "path": "*.ckpt.tmp*", "prob": 0.10}]}
+EOF
+  start_tecfand "$WORK/chaos-state" "$WORK/restart.log" 18125 /healthz \
+    -checkpoint-every 1 -max-attempts 10 \
+    -diskfault-schedule "$WORK/sched_residual.json"
+  code="$(curl -s -o "$WORK/job.json" -w '%{http_code}' http://127.0.0.1:18125/jobs/drill)"
+  if [ "$code" = "404" ]; then
+    # Every generation was lost to the faults: a clean, logged refusal.
+    grep -q "ignoring unreadable checkpoint\|quarantined" "$WORK/restart.log" \
+      || die "checkpoint refused without a quarantine/skip log line"
+    say "clean refusal (no verifiable generation survived); resubmitting"
+    curl -fsS -X POST -d "$SPEC" http://127.0.0.1:18125/jobs >/dev/null
+  else
+    [ "$(json_field "$WORK/job.json" resumed)" = "true" ] \
+      || die "job survived the crash but is not marked resumed: $(cat "$WORK/job.json")"
+    say "resumed from a surviving checkpoint generation"
+  fi
+  wait_job http://127.0.0.1:18125 drill 3000
+  curl -fsS http://127.0.0.1:18125/jobs/drill/result >"$WORK/chaos.json"
+  cmp -s "$WORK/ref.json" "$WORK/chaos.json" \
+    || die "result after chaos differs from the fault-free run ($(wc -c <"$WORK/ref.json") vs $(wc -c <"$WORK/chaos.json") bytes)"
+  kill -9 "$SPAWNED_PID" 2>/dev/null || true
+  say "chaos phase PASS: result byte-identical through faults + power cut"
+
+  # --- Rot run: deterministic corruption, fallback + scrub repair. ---------
+  say "rot run (truncate head and oldest generation)"
+  start_tecfand "$WORK/rot-state" "$WORK/rot.log" 18126 /healthz -checkpoint-every 1
+  ROT="$SPAWNED_PID"
+  curl -fsS -X POST -d "$SPEC" http://127.0.0.1:18126/jobs >/dev/null
+  HEAD="$WORK/rot-state/drill.ckpt"
+  killed=0
+  for _ in $(seq 1 3000); do
+    size="$(stat -c %s "$HEAD" 2>/dev/null || echo 0)"
+    if [ -f "$HEAD.g2" ] && [ "$size" -gt 4096 ]; then
+      kill -9 "$ROT"
+      killed=1
+      break
+    fi
+    if [ -f "$WORK/rot-state/drill.result" ]; then
+      die "job finished before three generations existed; raise DRILL_SCALE"
+    fi
+    sleep 0.01
+  done
+  [ "$killed" = 1 ] || die "never saw head + two generations on disk"
+
+  # The SIGKILL may land mid-rotation, when a slot is briefly absent between
+  # renames; every file that does exist is a complete envelope (writes are
+  # atomic), so backfill missing slots from the newest survivor first.
+  SRC=""
+  for f in "$HEAD" "$HEAD.g1" "$HEAD.g2"; do
+    if [ -f "$f" ]; then SRC="$f"; break; fi
+  done
+  [ -n "$SRC" ] || die "no checkpoint file survived the kill"
+  for f in "$HEAD" "$HEAD.g1" "$HEAD.g2"; do
+    [ -f "$f" ] || cp "$SRC" "$f"
+  done
+  # Torn tail on the head, bit-rot-style damage on the oldest generation; the
+  # middle generation stays intact and must carry the resume.
+  truncate -s $(( $(stat -c %s "$HEAD") - 7 )) "$HEAD"
+  truncate -s $(( $(stat -c %s "$HEAD.g2") - 7 )) "$HEAD.g2"
+
+  # Long checkpoint cadence so the damaged .g2 is not rotated away — and a
+  # fast scrubber so the repair provably lands before the resumed job (a few
+  # seconds of wall clock) finishes and retires its checkpoint chain.
+  start_tecfand "$WORK/rot-state" "$WORK/rot-restart.log" 18127 /healthz \
+    -checkpoint-every 100000 -max-attempts 10 -scrub-interval 100ms
+  curl -fsS http://127.0.0.1:18127/jobs/drill >"$WORK/rotjob.json"
+  [ "$(json_field "$WORK/rotjob.json" resumed)" = "true" ] \
+    || die "rot-run job not resumed: $(cat "$WORK/rotjob.json")"
+  grep -q "resumed from generation" "$WORK/rot-restart.log" \
+    || die "no generation-fallback log line after corrupt head"
+  ls "$HEAD".bad-* >/dev/null 2>&1 \
+    || die "corrupt head was not quarantined to a .bad-N file"
+  wait_storage_min 18127 scrub_repairs 1 300
+  say "scrubber repaired the damaged generation"
+  wait_job http://127.0.0.1:18127 drill 3000
+  curl -fsS http://127.0.0.1:18127/jobs/drill/result >"$WORK/rot.json"
+  cmp -s "$WORK/ref.json" "$WORK/rot.json" \
+    || die "result after generation fallback differs from the fault-free run"
+  kill -9 "$SPAWNED_PID" 2>/dev/null || true
+  say "rot phase PASS: fallback resume + scrub repair, result byte-identical"
+}
+
+enospc_phase() {
+  # A scheduled out-of-space window: ops 40-160 on the global counter. The
+  # daemon's startup costs ~a dozen ops; the job's per-period checkpoints then
+  # march the counter into the window, ENOSPC flips degraded mode, and the
+  # 100 ms recovery probe (one op per tick) walks the counter out the far side.
+  say "enospc run (scheduled out-of-space window)"
+  cat >"$WORK/sched_enospc.json" <<EOF
+{
+  "seed": 7,
+  "rules": [
+    {"action": "enospc", "ops": ["create", "write", "sync"], "from_op": 40, "to_op": 160}
+  ]
+}
+EOF
+  start_tecfand "$WORK/enospc-state" "$WORK/enospc.log" 18128 /healthz \
+    -checkpoint-every 1 -max-attempts 10 -scrub-interval -1s \
+    -storage-probe-interval 100ms \
+    -diskfault-schedule "$WORK/sched_enospc.json"
+  curl -fsS -X POST -d "$SPEC" http://127.0.0.1:18128/jobs >/dev/null
+
+  wait_storage 18128 degraded true 300
+  say "degraded mode entered"
+  grep -q "entering degraded mode" "$WORK/enospc.log" \
+    || die "degraded entry was not logged"
+
+  # While degraded: submissions shed with 503 + Retry-After, readiness down,
+  # reads still served.
+  code="$(curl -s -o "$WORK/shed.json" -w '%{http_code}' -D "$WORK/shed.hdr" \
+    -X POST -d '{"id":"shed","kind":"trace","bench":"cholesky","threads":16,"policy":"TECfan","scale":1}' \
+    http://127.0.0.1:18128/jobs)"
+  [ "$code" = "503" ] || die "submission while degraded answered $code, want 503"
+  grep -qi "^Retry-After:" "$WORK/shed.hdr" || die "503 shed without Retry-After"
+  code="$(curl -s -o "$WORK/readyz.txt" -w '%{http_code}' http://127.0.0.1:18128/readyz)"
+  [ "$code" = "503" ] || die "/readyz while degraded answered $code, want 503"
+  grep -q "storage degraded" "$WORK/readyz.txt" \
+    || die "/readyz 503 without a storage-degraded reason"
+  curl -fsS http://127.0.0.1:18128/jobs/drill >/dev/null \
+    || die "job reads failed while degraded"
+  wait_storage_min 18128 skipped_checkpoints 1 100
+
+  # Space "returns" when the probe walks the op counter past the window.
+  wait_storage 18128 degraded false 600
+  say "degraded mode left on its own"
+  grep -q "leaving degraded mode" "$WORK/enospc.log" \
+    || die "degraded exit was not logged"
+  curl -fsS -X POST \
+    -d '{"id":"after","kind":"trace","bench":"cholesky","threads":16,"policy":"TECfan","scale":1}' \
+    http://127.0.0.1:18128/jobs >/dev/null || die "submission after recovery failed"
+  wait_job http://127.0.0.1:18128 after 3000
+  wait_job http://127.0.0.1:18128 drill 3000
+  kill -9 "$SPAWNED_PID" 2>/dev/null || true
+  say "enospc phase PASS: shed + readyz flip + auto-recovery, jobs finished"
+}
+
+case "$MODE" in
+  chaos)
+    reference_run
+    chaos_phase
+    ;;
+  enospc)
+    enospc_phase
+    ;;
+  all)
+    reference_run
+    chaos_phase
+    enospc_phase
+    ;;
+  *)
+    die "unknown mode $MODE (want chaos, enospc, or all)"
+    ;;
+esac
+say "PASS"
