@@ -8,6 +8,7 @@ package main
 import (
 	"context"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,9 +26,20 @@ func main() {
 	policy := flag.String("policy", "TECfan", "policy name")
 	fanLevel := flag.Int("fan", 1, "fan speed level, 1 = fastest")
 	scale := flag.Float64("scale", 1.0, "instruction-budget scale")
+	nfSchedule := flag.String("numfault-schedule", "", "JSON numerical-fault schedule file (numeric chaos)")
+	nfSeed := flag.Int64("numfault-seed", 0, "override the numfault schedule seed")
+	healthOut := flag.String("numeric-health", "", "write the run's NumericHealth JSON to this file")
 	flag.Parse()
 
-	sys, err := tecfan.New(tecfan.WithScale(*scale))
+	opts := []tecfan.Option{tecfan.WithScale(*scale)}
+	if *nfSchedule != "" {
+		data, err := os.ReadFile(*nfSchedule)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, tecfan.WithNumFaultSchedule(data, *nfSeed))
+	}
+	sys, err := tecfan.New(opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -46,7 +58,16 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	trace, runErr := sys.TraceContext(ctx, *bench, *threads, *policy, *fanLevel-1)
+	trace, health, runErr := sys.TraceWithHealthContext(ctx, *bench, *threads, *policy, *fanLevel-1)
+	if *healthOut != "" && health != nil {
+		data, err := json.MarshalIndent(health, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*healthOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
 	if runErr != nil && len(trace) == 0 {
 		fatal(runErr)
 	}

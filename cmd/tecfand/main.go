@@ -57,6 +57,7 @@ import (
 	"tecfan/internal/cmdutil"
 	"tecfan/internal/daemon"
 	"tecfan/internal/diskfault"
+	"tecfan/internal/numfault"
 )
 
 func main() {
@@ -83,6 +84,8 @@ func main() {
 	probeInterval := flag.Duration("storage-probe-interval", 2*time.Second, "degraded-mode recovery probe cadence")
 	dfSchedule := flag.String("diskfault-schedule", "", "JSON disk-fault schedule file; injects storage faults into all state I/O (testing only)")
 	dfSeed := flag.Int64("diskfault-seed", 0, "override the schedule's seed (with -diskfault-schedule)")
+	nfSchedule := flag.String("numfault-schedule", "", "JSON numerical-fault schedule file; corrupts trace-job solver state (testing only)")
+	nfSeed := flag.Int64("numfault-seed", 0, "override the schedule's seed (with -numfault-schedule)")
 	flag.Parse()
 
 	for _, err := range []error{
@@ -145,6 +148,26 @@ func main() {
 		log.Printf("tecfand: DISK FAULT INJECTION ACTIVE (schedule %s, seed %d)", *dfSchedule, sched.Seed)
 	}
 
+	// With a -numfault-schedule every trace job runs under seeded numerical
+	// corruption; the numguard auditor must catch every violation — that is
+	// what the numfault drill proves.
+	var numSched *numfault.Schedule
+	if *nfSchedule != "" {
+		raw, err := os.ReadFile(*nfSchedule)
+		if err != nil {
+			fatal(err)
+		}
+		sched, err := numfault.ParseSchedule(raw)
+		if err != nil {
+			fatal(err)
+		}
+		if *nfSeed != 0 {
+			sched.Seed = *nfSeed
+		}
+		numSched = &sched
+		log.Printf("tecfand: NUMERIC FAULT INJECTION ACTIVE (schedule %s, seed %d)", *nfSchedule, sched.Seed)
+	}
+
 	s, err := daemon.New(daemon.Config{
 		StateDir:             *stateDir,
 		Workers:              *workers,
@@ -162,6 +185,7 @@ func main() {
 		CheckpointKeep:       *ckptKeep,
 		ScrubInterval:        *scrubInterval,
 		StorageProbeInterval: *probeInterval,
+		NumFaults:            numSched,
 	})
 	if err != nil {
 		fatal(err)

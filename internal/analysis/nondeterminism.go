@@ -9,11 +9,13 @@ import (
 
 // nondetScope is the set of packages whose behavior must be a pure
 // function of their inputs: the simulators, experiment drivers, controller
-// core, policies, pool planning/merge, systolic estimator, and thermal
-// solver. One stray wall-clock read or global-RNG draw here silently breaks
-// the bitwise-identical crash-resume proof (§10) and the byte-identical
-// pooled-vs-in-process merge proof (§12).
-var nondetScope = regexp.MustCompile(`(^|/)internal/(sim|exp|core|policy|pool|systolic|thermal)(/|$)`)
+// core, policies, pool planning/merge, systolic estimator, thermal solver,
+// and the numeric-defense pair (invariant auditor + fault injector — a
+// nondeterministic injector would break the numfault drill's byte-identical
+// recovery proof). One stray wall-clock read or global-RNG draw here
+// silently breaks the bitwise-identical crash-resume proof (§10) and the
+// byte-identical pooled-vs-in-process merge proof (§12).
+var nondetScope = regexp.MustCompile(`(^|/)internal/(sim|exp|core|policy|pool|systolic|thermal|numguard|numfault)(/|$)`)
 
 // wallClockFuncs are the time package entry points that read the wall
 // clock (or start a wall-clock-driven source). time.Time arithmetic on

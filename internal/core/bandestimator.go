@@ -17,8 +17,11 @@ import (
 // O(M·w²), the workload the priced systolic/band hardware performs.
 type BandEstimator struct {
 	nw *thermal.Network
-	// Per-core factorizations of the banded sub-system.
-	factors []*linalg.BandLU
+	// Per-core factorizations of the banded sub-system — the verified kind:
+	// the band LU does not pivot, so every EvalCore solve is residual-
+	// checked and a degraded solve is refined or refused instead of feeding
+	// the optimizer a silently wrong temperature prediction.
+	factors []*linalg.VerifiedBandLU
 	comps   [][]int // global component indices per core
 	// boundary[core][i] lists couplings from local component i to nodes
 	// outside the core (global node index, conductance).
@@ -36,7 +39,7 @@ func NewBandEstimator(nw *thermal.Network) (*BandEstimator, error) {
 	full := nw.AssembleG(0) // boundary handling makes the fan level irrelevant here
 	e := &BandEstimator{
 		nw:       nw,
-		factors:  make([]*linalg.BandLU, chip.NumCores()),
+		factors:  make([]*linalg.VerifiedBandLU, chip.NumCores()),
 		comps:    make([][]int, chip.NumCores()),
 		boundary: make([][][]coupling, chip.NumCores()),
 	}
@@ -68,7 +71,7 @@ func NewBandEstimator(nw *thermal.Network) (*BandEstimator, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: band extraction for core %d: %w", core, err)
 		}
-		f, err := linalg.NewBandLU(band)
+		f, err := linalg.NewVerifiedBandLU(band, 0)
 		if err != nil {
 			return nil, fmt.Errorf("core: band factorization for core %d: %w", core, err)
 		}
@@ -95,7 +98,7 @@ func (e *BandEstimator) EvalCore(core int, power, sensorTemps, out []float64) ([
 			rhs[li] += c.g * sensorTemps[c.node]
 		}
 	}
-	if err := e.factors[core].Solve(rhs, out); err != nil {
+	if _, err := e.factors[core].Solve(rhs, out); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"tecfan/internal/floats"
+	"tecfan/internal/numguard"
 	"tecfan/internal/sim"
 	"tecfan/internal/tec"
 )
@@ -116,6 +117,12 @@ type FTStats struct {
 	FanFailed         bool
 	// Substitutions counts sensor readings replaced by model estimates.
 	Substitutions int
+
+	// NumericEscalations counts confirmed numeric divergences the simulator
+	// escalated into this controller; NumericDiagnosis keeps the first
+	// structured diagnosis (which invariant, which step, which actuators).
+	NumericEscalations int
+	NumericDiagnosis   string
 }
 
 // FT is TECfan-FT: the paper's hierarchical controller wrapped in a
@@ -185,8 +192,9 @@ type FT struct {
 }
 
 var (
-	_ sim.Controller    = (*FT)(nil)
-	_ sim.FanController = (*FT)(nil)
+	_ sim.Controller       = (*FT)(nil)
+	_ sim.FanController    = (*FT)(nil)
+	_ sim.NumericEscalator = (*FT)(nil)
 )
 
 // NewFT wraps a fresh TECfan controller in the fault-tolerance layer.
@@ -290,7 +298,25 @@ func (f *FT) mark(t float64) {
 	}
 }
 
-func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+func finite(v float64) bool { return floats.Finite(v) }
+
+// EscalateNumeric implements sim.NumericEscalator: a confirmed numeric
+// divergence is a total loss of trust in the model pipeline, so the
+// controller jumps straight to the sticky fail-safe — maximum airflow, safe
+// DVFS, TECs off — exactly as if the degradation budget had been crossed.
+func (f *FT) EscalateNumeric(v numguard.Violation) {
+	f.mark(v.Time)
+	f.stats.NumericEscalations++
+	if f.stats.NumericDiagnosis == "" {
+		f.stats.NumericDiagnosis = v.String()
+	}
+	if f.failSafe {
+		return
+	}
+	f.failSafe = true
+	f.stats.FailSafe = true
+	f.stats.FailSafeAt = v.Time
+}
 
 // median of vs, which it sorts in place; 0 when empty.
 func median(vs []float64) float64 {

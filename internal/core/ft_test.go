@@ -1,9 +1,11 @@
 package core
 
 import (
+	"math"
 	"testing"
 
 	"tecfan/internal/fault"
+	"tecfan/internal/numguard"
 	"tecfan/internal/sim"
 	"tecfan/internal/testenv"
 )
@@ -157,6 +159,80 @@ func TestFTDisabledForcedOffInCandidates(t *testing.T) {
 	for l, pl := range e.TECs {
 		if pl.Core == 0 && dec.TECOn != nil && dec.TECOn[l] {
 			t.Fatalf("disabled device %d engaged", l)
+		}
+	}
+}
+
+// nanTemps is a sim.NumFaultInjector that writes NaN into one node's
+// temperature at a fixed step; persistent, so the retry confirms it.
+type nanTemps struct{ step int }
+
+func (n *nanTemps) CorruptPower(step int, retry bool, power []float64) bool { return false }
+func (n *nanTemps) CorruptTemps(step int, retry bool, temps []float64) bool {
+	if step != n.step {
+		return false
+	}
+	temps[0] = math.NaN()
+	return true
+}
+
+// EscalateNumeric must enter the sticky fail-safe on the first confirmed
+// divergence and keep the first diagnosis even as later ones arrive.
+func TestFTEscalateNumericUnit(t *testing.T) {
+	e := testenv.NewQuad()
+	ft := NewFT(NewEstimator(e.NW, e.DVFS, e.Leak, e.Fan, e.TECs, 2e-3), FTConfig{})
+	v1 := numguard.Violation{Kind: numguard.KindNonFiniteTemp, Step: 9, Time: 0.9e-3, Node: 2}
+	v2 := numguard.Violation{Kind: numguard.KindEnergyDrift, Step: 12, Time: 1.2e-3, Node: -1}
+	ft.EscalateNumeric(v1)
+	ft.EscalateNumeric(v2)
+	st := ft.Stats()
+	if st.NumericEscalations != 2 {
+		t.Fatalf("NumericEscalations = %d, want 2", st.NumericEscalations)
+	}
+	if st.NumericDiagnosis != v1.String() {
+		t.Fatalf("diagnosis = %q, want the first violation %q", st.NumericDiagnosis, v1.String())
+	}
+	if !st.FailSafe || st.FailSafeAt != v1.Time {
+		t.Fatalf("fail-safe not latched at the first divergence: %+v", st)
+	}
+}
+
+// End to end: a persistent NaN in the thermal state under TECfan-FT must
+// finish the run in numeric fail-safe instead of returning a DivergenceError.
+func TestFTCompletesUnderPersistentNumFault(t *testing.T) {
+	e := testenv.NewQuad()
+	b := testenv.MiniBench(4, 3.0, 4)
+	cfg := e.Config(b, 95)
+	cfg.MaxWarmStarts = 1
+	cfg.NumFaults = &nanTemps{step: 5}
+	ft := NewFT(NewEstimator(e.NW, e.DVFS, e.Leak, e.Fan, e.TECs, cfg.ControlPeriod), FTConfig{})
+	r, err := sim.NewRunner(cfg, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatalf("FT run refused instead of escalating: %v", err)
+	}
+	if !res.Completed {
+		t.Fatal("run did not complete under escalation")
+	}
+	st := ft.Stats()
+	if st.NumericEscalations == 0 || st.NumericDiagnosis == "" {
+		t.Fatalf("no numeric escalation recorded: %+v", st)
+	}
+	if !st.FailSafe {
+		t.Fatal("numeric escalation did not latch the fail-safe")
+	}
+	if res.Numeric == nil || !res.Numeric.FailSafe || res.Numeric.Diagnosis == nil {
+		t.Fatalf("result health missing the fail-safe diagnosis: %+v", res.Numeric)
+	}
+	if res.Numeric.Diagnosis.Kind != numguard.KindNonFiniteTemp {
+		t.Fatalf("diagnosis kind = %s", res.Numeric.Diagnosis.Kind)
+	}
+	for _, v := range res.FinalTemps {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite value leaked into FinalTemps")
 		}
 	}
 }

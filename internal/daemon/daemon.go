@@ -31,6 +31,8 @@ import (
 
 	"tecfan/internal/checkpoint"
 	"tecfan/internal/diskfault"
+	"tecfan/internal/numfault"
+	"tecfan/internal/numguard"
 	"tecfan/internal/pool"
 )
 
@@ -83,6 +85,10 @@ type Config struct {
 	// the real filesystem; tests and the disk-chaos drill inject a
 	// diskfault.FaultFS).
 	FS diskfault.FS
+	// NumFaults, when non-nil, arms the numerical-chaos injector for every
+	// trace job this daemon runs — the numfault drill's seam, mirroring the
+	// diskfault schedule flag.
+	NumFaults *numfault.Schedule
 	// CheckpointKeep is how many generations of each job checkpoint to
 	// retain, head included (default 3; 1 disables rotation). Reads fall
 	// back from a corrupt head to the newest verifiable generation.
@@ -300,6 +306,14 @@ type Server struct {
 	// repair never clobbers a checkpoint landing at the same instant.
 	genStores map[string]*checkpoint.GenStore
 	ioMu      sync.Mutex
+
+	// diverged records jobs whose run confirmed a numeric divergence; the
+	// record is sticky (like the FT controller's fail-safe) and surfaces as
+	// a /readyz reason until the operator restarts the daemon. numMu guards
+	// it; divergedOrder keeps reporting deterministic.
+	numMu         sync.Mutex
+	diverged      map[string]numguard.Violation
+	divergedOrder []string
 
 	// Storage-robustness state: degraded flips on ENOSPC (submissions shed,
 	// checkpoints skipped) and back off when a probe write lands again.

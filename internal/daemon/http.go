@@ -52,6 +52,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		// accepted jobs would only sit in the lease table.
 		reasons = append(reasons, "no live workers")
 	}
+	for _, d := range s.NumericDivergences() {
+		// Sticky by design, like the FT controller's fail-safe: a daemon that
+		// watched a solve diverge stays visibly unhealthy until restarted.
+		reasons = append(reasons, "numeric fail-safe: job "+d.Job+": "+string(d.V.Kind))
+	}
 	if len(reasons) > 0 {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"status": "unready", "reasons": reasons,

@@ -5,11 +5,13 @@ import (
 	"context"
 	"encoding/gob"
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"tecfan/internal/checkpoint"
 	"tecfan/internal/exp"
 	"tecfan/internal/fault"
+	"tecfan/internal/numguard"
 	"tecfan/internal/perf"
 	"tecfan/internal/pool"
 	"tecfan/internal/sim"
@@ -131,6 +133,10 @@ type traceResult struct {
 	Metrics    perf.Metrics     `json:"metrics"`
 	FinalTemps []float64        `json:"final_temps"`
 	Trace      []sim.TracePoint `json:"trace"`
+	// Numeric is the run's NumericHealth block: refinement/recovery counters
+	// from the invariant auditor plus the structured diagnosis when a
+	// divergence was confirmed.
+	Numeric *numguard.Health `json:"numeric_health,omitempty"`
 }
 
 func (s *Server) runTrace(ctx context.Context, id string, spec JobSpec, rec *persistedJob) error {
@@ -146,6 +152,7 @@ func (s *Server) runTrace(ctx context.Context, id string, spec JobSpec, rec *per
 		env.Faults = &sc
 		env.FaultSeed = spec.Seed
 	}
+	env.NumFaults = s.cfg.NumFaults
 	b, err := workload.ByName(spec.Bench, spec.Threads, env.Leak)
 	if err != nil {
 		return err
@@ -199,11 +206,22 @@ func (s *Server) runTrace(ctx context.Context, id string, spec JobSpec, rec *per
 		res, err = r.RunContext(ctx)
 	}
 	if err != nil {
+		// A refused divergence is deterministic — restarting from the
+		// checkpoint replays the identical fault — so record it for /readyz
+		// before the supervisor burns its remaining attempts.
+		var de *sim.DivergenceError
+		if errors.As(err, &de) {
+			s.noteDiverged(id, de.V)
+		}
 		return err
+	}
+	if res.Numeric != nil && res.Numeric.FailSafe && res.Numeric.Diagnosis != nil {
+		s.noteDiverged(id, *res.Numeric.Diagnosis)
 	}
 	return s.writeResult(id, traceResult{
 		Spec: spec, Threshold: threshold, Completed: res.Completed,
 		Metrics: res.Metrics, FinalTemps: res.FinalTemps, Trace: res.Trace,
+		Numeric: res.Numeric,
 	})
 }
 

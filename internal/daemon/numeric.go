@@ -1,0 +1,40 @@
+package daemon
+
+import "tecfan/internal/numguard"
+
+// NumericDivergence ties a confirmed numeric divergence to the job whose run
+// produced it — the operator-facing record behind the /readyz reason.
+type NumericDivergence struct {
+	Job string             `json:"job"`
+	V   numguard.Violation `json:"violation"`
+}
+
+// noteDiverged records a confirmed divergence for id. The first diagnosis
+// per job sticks (later violations are usually consequences of the first),
+// and the record survives until daemon restart: a control plane that watched
+// a solve diverge should stay visibly unhealthy until a human looks.
+func (s *Server) noteDiverged(id string, v numguard.Violation) {
+	s.numMu.Lock()
+	defer s.numMu.Unlock()
+	if s.diverged == nil {
+		s.diverged = map[string]numguard.Violation{}
+	}
+	if _, ok := s.diverged[id]; ok {
+		return
+	}
+	s.diverged[id] = v
+	s.divergedOrder = append(s.divergedOrder, id)
+	s.cfg.Logf("daemon: job %s: numeric divergence confirmed: %s", id, v.String())
+}
+
+// NumericDivergences lists the sticky divergence records in the order they
+// were confirmed.
+func (s *Server) NumericDivergences() []NumericDivergence {
+	s.numMu.Lock()
+	defer s.numMu.Unlock()
+	out := make([]NumericDivergence, 0, len(s.divergedOrder))
+	for _, id := range s.divergedOrder {
+		out = append(out, NumericDivergence{Job: id, V: s.diverged[id]})
+	}
+	return out
+}

@@ -24,6 +24,7 @@ import (
 	"tecfan/internal/fault"
 	"tecfan/internal/floats"
 	"tecfan/internal/floorplan"
+	"tecfan/internal/numfault"
 	"tecfan/internal/perf"
 	"tecfan/internal/policy"
 	"tecfan/internal/power"
@@ -61,6 +62,11 @@ type Env struct {
 	// definition. FaultSeed makes target selection reproducible.
 	Faults    *fault.Scenario
 	FaultSeed int64
+
+	// NumFaults, when non-nil, injects scheduled numerical corruption into
+	// every run via the sim's NumFaultInjector seam — the proof harness for
+	// the numguard invariant auditor. BaseScenario stays clean here too.
+	NumFaults *numfault.Schedule
 }
 
 // NewEnv builds the full-scale environment.
@@ -104,6 +110,9 @@ func (e *Env) config(b *workload.Benchmark, threshold float64, fanLevel int) sim
 	if e.Faults != nil && len(e.Faults.Faults) > 0 {
 		sf := &fault.SimFaults{In: fault.NewInjector(*e.Faults, e.FaultLayout(b), e.FaultSeed)}
 		cfg.Sensors, cfg.Actuators = sf, sf
+	}
+	if e.NumFaults != nil && len(e.NumFaults.Rules) > 0 {
+		cfg.NumFaults = numfault.NewInjector(*e.NumFaults)
 	}
 	return cfg
 }
@@ -272,6 +281,7 @@ func (e *Env) BaseScenario(b *workload.Benchmark) (*sim.Result, error) {
 func (e *Env) BaseScenarioContext(ctx context.Context, b *workload.Benchmark) (*sim.Result, error) {
 	clean := *e
 	clean.Faults = nil
+	clean.NumFaults = nil
 	return clean.runOne(ctx, b, policy.FanOnly{}, b.TargetPeak, 0, false)
 }
 

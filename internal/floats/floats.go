@@ -30,3 +30,23 @@ func Near(a, b, eps float64) bool {
 func Same(a, b float64) bool {
 	return a == b //lint:tecfan-ignore floatcmp -- this package defines the approved comparison
 }
+
+// Finite reports whether v is an ordinary number: not NaN and not ±Inf.
+// This is the approved spelling for integrator guards and invariant
+// audits; hand-rolled !IsNaN checks tend to forget the infinities (the
+// exact bug the pivot checks in linalg had).
+func Finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// AllFinite reports whether every element of vs is finite. It is the
+// vector form of Finite, for auditing whole temperature or power vectors
+// per step without allocating.
+func AllFinite(vs []float64) bool {
+	for _, v := range vs {
+		if !Finite(v) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,63 @@
+package floats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFinite(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want bool
+	}{
+		{0, true},
+		{-273.15, true},
+		{math.MaxFloat64, true},
+		{-math.MaxFloat64, true},
+		{math.SmallestNonzeroFloat64, true},
+		{math.NaN(), false},
+		{math.Inf(1), false},
+		{math.Inf(-1), false},
+	}
+	for _, c := range cases {
+		if got := Finite(c.v); got != c.want {
+			t.Errorf("Finite(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite(nil) {
+		t.Error("AllFinite(nil) = false, want true (vacuous)")
+	}
+	if !AllFinite([]float64{1, 2, 3}) {
+		t.Error("AllFinite on finite slice = false")
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		vs := []float64{1, bad, 3}
+		if AllFinite(vs) {
+			t.Errorf("AllFinite with %v = true, want false", bad)
+		}
+	}
+}
+
+func TestNear(t *testing.T) {
+	if !Near(1, 1+1e-12, 1e-9) {
+		t.Error("Near should accept tiny relative error")
+	}
+	if Near(1, 2, 1e-9) {
+		t.Error("Near should reject large error")
+	}
+	if !Near(0, 1e-12, 1e-9) {
+		t.Error("Near should accept tiny absolute error at zero")
+	}
+}
+
+func TestSame(t *testing.T) {
+	if !Same(3.5, 3.5) {
+		t.Error("Same(3.5, 3.5) = false")
+	}
+	if Same(math.NaN(), math.NaN()) {
+		t.Error("Same(NaN, NaN) = true, want false (== semantics)")
+	}
+}

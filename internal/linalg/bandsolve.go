@@ -1,9 +1,6 @@
 package linalg
 
-import (
-	"fmt"
-	"math"
-)
+import "fmt"
 
 // Band-system solvers. The §III-E hardware discussion notes that when the
 // thermal resistance matrix is used directly, the per-core temperature
@@ -26,14 +23,14 @@ func SolveTridiag(lower, diag, upper, rhs, x []float64) error {
 	}
 	cp := make([]float64, n) // modified upper
 	dp := make([]float64, n) // modified rhs
-	if diag[0] == 0 {
+	if !finiteNonzero(diag[0]) {
 		return ErrSingular
 	}
 	cp[0] = upper[0] / diag[0]
 	dp[0] = rhs[0] / diag[0]
 	for i := 1; i < n; i++ {
 		den := diag[i] - lower[i]*cp[i-1]
-		if den == 0 || math.IsNaN(den) {
+		if !finiteNonzero(den) {
 			return ErrSingular
 		}
 		cp[i] = upper[i] / den
@@ -67,7 +64,7 @@ func NewBandLU(b *Banded) (*BandLU, error) {
 	set := func(i, j int, v float64) { f.lu[i*w+(j-i+kl)] = v }
 	for col := 0; col < n; col++ {
 		piv := at(col, col)
-		if piv == 0 || math.IsNaN(piv) {
+		if !finiteNonzero(piv) {
 			return nil, ErrSingular
 		}
 		rmax := col + kl
@@ -129,7 +126,7 @@ func (f *BandLU) Solve(rhs, x []float64) error {
 			s -= at(i, j) * x[j]
 		}
 		d := at(i, i)
-		if d == 0 {
+		if !finiteNonzero(d) {
 			return ErrSingular
 		}
 		x[i] = s / d

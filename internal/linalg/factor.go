@@ -25,7 +25,7 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 			v := l.At(j, k)
 			d -= v * v
 		}
-		if d <= 0 || math.IsNaN(d) {
+		if !finitePositive(d) {
 			return nil, ErrNotSPD
 		}
 		d = math.Sqrt(d)
@@ -111,7 +111,7 @@ func NewLU(a *Dense) (*LU, error) {
 				mx, p = a, r
 			}
 		}
-		if mx == 0 || math.IsNaN(mx) {
+		if !finiteNonzero(mx) {
 			return nil, ErrSingular
 		}
 		if p != col {

@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"tecfan/internal/floats"
+	"tecfan/internal/numguard"
+)
+
+// tempCorruptor implements NumFaultInjector: it poisons temps[0] at one
+// step. A transient corruptor skips the retry (the step fallback must
+// recover byte-identically); a persistent one re-fires on retry (the
+// violation must be confirmed).
+type tempCorruptor struct {
+	step       int
+	persistent bool
+	value      float64
+	fired      int
+}
+
+func (c *tempCorruptor) CorruptPower(step int, retry bool, power []float64) bool { return false }
+func (c *tempCorruptor) CorruptTemps(step int, retry bool, temps []float64) bool {
+	if step != c.step || (retry && !c.persistent) {
+		return false
+	}
+	temps[0] = c.value
+	c.fired++
+	return true
+}
+
+// powerCorruptor poisons the power vector instead.
+type powerCorruptor struct {
+	step       int
+	persistent bool
+}
+
+func (c *powerCorruptor) CorruptTemps(step int, retry bool, temps []float64) bool { return false }
+func (c *powerCorruptor) CorruptPower(step int, retry bool, power []float64) bool {
+	if step != c.step || (retry && !c.persistent) {
+		return false
+	}
+	power[0] = math.Inf(1)
+	return true
+}
+
+// escalator is a noop controller that can absorb a numeric divergence.
+type escalator struct {
+	noop
+	escalated []numguard.Violation
+}
+
+func (e *escalator) EscalateNumeric(v numguard.Violation) { e.escalated = append(e.escalated, v) }
+
+// A clean run must carry a zeroed health block: the auditor is always on,
+// and on a healthy run it must observe nothing.
+func TestNumGuardCleanRunHealth(t *testing.T) {
+	e := newEnv()
+	b := testBench(2.0)
+	r, _ := NewRunner(e.config(b, 120), &noop{})
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.Numeric
+	if h == nil {
+		t.Fatal("result carries no NumericHealth block")
+	}
+	if h.Refinements != 0 || h.RecoveredSteps != 0 || h.HeldSteps != 0 || h.Violations != 0 || h.FailSafe || h.Diagnosis != nil {
+		t.Fatalf("clean run reported numeric activity: %+v", h)
+	}
+}
+
+// A transient NaN upset must be absorbed by the step retry and leave the
+// run bit-identical to the fault-free execution — the recovery path may not
+// perturb a single ULP of the metrics.
+func TestNumGuardTransientUpsetRecoversByteIdentical(t *testing.T) {
+	e := newEnv()
+	run := func(inj NumFaultInjector) *Result {
+		b := testBench(2.0)
+		cfg := e.config(b, 120)
+		cfg.NumFaults = inj
+		r, err := NewRunner(cfg, &noop{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	clean := run(nil)
+	c := &tempCorruptor{step: 7, value: math.NaN()}
+	upset := run(c)
+	if c.fired == 0 {
+		t.Fatal("corruptor never fired")
+	}
+	if upset.Numeric.RecoveredSteps == 0 {
+		t.Fatalf("transient upset not recorded as recovered: %+v", upset.Numeric)
+	}
+	if upset.Numeric.Violations != 0 || upset.Numeric.FailSafe {
+		t.Fatalf("transient upset escalated: %+v", upset.Numeric)
+	}
+	if clean.Metrics != upset.Metrics {
+		t.Fatalf("recovered run is not bit-identical:\nclean %+v\nupset %+v", clean.Metrics, upset.Metrics)
+	}
+	for i := range clean.FinalTemps {
+		if clean.FinalTemps[i] != upset.FinalTemps[i] {
+			t.Fatalf("final temps differ at node %d: %v vs %v", i, clean.FinalTemps[i], upset.FinalTemps[i])
+		}
+	}
+}
+
+// A persistent fault under a controller with no fail-safe must refuse
+// cleanly: typed error, partial result with finite metrics, structured
+// diagnosis — never completion with corrupt numbers.
+func TestNumGuardPersistentFaultRefusesCleanly(t *testing.T) {
+	e := newEnv()
+	b := testBench(2.0)
+	cfg := e.config(b, 120)
+	cfg.NumFaults = &tempCorruptor{step: 7, persistent: true, value: math.Inf(1)}
+	r, err := NewRunner(cfg, &noop{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	var de *DivergenceError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DivergenceError", err)
+	}
+	if de.V.Kind != numguard.KindNonFiniteTemp {
+		t.Fatalf("diagnosis kind = %s, want %s", de.V.Kind, numguard.KindNonFiniteTemp)
+	}
+	if de.V.Step != 7 || de.V.Node != 0 {
+		t.Fatalf("diagnosis places fault at step %d node %d, want 7/0", de.V.Step, de.V.Node)
+	}
+	if res == nil {
+		t.Fatal("no partial result alongside the refusal")
+	}
+	if res.Numeric == nil || res.Numeric.Violations == 0 || res.Numeric.Diagnosis == nil {
+		t.Fatalf("partial result carries no diagnosis: %+v", res.Numeric)
+	}
+	if !floats.Finite(res.Metrics.Energy) || !floats.Finite(res.Metrics.PeakTemp) {
+		t.Fatalf("partial metrics contain non-finite values: %+v", res.Metrics)
+	}
+	if !floats.AllFinite(res.FinalTemps) {
+		t.Fatal("partial final temps contain non-finite values")
+	}
+}
+
+// The same persistent fault under an escalating controller must complete in
+// fail-safe: diagnosis recorded, escalation delivered once, all outputs
+// finite.
+func TestNumGuardPersistentFaultEscalates(t *testing.T) {
+	e := newEnv()
+	b := testBench(2.0)
+	cfg := e.config(b, 120)
+	cfg.NumFaults = &tempCorruptor{step: 7, persistent: true, value: math.NaN()}
+	esc := &escalator{}
+	r, err := NewRunner(cfg, esc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatalf("escalating run errored: %v", err)
+	}
+	if !res.Completed {
+		t.Fatal("escalated run did not complete")
+	}
+	h := res.Numeric
+	if h == nil || !h.FailSafe || h.Diagnosis == nil {
+		t.Fatalf("fail-safe not recorded: %+v", h)
+	}
+	if h.HeldSteps == 0 {
+		t.Fatalf("no held steps recorded: %+v", h)
+	}
+	if len(esc.escalated) != 1 {
+		t.Fatalf("controller escalated %d times, want exactly 1 (first diagnosis wins)", len(esc.escalated))
+	}
+	if esc.escalated[0].Kind != numguard.KindNonFiniteTemp {
+		t.Fatalf("escalated kind = %s", esc.escalated[0].Kind)
+	}
+	if !floats.Finite(res.Metrics.Energy) || !floats.AllFinite(res.FinalTemps) {
+		t.Fatal("fail-safe run leaked non-finite values into outputs")
+	}
+}
+
+// A persistent power-vector fault follows the same ladder through the
+// power-rebuild fallback.
+func TestNumGuardPowerFaultLadder(t *testing.T) {
+	e := newEnv()
+	b := testBench(2.0)
+
+	cfg := e.config(b, 120)
+	cfg.NumFaults = &powerCorruptor{step: 3}
+	r, _ := NewRunner(cfg, &noop{})
+	res, err := r.Run()
+	if err != nil {
+		t.Fatalf("transient power fault not recovered: %v", err)
+	}
+	if res.Numeric.RecoveredSteps == 0 {
+		t.Fatalf("recovery not recorded: %+v", res.Numeric)
+	}
+
+	cfg = e.config(b, 120)
+	cfg.NumFaults = &powerCorruptor{step: 3, persistent: true}
+	r, _ = NewRunner(cfg, &noop{})
+	_, err = r.Run()
+	var de *DivergenceError
+	if !errors.As(err, &de) {
+		t.Fatalf("persistent power fault: err = %v, want *DivergenceError", err)
+	}
+	if de.V.Kind != numguard.KindNonPhysicalPower {
+		t.Fatalf("diagnosis kind = %s, want %s", de.V.Kind, numguard.KindNonPhysicalPower)
+	}
+}
+
+// The auditor's state must ride in checkpoints: a run resumed mid-way —
+// after a transient upset was absorbed — finishes with the same metrics and
+// the same numeric health as the uninterrupted run.
+func TestNumGuardStateSurvivesResume(t *testing.T) {
+	e := newEnv()
+	b := testBench(2.0)
+
+	cfg := e.config(b, 120)
+	cfg.NumFaults = &tempCorruptor{step: 2, value: math.NaN()}
+	cfg.CheckpointEvery = 1
+	var snaps []*Snapshot
+	cfg.OnCheckpoint = func(s *Snapshot) error { snaps = append(snaps, s); return nil }
+	r, _ := NewRunner(cfg, &noop{})
+	full, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 2 {
+		t.Fatalf("only %d checkpoints taken", len(snaps))
+	}
+	snap := snaps[1]
+	if snap.Numeric == nil {
+		t.Fatal("snapshot carries no numeric state")
+	}
+	if snap.Numeric.Recovered == 0 {
+		t.Fatalf("recovery before the checkpoint not in snapshot: %+v", snap.Numeric)
+	}
+
+	cfg2 := e.config(b, 120)
+	cfg2.NumFaults = &tempCorruptor{step: 2, value: math.NaN()} // same schedule; already past by snap
+	r2, _ := NewRunner(cfg2, &noop{})
+	resumed, err := r2.Resume(context.Background(), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Metrics != resumed.Metrics {
+		t.Fatalf("resumed metrics differ:\nfull    %+v\nresumed %+v", full.Metrics, resumed.Metrics)
+	}
+	if *full.Numeric != *resumed.Numeric {
+		t.Fatalf("resumed numeric health differs:\nfull    %+v\nresumed %+v", full.Numeric, resumed.Numeric)
+	}
+}
+
+// A pre-numguard snapshot (Numeric == nil) must resume without tripping the
+// energy tripwire: the integral is seeded from the accumulator.
+func TestNumGuardResumeFromLegacySnapshot(t *testing.T) {
+	e := newEnv()
+	b := testBench(2.0)
+	cfg := e.config(b, 120)
+	cfg.CheckpointEvery = 1
+	var snaps []*Snapshot
+	cfg.OnCheckpoint = func(s *Snapshot) error { snaps = append(snaps, s); return nil }
+	r, _ := NewRunner(cfg, &noop{})
+	full, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := snaps[1]
+	snap.Numeric = nil // simulate a checkpoint written before this layer existed
+	r2, _ := NewRunner(e.config(b, 120), &noop{})
+	resumed, err := r2.Resume(context.Background(), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Numeric.Violations != 0 || resumed.Numeric.FailSafe {
+		t.Fatalf("legacy resume tripped the auditor: %+v", resumed.Numeric)
+	}
+	if full.Metrics != resumed.Metrics {
+		t.Fatalf("legacy resume changed metrics:\nfull    %+v\nresumed %+v", full.Metrics, resumed.Metrics)
+	}
+}

@@ -21,7 +21,10 @@ import (
 	"math"
 
 	"tecfan/internal/fan"
+	"tecfan/internal/floats"
 	"tecfan/internal/floorplan"
+	"tecfan/internal/linalg"
+	"tecfan/internal/numguard"
 	"tecfan/internal/perf"
 	"tecfan/internal/power"
 	"tecfan/internal/tec"
@@ -104,6 +107,29 @@ type FanController interface {
 	FanControl(obs *Observation) int
 }
 
+// NumFaultInjector corrupts the integrator's inputs and outputs per a
+// seeded schedule — the numerical-chaos seam (implemented by
+// numfault.Injector) that proves the numguard auditor catches every
+// violation. Injection must be a pure function of (step, retry), carrying
+// no draw-count state, so resumed runs replay identical faults.
+type NumFaultInjector interface {
+	// CorruptPower may corrupt the per-component power vector before the
+	// thermal step; CorruptTemps may corrupt the temperature vector after
+	// it. retry restricts the injection to persistent rules (the step
+	// fallback re-attempt). Both report whether anything fired.
+	CorruptPower(step int, retry bool, power []float64) bool
+	CorruptTemps(step int, retry bool, temps []float64) bool
+}
+
+// NumericEscalator is optionally implemented by controllers that can absorb
+// a confirmed numeric divergence: the simulator reports the structured
+// diagnosis once and keeps stepping with the last good state held, letting
+// the controller wind the run down in its fail-safe. Controllers without it
+// cause the run to refuse cleanly with a *DivergenceError instead.
+type NumericEscalator interface {
+	EscalateNumeric(v numguard.Violation)
+}
+
 // StateCodec is optionally implemented by controllers, sensor models, and
 // actuator models whose internal state must survive checkpoint/restore.
 // MarshalState captures the complete mutable state; UnmarshalState replaces
@@ -150,6 +176,13 @@ type Config struct {
 	// Actuators, when non-nil, intercepts every controller request before
 	// it is applied.
 	Actuators ActuatorModel
+	// NumFaults, when non-nil, injects scheduled numerical corruption into
+	// the step loop — the proof harness for the always-on invariant
+	// auditor.
+	NumFaults NumFaultInjector
+	// Guard overrides the numguard envelope and tolerances; nil selects
+	// numguard.DefaultConfig(). The auditor itself is always on.
+	Guard *numguard.Config
 
 	// CheckpointEvery takes a state snapshot every N control periods
 	// (0 = never). Snapshots are also taken once at the cancellation point
@@ -209,6 +242,10 @@ type Result struct {
 	// Converged reports whether the warm-start loop met WarmStartTol
 	// before MaxWarmStarts ran out.
 	Converged bool
+	// Numeric is the NumericHealth block: refinement and recovery counters
+	// from the invariant auditor, plus the structured diagnosis when a
+	// divergence was confirmed. Never nil on a Result returned by Run.
+	Numeric *numguard.Health
 
 	finalDVFS []int
 	finalAmps []float64
@@ -226,6 +263,19 @@ type TimeCapError struct {
 func (e *TimeCapError) Error() string {
 	return fmt.Sprintf("sim: MaxTimeFactor cap hit at t=%.4gs with %.3g of %.3g instructions retired (livelocked or over-throttled controller)",
 		e.Time, e.Retired, e.Budget)
+}
+
+// DivergenceError reports a confirmed numeric divergence in a run whose
+// controller cannot absorb it (it does not implement NumericEscalator): the
+// run refuses to continue rather than emit corrupt metrics. The partial
+// Result — finite metrics up to the divergence point plus the NumericHealth
+// diagnosis — is returned alongside.
+type DivergenceError struct {
+	V numguard.Violation
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("sim: confirmed numeric divergence: %s", e.V.String())
 }
 
 // Snapshot is the complete mid-run state captured at a control boundary: the
@@ -252,6 +302,11 @@ type Snapshot struct {
 
 	Acc   perf.AccumulatorState
 	Trace []TracePoint
+
+	// Numeric is the invariant auditor's state (energy integral, recovery
+	// counters, diagnosis). Nil in snapshots written before the auditor
+	// existed; resume then seeds the energy integral from Acc.
+	Numeric *numguard.State
 
 	// Serialized StateCodec blobs; nil when the component is stateless (or
 	// absent). Sensors and Actuators may hold identical blobs when one
@@ -348,9 +403,11 @@ func (r *Runner) validateSnapshot(snap *Snapshot) error {
 	if snap.WarmStart < 0 || snap.WarmStart >= cfg.MaxWarmStarts {
 		return fmt.Errorf("sim: snapshot warm-start %d outside [0, %d)", snap.WarmStart, cfg.MaxWarmStarts)
 	}
-	if snap.StepIdx < 0 || snap.SimTime < 0 ||
-		math.IsNaN(snap.SimTime) || math.IsInf(snap.SimTime, 0) {
+	if snap.StepIdx < 0 || snap.SimTime < 0 || !floats.Finite(snap.SimTime) {
 		return fmt.Errorf("sim: snapshot position t=%v step=%d invalid", snap.SimTime, snap.StepIdx)
+	}
+	if !floats.AllFinite(snap.Temps) {
+		return fmt.Errorf("sim: snapshot temperature field contains non-finite values")
 	}
 	return nil
 }
@@ -409,6 +466,13 @@ func (r *Runner) run(ctx context.Context, snap *Snapshot) (*Result, error) {
 			return nil, err
 		}
 	}
+	// One auditor per run: its counters and diagnosis describe the whole
+	// warm-start loop, and it rides in every checkpoint.
+	gcfg := numguard.DefaultConfig()
+	if cfg.Guard != nil {
+		gcfg = *cfg.Guard
+	}
+	guard := numguard.New(gcfg)
 	var res *Result
 	var err error
 	for ws := ws0; ws < cfg.MaxWarmStarts; ws++ {
@@ -422,7 +486,7 @@ func (r *Runner) run(ctx context.Context, snap *Snapshot) (*Result, error) {
 				cfg.Actuators.Reset()
 			}
 		}
-		res, err = r.runOnce(ctx, init, initDVFS, initAmps, ws, prevPeak, snap)
+		res, err = r.runOnce(ctx, init, initDVFS, initAmps, ws, prevPeak, snap, guard)
 		snap = nil
 		if err != nil {
 			var tce *TimeCapError
@@ -482,7 +546,7 @@ func (r *Runner) initialTemps() ([]float64, error) {
 // is non-nil — continues a checkpointed execution from its exact mid-run
 // state. ws and prevPeak are the warm-start loop position, recorded into any
 // snapshot taken so a resumed run rejoins the loop where it left off.
-func (r *Runner) runOnce(ctx context.Context, init []float64, initDVFS []int, initAmps []float64, ws int, prevPeak float64, snap *Snapshot) (*Result, error) {
+func (r *Runner) runOnce(ctx context.Context, init []float64, initDVFS []int, initAmps []float64, ws int, prevPeak float64, snap *Snapshot, guard *numguard.Auditor) (*Result, error) {
 	cfg := &r.cfg
 	chip := cfg.Chip
 	nComp := len(chip.Components)
@@ -528,9 +592,18 @@ func (r *Runner) runOnce(ctx context.Context, init []float64, initDVFS []int, in
 			}
 		}
 		acc.SetState(snap.Acc)
+		if snap.Numeric != nil {
+			guard.SetState(*snap.Numeric)
+		} else {
+			// Pre-numguard checkpoint: align the energy tripwire with the
+			// history it did not witness.
+			guard.SetState(numguard.State{})
+			guard.SeedEnergy(acc.Energy)
+		}
 		trace = append(trace, snap.Trace...)
 		now, stepIdx = snap.SimTime, snap.StepIdx
 	} else {
+		guard.BeginIteration()
 		temps = append([]float64(nil), init...)
 		for i := range dvfs {
 			dvfs[i] = cfg.InitDVFS
@@ -564,6 +637,7 @@ func (r *Runner) runOnce(ctx context.Context, init []float64, initDVFS []int, in
 	dyn := make([]float64, nComp)
 	leak := make([]float64, nComp)
 	total := make([]float64, nComp)
+	prevTemps := make([]float64, len(temps))
 	// Per-control-period accumulators for the observation. Snapshots are
 	// taken only at control boundaries, right after these are zeroed, so a
 	// resumed run correctly starts them empty.
@@ -599,6 +673,8 @@ func (r *Runner) runOnce(ctx context.Context, init []float64, initDVFS []int, in
 			Acc:       acc.State(),
 			Trace:     append([]TracePoint(nil), trace...),
 		}
+		ns := guard.State()
+		s.Numeric = &ns
 		if ts != nil {
 			tsnap := ts.Snapshot()
 			s.TEC = &tsnap
@@ -616,6 +692,62 @@ func (r *Runner) runOnce(ctx context.Context, init []float64, initDVFS []int, in
 		return s, nil
 	}
 
+	// partial builds the result carrying whatever finite metrics accumulated
+	// so far plus the numeric health block — used on cancellation, on a
+	// refused divergence, and (with Completed filled in) at the end.
+	partial := func() *Result {
+		res := &Result{
+			Metrics:    acc.Snapshot(),
+			Trace:      trace,
+			FinalTemps: temps,
+			Completed:  false,
+			Numeric:    guard.Health(),
+			finalDVFS:  append([]int(nil), dvfs...),
+		}
+		if ts != nil {
+			res.finalAmps = ts.Currents()
+		}
+		return res
+	}
+
+	// confirm records a confirmed divergence with the actuator configuration
+	// filled in, then either escalates it into the controller's sticky
+	// fail-safe (NumericEscalator) or returns the refusal error for
+	// controllers that cannot absorb it.
+	confirm := func(v *numguard.Violation) error {
+		v.FanLevel = fanLevel
+		if ts != nil {
+			v.TECsOn = ts.CountOn()
+		}
+		guard.Confirm(v)
+		if esc, ok := r.ctl.(NumericEscalator); ok {
+			if !guard.State().FailSafe {
+				guard.SetFailSafe()
+				esc.EscalateNumeric(*v)
+			}
+			return nil
+		}
+		return &DivergenceError{V: *v}
+	}
+
+	// stepAttempt integrates one thermal step from prevTemps and audits the
+	// outcome. tr.Step writes temps only on success, and a retry re-runs with
+	// bit-identical inputs, so a transient upset recovers byte-identically to
+	// the fault-free execution.
+	stepAttempt := func(retry bool) *numguard.Violation {
+		copy(temps, prevTemps)
+		if stepErr := tr.Step(temps, total, ts); stepErr != nil {
+			return &numguard.Violation{
+				Kind: numguard.KindSolverResidual, Step: stepIdx, Time: now,
+				Node: -1, Detail: stepErr.Error(),
+			}
+		}
+		if cfg.NumFaults != nil {
+			cfg.NumFaults.CorruptTemps(stepIdx, retry, temps)
+		}
+		return guard.CheckTemps(stepIdx, now, temps)
+	}
+
 	for !done() && now < maxTime {
 		// Power evaluation at the current state.
 		for i := range dyn {
@@ -629,12 +761,52 @@ func (r *Runner) runOnce(ctx context.Context, init []float64, initDVFS []int, in
 		for i := range total {
 			total[i] = dyn[i] + leak[i]
 		}
+		if cfg.NumFaults != nil {
+			cfg.NumFaults.CorruptPower(stepIdx, false, total)
+		}
+		if v := guard.CheckPowerVec(stepIdx, now, total); v != nil {
+			// Step fallback: rebuild the vector from its inputs. A transient
+			// upset vanishes; a persistent fault re-fires and is a confirmed
+			// divergence — the run then continues on the clean rebuild.
+			for i := range total {
+				total[i] = dyn[i] + leak[i]
+			}
+			if cfg.NumFaults != nil {
+				cfg.NumFaults.CorruptPower(stepIdx, true, total)
+			}
+			if v2 := guard.CheckPowerVec(stepIdx, now, total); v2 != nil {
+				for i := range total {
+					total[i] = dyn[i] + leak[i]
+				}
+				guard.NoteHeld()
+				if err := confirm(v2); err != nil {
+					return partial(), err
+				}
+			} else {
+				guard.NoteRecovered()
+			}
+		}
 
-		// Thermal step.
+		// Thermal step, audited: a violation (solver refusal, non-finite or
+		// out-of-envelope temperature) is retried once with identical inputs;
+		// a second violation holds the last good temperature state and
+		// confirms the divergence.
 		if ts != nil {
 			ts.Advance(now)
 		}
-		tr.Step(temps, total, ts)
+		copy(prevTemps, temps)
+		if v := stepAttempt(false); v != nil {
+			if v2 := stepAttempt(true); v2 != nil {
+				copy(temps, prevTemps)
+				guard.NoteHeld()
+				if err := confirm(v2); err != nil {
+					return partial(), err
+				}
+			} else {
+				guard.NoteRecovered()
+			}
+		}
+		guard.AddRefinements(tr.TakeRefinements())
 
 		// Instruction progress at the current frequencies. Every active
 		// core retires work until the chip-wide budget completes.
@@ -661,15 +833,24 @@ func (r *Runner) runOnce(ctx context.Context, init []float64, initDVFS []int, in
 		tecPower := cfg.Network.TECPower(temps, ts)
 		chipPower := dynSum + tecPower + cfg.Fan.Power(fanLevel)
 		_, peak := cfg.Network.PeakDie(temps)
-		// Integrator sanity guard: a diverged thermal solve or non-physical
-		// power must surface as an error, not propagate into perf.Metrics.
-		if math.IsNaN(peak) || math.IsInf(peak, 0) {
-			return nil, fmt.Errorf("sim: non-finite peak temperature %v out of the integrator at t=%.4gs", peak, now)
+		// The temperature audit above guarantees a finite field, so a
+		// non-finite peak would mean the auditor itself is broken: refuse
+		// loudly rather than feed it to perf.Metrics.
+		if !floats.Finite(peak) {
+			return partial(), fmt.Errorf("sim: non-finite peak temperature %s out of the integrator at t=%.4gs", linalg.SafeFloat(peak), now)
 		}
-		if math.IsNaN(chipPower) || math.IsInf(chipPower, 0) || chipPower < 0 {
-			return nil, fmt.Errorf("sim: non-physical chip power %v W at t=%.4gs", chipPower, now)
+		if v := guard.CheckChipPower(stepIdx, now, chipPower); v != nil {
+			// Chip power is an output-side aggregate with no second
+			// computation path to retry: hold zero for this step so the
+			// accumulator stays finite, and confirm.
+			guard.NoteHeld()
+			if err := confirm(v); err != nil {
+				return partial(), err
+			}
+			chipPower = 0
 		}
 		acc.Add(cfg.Step, chipPower, ipsSum, peak, cfg.Threshold)
+		guard.AddEnergy(cfg.Step, chipPower)
 
 		// Observation accumulation.
 		for i := range obsDyn {
@@ -709,6 +890,19 @@ func (r *Runner) runOnce(ctx context.Context, init []float64, initDVFS []int, in
 			}
 			if err := r.applyDecision(dec, dvfs, ts); err != nil {
 				return nil, err
+			}
+			// Boundary audits: the metrics energy against the independent
+			// ∫power·dt integral, and the applied actuator configuration
+			// against its hardware ranges.
+			if v := guard.CheckEnergy(stepIdx, now, acc.Energy); v != nil {
+				if err := confirm(v); err != nil {
+					return partial(), err
+				}
+			}
+			if v := guard.CheckActuators(stepIdx, now, fanLevel, cfg.Fan.NumLevels()-1, dvfs, cfg.DVFS.Max()); v != nil {
+				if err := confirm(v); err != nil {
+					return partial(), err
+				}
 			}
 			if cfg.RecordTrace {
 				pc, pt := cfg.Network.PeakDie(temps)
@@ -772,17 +966,7 @@ func (r *Runner) runOnce(ctx context.Context, init []float64, initDVFS []int, in
 						_ = cfg.OnCheckpoint(s) // best effort on the way out
 					}
 				}
-				res := &Result{
-					Metrics:    acc.Snapshot(),
-					Trace:      trace,
-					FinalTemps: temps,
-					Completed:  false,
-					finalDVFS:  append([]int(nil), dvfs...),
-				}
-				if ts != nil {
-					res.finalAmps = ts.Currents()
-				}
-				return res, fmt.Errorf("sim: canceled at t=%.4gs: %w", now, err)
+				return partial(), fmt.Errorf("sim: canceled at t=%.4gs: %w", now, err)
 			}
 			if cfg.CheckpointEvery > 0 && cfg.OnCheckpoint != nil &&
 				(stepIdx/stepsPerCtl)%cfg.CheckpointEvery == 0 {
@@ -797,16 +981,8 @@ func (r *Runner) runOnce(ctx context.Context, init []float64, initDVFS []int, in
 		}
 	}
 
-	res := &Result{
-		Metrics:    acc.Snapshot(),
-		Trace:      trace,
-		FinalTemps: temps,
-		Completed:  done(),
-		finalDVFS:  append([]int(nil), dvfs...),
-	}
-	if ts != nil {
-		res.finalAmps = ts.Currents()
-	}
+	res := partial()
+	res.Completed = done()
 	if !res.Completed {
 		return res, &TimeCapError{Time: now, Retired: totalDone, Budget: bench.TotalInst}
 	}

@@ -101,8 +101,11 @@ type Network struct {
 	cond []linalg.Coord // off-diagonal −g and diagonal +g entries
 	capn []float64      // per-node heat capacity, J/K
 
-	steadyCache    map[int]*linalg.Cholesky
-	transientCache map[transientKey]*linalg.Cholesky
+	// Cached factors are the verified kind: every solve through them is
+	// residual-checked, refined once when degraded, and refused with a
+	// typed linalg.NumError rather than returning garbage temperatures.
+	steadyCache    map[int]*linalg.VerifiedCholesky
+	transientCache map[transientKey]*linalg.VerifiedCholesky
 }
 
 type transientKey struct {
@@ -123,8 +126,8 @@ func NewNetwork(chip *floorplan.Chip, fm *fan.Model, p Params) *Network {
 		spreaderBase:   nc,
 		sinkNode:       nc + cores,
 		capn:           make([]float64, nc+cores+1),
-		steadyCache:    map[int]*linalg.Cholesky{},
-		transientCache: map[transientKey]*linalg.Cholesky{},
+		steadyCache:    map[int]*linalg.VerifiedCholesky{},
+		transientCache: map[transientKey]*linalg.VerifiedCholesky{},
 	}
 	nw.assemble()
 	return nw
@@ -223,12 +226,12 @@ func (nw *Network) AssembleG(fanLevel int) *linalg.Dense {
 	return g
 }
 
-// steadyFactor returns the cached Cholesky factor of G(fanLevel).
-func (nw *Network) steadyFactor(fanLevel int) (*linalg.Cholesky, error) {
+// steadyFactor returns the cached verified Cholesky factor of G(fanLevel).
+func (nw *Network) steadyFactor(fanLevel int) (*linalg.VerifiedCholesky, error) {
 	if f, ok := nw.steadyCache[fanLevel]; ok {
 		return f, nil
 	}
-	f, err := linalg.NewCholesky(nw.AssembleG(fanLevel))
+	f, err := linalg.NewVerifiedCholesky(nw.AssembleG(fanLevel), 0)
 	if err != nil {
 		return nil, fmt.Errorf("thermal: factoring G(fan=%d): %w", fanLevel, err)
 	}
@@ -268,14 +271,18 @@ func (nw *Network) peltierRHS(rhs, t []float64, ts *tec.State) {
 	}
 }
 
-// baseRHS fills rhs with die power plus the ambient source at the sink.
-func (nw *Network) baseRHS(rhs, power []float64, fanLevel int) {
+// baseRHS fills rhs with die power plus the ambient source at the sink. A
+// wrong-length power vector is a model-construction defect reported as a
+// structured error, not a panic: the sim boundary turns it into a failed
+// run instead of a crashed process.
+func (nw *Network) baseRHS(rhs, power []float64, fanLevel int) error {
 	if len(power) != nw.NumDie() {
-		panic(fmt.Sprintf("thermal: power vector length %d, want %d", len(power), nw.NumDie()))
+		return fmt.Errorf("thermal: power vector length %d, want %d", len(power), nw.NumDie())
 	}
 	linalg.Fill(rhs, 0)
 	copy(rhs, power)
 	rhs[nw.sinkNode] += nw.Fan.Conductance(fanLevel) * nw.Params.AmbientC
+	return nil
 }
 
 // steadyTol is the fixed-point convergence tolerance (°C) for the Peltier
@@ -305,9 +312,13 @@ func (nw *Network) SteadyInto(t, power []float64, fanLevel int, ts *tec.State) e
 	rhs := make([]float64, nw.n)
 	next := make([]float64, nw.n)
 	for iter := 0; iter < 50; iter++ {
-		nw.baseRHS(rhs, power, fanLevel)
+		if err := nw.baseRHS(rhs, power, fanLevel); err != nil {
+			return err
+		}
 		nw.peltierRHS(rhs, t, ts)
-		f.Solve(rhs, next)
+		if _, err := f.Solve(rhs, next); err != nil {
+			return fmt.Errorf("thermal: steady solve (fan=%d): %w", fanLevel, err)
+		}
 		var delta float64
 		for i := range t {
 			if d := math.Abs(next[i] - t[i]); d > delta {
@@ -327,9 +338,13 @@ type Transient struct {
 	nw       *Network
 	fanLevel int
 	dt       float64
-	factor   *linalg.Cholesky
+	factor   *linalg.VerifiedCholesky
 	rhs      []float64
 	next     []float64
+	// refines counts iterative-refinement steps the verified solve needed,
+	// per Transient instance (the factor cache is shared across instances,
+	// so the counter cannot live there without leaking across runs).
+	refines int
 }
 
 // NewTransient factors (C/dt + G) for the given fan level and time step.
@@ -348,7 +363,7 @@ func (nw *Network) NewTransient(fanLevel int, dt float64) (*Transient, error) {
 			m.Add(i, i, nw.capn[i]/dt)
 		}
 		var err error
-		f, err = linalg.NewCholesky(m)
+		f, err = linalg.NewVerifiedCholesky(m, 0)
 		if err != nil {
 			return nil, fmt.Errorf("thermal: factoring transient matrix: %w", err)
 		}
@@ -373,15 +388,35 @@ func (tr *Transient) FanLevel() int { return tr.fanLevel }
 // Step advances t (in place) by one dt with the given die power vector and
 // TEC state. Peltier terms use the pre-step temperatures (semi-implicit),
 // which is stable because the pump coefficients are tiny relative to C/dt.
-func (tr *Transient) Step(t, power []float64, ts *tec.State) {
+// On error t is left untouched (the solve goes into a scratch vector), so
+// callers can retry or hold the last good state.
+func (tr *Transient) Step(t, power []float64, ts *tec.State) error {
 	nw := tr.nw
-	nw.baseRHS(tr.rhs, power, tr.fanLevel)
+	if err := nw.baseRHS(tr.rhs, power, tr.fanLevel); err != nil {
+		return err
+	}
 	nw.peltierRHS(tr.rhs, t, ts)
 	for i := 0; i < nw.n; i++ {
 		tr.rhs[i] += nw.capn[i] / tr.dt * t[i]
 	}
-	tr.factor.Solve(tr.rhs, tr.next)
+	refined, err := tr.factor.Solve(tr.rhs, tr.next)
+	if refined {
+		tr.refines++
+	}
+	if err != nil {
+		return err
+	}
 	copy(t, tr.next)
+	return nil
+}
+
+// TakeRefinements returns the refinement count accumulated since the last
+// call and resets it — a delta, so the sim can attribute refinement work to
+// the exact step window it audited.
+func (tr *Transient) TakeRefinements() int {
+	n := tr.refines
+	tr.refines = 0
+	return n
 }
 
 // PeakDie returns the hottest die component index and its temperature.

@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Numerical-fault drill: prove that scheduled numerical corruption — NaNs,
+# infinities, perturbations in the solver state — can never reach a metric,
+# checkpoint, or report. The guarded simulator either absorbs the upset with
+# a byte-identical recovery (transient faults), completes in the controller's
+# sticky fail-safe with a structured diagnosis (persistent faults under
+# TECfan-FT), or refuses cleanly with a typed error and a finite partial
+# trace (persistent faults under a controller with no fail-safe).
+#
+# Phases:
+#   1. reference: fault-free trace, run twice — byte-identical (determinism),
+#      numeric health all zeros.
+#   2. transient: one-step NaN upset — the trace CSV must be byte-identical
+#      to the reference and the health must count a recovered step.
+#   3. persistent + TECfan-FT: the run completes in fail-safe; health carries
+#      the diagnosis; no NaN/Inf token anywhere in the outputs.
+#   4. persistent + plain TECfan: nonzero exit, finite partial trace.
+#   5. daemon: tecfand under a persistent schedule — the job result carries
+#      numeric_health, /readyz flips 503 with a "numeric fail-safe" reason.
+#
+# Env: NUMFAULT_SEED (default 31337) schedule seed.
+set -euo pipefail
+
+DRILL_NAME=numfault_drill
+. "$(dirname "$0")/lib.sh"
+drill_init
+
+SEED="${NUMFAULT_SEED:-31337}"
+TRACE_ARGS=(-bench cholesky -threads 16 -fan 1)
+
+cd "$ROOT"
+go build -o "$WORK/tecfan-trace" ./cmd/tecfan-trace
+go build -o "$WORK/tecfand" ./cmd/tecfand
+
+# no_nonfinite FILE...: no output file may ever contain a NaN/Inf token.
+# Diagnoses spell values as "not-a-number" / "overflow" on purpose.
+no_nonfinite() {
+  for f in "$@"; do
+    if grep -Eq '(NaN|[+-]?Inf)' "$f"; then
+      die "non-finite token leaked into $f: $(grep -En '(NaN|[+-]?Inf)' "$f" | head -n3)"
+    fi
+  done
+}
+
+# health FILE KEY: numeric/bool field out of a NumericHealth JSON document.
+health() { json_field "$1" "$2"; }
+
+# ---------------------------------------------------------------------------
+say "phase 1: fault-free reference (determinism + clean health)"
+"$WORK/tecfan-trace" "${TRACE_ARGS[@]}" -policy TECfan-FT \
+  -numeric-health "$WORK/ref_health.json" >"$WORK/ref.csv"
+"$WORK/tecfan-trace" "${TRACE_ARGS[@]}" -policy TECfan-FT >"$WORK/ref2.csv"
+cmp -s "$WORK/ref.csv" "$WORK/ref2.csv" || die "fault-free trace is nondeterministic"
+[ "$(health "$WORK/ref_health.json" fail_safe)" = "false" ] || die "clean run reports fail_safe"
+[ "$(health "$WORK/ref_health.json" violations)" = "0" ] || die "clean run reports violations"
+[ "$(health "$WORK/ref_health.json" recovered_steps)" = "0" ] || die "clean run reports recoveries"
+no_nonfinite "$WORK/ref.csv" "$WORK/ref_health.json"
+
+# ---------------------------------------------------------------------------
+say "phase 2: transient NaN upset recovers byte-identically"
+cat >"$WORK/transient.json" <<EOF
+{"seed": $SEED, "rules": [
+  {"target": "temps", "action": "nan", "index": 0, "from_step": 40, "to_step": 41}
+]}
+EOF
+"$WORK/tecfan-trace" "${TRACE_ARGS[@]}" -policy TECfan-FT \
+  -numfault-schedule "$WORK/transient.json" \
+  -numeric-health "$WORK/transient_health.json" >"$WORK/transient.csv"
+cmp -s "$WORK/ref.csv" "$WORK/transient.csv" \
+  || die "recovered trace differs from the fault-free reference"
+rec="$(health "$WORK/transient_health.json" recovered_steps)"
+[ -n "$rec" ] && [ "$rec" -ge 1 ] || die "transient upset not recorded as recovered (got: ${rec:-none})"
+[ "$(health "$WORK/transient_health.json" fail_safe)" = "false" ] || die "transient upset escalated"
+no_nonfinite "$WORK/transient.csv" "$WORK/transient_health.json"
+
+# ---------------------------------------------------------------------------
+say "phase 3: persistent divergence escalates TECfan-FT into fail-safe"
+cat >"$WORK/persistent.json" <<EOF
+{"seed": $SEED, "rules": [
+  {"target": "temps", "action": "nan", "index": 0, "from_step": 40, "to_step": 60, "persistent": true}
+]}
+EOF
+"$WORK/tecfan-trace" "${TRACE_ARGS[@]}" -policy TECfan-FT \
+  -numfault-schedule "$WORK/persistent.json" \
+  -numeric-health "$WORK/ft_health.json" >"$WORK/ft.csv" 2>"$WORK/ft.err" \
+  || die "TECfan-FT did not survive the persistent fault: $(cat "$WORK/ft.err")"
+[ "$(health "$WORK/ft_health.json" fail_safe)" = "true" ] || die "FT run did not enter fail-safe"
+grep -q '"diagnosis"' "$WORK/ft_health.json" || die "fail-safe health carries no diagnosis"
+grep -q '"kind": *"non-finite-temperature"' "$WORK/ft_health.json" \
+  || die "diagnosis kind wrong: $(cat "$WORK/ft_health.json")"
+held="$(health "$WORK/ft_health.json" held_steps)"
+[ -n "$held" ] && [ "$held" -ge 1 ] || die "no held steps in fail-safe health"
+no_nonfinite "$WORK/ft.csv" "$WORK/ft_health.json"
+
+# ---------------------------------------------------------------------------
+say "phase 4: persistent divergence under plain TECfan refuses cleanly"
+if "$WORK/tecfan-trace" "${TRACE_ARGS[@]}" -policy TECfan \
+  -numfault-schedule "$WORK/persistent.json" \
+  -numeric-health "$WORK/plain_health.json" >"$WORK/plain.csv" 2>"$WORK/plain.err"; then
+  die "plain TECfan completed despite a confirmed divergence"
+fi
+grep -q "confirmed numeric divergence" "$WORK/plain.err" \
+  || die "refusal lacks the divergence diagnosis: $(cat "$WORK/plain.err")"
+[ "$(health "$WORK/plain_health.json" violations)" != "0" ] || die "refusal health counts no violation"
+# The partial trace up to the refusal must still be finite and plottable.
+[ "$(wc -l <"$WORK/plain.csv")" -ge 2 ] || die "no partial trace flushed before the refusal"
+no_nonfinite "$WORK/plain.csv" "$WORK/plain_health.json" "$WORK/plain.err"
+
+# ---------------------------------------------------------------------------
+say "phase 5: tecfand surfaces the divergence (result health + /readyz)"
+start_tecfand "$WORK/state" "$WORK/daemon.log" 18331 /readyz \
+  -numfault-schedule "$WORK/persistent.json" -numfault-seed "$SEED"
+SPEC='{"id":"numdrill","kind":"trace","bench":"cholesky","threads":16,"policy":"TECfan-FT","scale":1}'
+curl -fsS -X POST -d "$SPEC" http://127.0.0.1:18331/jobs >/dev/null
+wait_job http://127.0.0.1:18331 numdrill 3000
+curl -fsS http://127.0.0.1:18331/jobs/numdrill/result >"$WORK/job.json"
+grep -q '"numeric_health"' "$WORK/job.json" || die "job result carries no numeric_health"
+grep -q '"fail_safe": *true' "$WORK/job.json" || die "job health not in fail-safe"
+no_nonfinite "$WORK/job.json"
+code="$(curl -s -o "$WORK/readyz.json" -w '%{http_code}' http://127.0.0.1:18331/readyz)"
+[ "$code" = "503" ] || die "/readyz answered $code after a divergence, want 503"
+grep -q "numeric fail-safe: job numdrill" "$WORK/readyz.json" \
+  || die "/readyz reason missing: $(cat "$WORK/readyz.json")"
+
+say "PASS"

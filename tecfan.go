@@ -10,6 +10,8 @@ import (
 	"tecfan/internal/exp"
 	"tecfan/internal/fault"
 	"tecfan/internal/floats"
+	"tecfan/internal/numfault"
+	"tecfan/internal/numguard"
 	"tecfan/internal/perf"
 	"tecfan/internal/power"
 	"tecfan/internal/sim"
@@ -61,6 +63,24 @@ func WithFaultScenario(name string, seed int64) Option {
 		}
 		e.Faults = &sc
 		e.FaultSeed = seed
+		return nil
+	}
+}
+
+// WithNumFaultSchedule arms the numerical-chaos injector for every
+// subsequent run from a JSON schedule (see internal/numfault for the rule
+// format); a non-zero seed overrides the schedule's own. The base scenario
+// stays clean by definition.
+func WithNumFaultSchedule(schedule []byte, seed int64) Option {
+	return func(e *exp.Env) error {
+		s, err := numfault.ParseSchedule(schedule)
+		if err != nil {
+			return err
+		}
+		if seed != 0 {
+			s.Seed = seed
+		}
+		e.NumFaults = &s
 		return nil
 	}
 }
@@ -172,27 +192,41 @@ func (s *System) Trace(bench string, threads int, policyName string, fanLevel in
 // so far return alongside the error, so an interrupted trace is still
 // plottable.
 func (s *System) TraceContext(ctx context.Context, bench string, threads int, policyName string, fanLevel int) ([]sim.TracePoint, error) {
+	trace, _, err := s.TraceWithHealthContext(ctx, bench, threads, policyName, fanLevel)
+	return trace, err
+}
+
+// NumericHealth is the invariant auditor's per-run report: solver
+// refinements, recovered/held steps, and the structured diagnosis of a
+// confirmed numeric divergence.
+type NumericHealth = numguard.Health
+
+// TraceWithHealthContext is TraceContext with the run's NumericHealth block
+// alongside the samples. On a refused divergence (a controller without a
+// fail-safe) the partial trace and health return with the error — finite up
+// to the refusal point, never containing non-finite values.
+func (s *System) TraceWithHealthContext(ctx context.Context, bench string, threads int, policyName string, fanLevel int) ([]sim.TracePoint, *NumericHealth, error) {
 	b, err := workload.ByName(bench, threads, s.env.Leak)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sb := s.scaled(b)
 	base, err := s.env.BaseScenarioContext(ctx, sb)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	ctl := s.env.Controllers()[policyName]
 	if ctl == nil {
-		return nil, fmt.Errorf("tecfan: unknown policy %q", policyName)
+		return nil, nil, fmt.Errorf("tecfan: unknown policy %q", policyName)
 	}
 	res, err := s.env.RunTracedContext(ctx, sb, ctl, base.Metrics.PeakTemp, fanLevel)
 	if err != nil {
 		if res != nil {
-			return res.Trace, err
+			return res.Trace, res.Numeric, err
 		}
-		return nil, err
+		return nil, nil, err
 	}
-	return res.Trace, nil
+	return res.Trace, res.Numeric, nil
 }
 
 // Table1 regenerates the paper's Table I.
