@@ -1,0 +1,686 @@
+// Command tecfan-crucible is the unified chaos-campaign orchestrator: it runs
+// seeded episodes of a composite fault campaign — network chaos, disk faults,
+// numerical corruption, and process-level kill/stop/restart on one shared
+// timeline — against the real daemon(+pool) stack, records the client-observed
+// history, and judges it with the end-to-end oracle catalog (exactly-once,
+// byte-identical-or-declared-fail-safe results, sticky fail-safe, no
+// non-finite token, readiness consistency).
+//
+// Usage:
+//
+//	tecfan-crucible -spec campaign.json -episodes 5 -bin-dir ./bin -out ./artifacts
+//	tecfan-crucible -corpus testdata/crucible -bin-dir ./bin
+//
+// With -bin-dir, episodes spawn real tecfand / tecfan-worker / tecfan-netchaos
+// processes (required for proc actions and disk crash points); without it,
+// episodes run in-process, which is faster but covers only the in-process
+// feature subset. The fault-free reference every episode is byte-compared
+// against always runs in-process: result bytes are a pure function of the job
+// spec, which is the determinism contract the whole repo is built on.
+//
+// On the first oracle violation the crucible (unless -shrink=false)
+// delta-debugs the composite schedule down to a minimal still-failing repro
+// and writes it to -out as a corpus entry ready to commit under
+// testdata/crucible, where CI replays it forever.
+//
+// Exit status: 0 all episodes oracle-clean, 1 oracle violation, 2 usage or
+// infrastructure error.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"tecfan/internal/campaign"
+	"tecfan/internal/client"
+	"tecfan/internal/daemon"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "campaign spec file to run")
+	corpusDir := flag.String("corpus", "", "replay every corpus entry under this directory instead of running -spec")
+	episodes := flag.Int("episodes", 5, "seeded episodes to run (with -spec)")
+	seed := flag.Int64("seed", 0, "override the campaign master seed (0 = spec's)")
+	binDir := flag.String("bin-dir", "", "directory holding tecfand/tecfan-worker/tecfan-netchaos binaries; empty runs episodes in-process")
+	outDir := flag.String("out", "", "artifact directory for episode logs, histories, and minimized repros (empty = temp, removed when green)")
+	shrink := flag.Bool("shrink", true, "on an oracle violation, minimize the schedule to a still-failing repro")
+	epTimeout := flag.Duration("episode-timeout", 4*time.Minute, "wall-clock bound per episode (a spec's own timeout overrides it)")
+	verbose := flag.Bool("v", false, "log every daemon/client operational line, not just episode progress")
+	flag.Parse()
+
+	log.SetFlags(0)
+	log.SetPrefix("crucible: ")
+	if (*specPath == "") == (*corpusDir == "") {
+		fmt.Fprintln(os.Stderr, "crucible: exactly one of -spec or -corpus is required")
+		os.Exit(2)
+	}
+	if *episodes <= 0 {
+		fmt.Fprintln(os.Stderr, "crucible: -episodes must be positive")
+		os.Exit(2)
+	}
+
+	r := &runner{binDir: *binDir, defaultTimeout: *epTimeout, verbose: *verbose}
+	temp := *outDir == ""
+	if temp {
+		dir, err := os.MkdirTemp("", "crucible")
+		if err != nil {
+			fatal(err)
+		}
+		r.outDir = dir
+	} else {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		r.outDir = *outDir
+	}
+
+	ctx := context.Background()
+	var code int
+	if *specPath != "" {
+		code = r.runCampaign(ctx, *specPath, *seed, *episodes, *shrink)
+	} else {
+		code = r.replayCorpus(ctx, *corpusDir)
+	}
+	if temp && code == 0 {
+		os.RemoveAll(r.outDir)
+	} else if code != 0 {
+		log.Printf("artifacts kept under %s", r.outDir)
+	}
+	os.Exit(code)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "crucible:", err)
+	os.Exit(2)
+}
+
+type runner struct {
+	binDir         string
+	outDir         string
+	defaultTimeout time.Duration
+	verbose        bool
+}
+
+func (r *runner) logf(format string, args ...any) {
+	if r.verbose {
+		log.Printf(format, args...)
+	}
+}
+
+func (r *runner) opts() *campaign.RunOptions {
+	return &campaign.RunOptions{Logf: r.logf, Poll: 100 * time.Millisecond}
+}
+
+// runCampaign runs N seeded episodes of one spec, judging each against the
+// fault-free reference; on the first violation it optionally minimizes the
+// schedule and writes the repro as a ready-to-commit corpus entry.
+func (r *runner) runCampaign(ctx context.Context, specPath string, seed int64, episodes int, shrink bool) int {
+	spec, err := campaign.LoadSpec(specPath)
+	if err != nil {
+		fatal(err)
+	}
+	if seed != 0 {
+		spec.Seed = seed
+	}
+	log.Printf("campaign %q: %d jobs, %d episodes, seed %d", spec.Name, len(spec.Jobs), episodes, spec.Seed)
+
+	ref, err := r.reference(ctx, spec)
+	if err != nil {
+		fatal(err)
+	}
+	for ep := 0; ep < episodes; ep++ {
+		dir := filepath.Join(r.outDir, fmt.Sprintf("ep%03d", ep))
+		h, err := r.episode(ctx, spec, ep, dir)
+		if err != nil {
+			r.saveHistory(dir, h)
+			fatal(fmt.Errorf("episode %d: %w", ep, err))
+		}
+		r.saveHistory(dir, h)
+		vs := campaign.Evaluate(h, ref)
+		if len(vs) == 0 {
+			log.Printf("episode %d: oracle-clean (%d calls, %d ready samples)", ep, len(h.Calls), len(h.Ready))
+			continue
+		}
+		for _, v := range vs {
+			log.Printf("episode %d: VIOLATION %s", ep, v)
+		}
+		if shrink {
+			r.minimize(ctx, spec, ep, ref, vs[0].Oracle)
+		}
+		return 1
+	}
+	log.Printf("PASS: %d episodes oracle-clean", episodes)
+	return 0
+}
+
+// replayCorpus re-runs every committed repro and demands zero violations —
+// the regression memory of every compound-fault bug the crucible ever caught.
+func (r *runner) replayCorpus(ctx context.Context, dir string) int {
+	entries, err := campaign.LoadCorpus(dir)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("corpus %s: %d entries", dir, len(entries))
+	code := 0
+	for _, e := range entries {
+		ref, err := r.reference(ctx, e.Spec)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.Path, err))
+		}
+		for ep := 0; ep < e.Episodes; ep++ {
+			adir := filepath.Join(r.outDir, fmt.Sprintf("%s-ep%03d", strings.TrimSuffix(filepath.Base(e.Path), ".json"), ep))
+			h, err := r.episode(ctx, e.Spec, ep, adir)
+			if err != nil {
+				r.saveHistory(adir, h)
+				fatal(fmt.Errorf("%s episode %d: %w", e.Path, ep, err))
+			}
+			r.saveHistory(adir, h)
+			if vs := campaign.Evaluate(h, ref); len(vs) > 0 {
+				for _, v := range vs {
+					log.Printf("%s episode %d: VIOLATION %s", e.Path, ep, v)
+				}
+				code = 1
+				continue
+			}
+			log.Printf("%s episode %d: oracle-clean", e.Path, ep)
+		}
+	}
+	if code == 0 {
+		log.Printf("PASS: corpus replay oracle-clean")
+	}
+	return code
+}
+
+// reference computes the fault-free baseline in-process (byte-identity across
+// execution substrates is the determinism contract the repo's tier-1 tests
+// and the empty-lattice meta-test enforce).
+func (r *runner) reference(ctx context.Context, spec campaign.Spec) (map[string][]byte, error) {
+	rctx, cancel := context.WithTimeout(ctx, r.timeout(spec))
+	defer cancel()
+	return campaign.Reference(rctx, spec, 0, r.opts())
+}
+
+func (r *runner) timeout(spec campaign.Spec) time.Duration {
+	if spec.Timeout > 0 {
+		return spec.Timeout.Std()
+	}
+	return r.defaultTimeout
+}
+
+// episode runs one seeded episode: against real processes when -bin-dir is
+// set, in-process otherwise. Both paths resolve the episode's derived seeds
+// identically (Spec.ForEpisode).
+func (r *runner) episode(ctx context.Context, spec campaign.Spec, ep int, dir string) (*campaign.History, error) {
+	ectx, cancel := context.WithTimeout(ctx, r.timeout(spec))
+	defer cancel()
+	if r.binDir == "" {
+		return campaign.RunEpisode(ectx, spec, ep, r.opts())
+	}
+	return r.execEpisode(ectx, spec, ep, dir)
+}
+
+// minimize pins the failing episode's derived seeds into the spec, so that
+// the repro replays the exact failing draw sequence as its episode 0, then
+// delta-debugs it and writes the result as a ready-to-commit corpus entry.
+func (r *runner) minimize(ctx context.Context, spec campaign.Spec, ep int, ref map[string][]byte, oracle string) {
+	pinned := spec.ForEpisode(ep)
+	log.Printf("minimizing the failing schedule (episode %d pinned)...", ep)
+	cand := 0
+	pred := func(pctx context.Context, s campaign.Spec) (bool, error) {
+		if err := pctx.Err(); err != nil {
+			return false, err
+		}
+		cand++
+		h, err := r.episode(pctx, s, 0, filepath.Join(r.outDir, "shrink", fmt.Sprintf("cand%03d", cand)))
+		if err != nil {
+			// A candidate that cannot even finish an episode does not
+			// reproduce the oracle violation; keep the atoms it removed.
+			r.logf("shrink candidate %d errored (%v): treated as non-failing", cand, err)
+			return false, nil
+		}
+		return len(campaign.Evaluate(h, ref)) > 0, nil
+	}
+	min, stats, err := campaign.Minimize(ctx, pinned, pred)
+	if err != nil {
+		log.Printf("minimization aborted: %v (committing the un-minimized repro instead)", err)
+		min = pinned
+	}
+	entry := campaign.Entry{
+		Note: fmt.Sprintf("minimized from campaign %q episode %d (%d->%d atoms, %d runs, %d halvings)",
+			spec.Name, ep, stats.AtomsBefore, stats.AtomsAfter, stats.Runs, stats.Halvings),
+		Oracle:   oracle,
+		Episodes: 1,
+		Spec:     min,
+	}
+	path := filepath.Join(r.outDir, "minimized.json")
+	if err := campaign.WriteEntry(path, entry); err != nil {
+		log.Printf("writing minimized repro: %v", err)
+		return
+	}
+	log.Printf("minimized repro written to %s — review and commit it under testdata/crucible/", path)
+}
+
+func (r *runner) saveHistory(dir string, h *campaign.History) {
+	if h == nil {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	data, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
+		return
+	}
+	_ = os.WriteFile(filepath.Join(dir, "history.json"), append(data, '\n'), 0o644)
+}
+
+// ---------------------------------------------------------------------------
+// Exec episode: real processes, real signals.
+
+// execEpisode runs one episode against spawned binaries: tecfand on a free
+// port (behind tecfan-netchaos when the spec has network faults),
+// tecfan-worker processes in pool mode, and a timeline goroutine delivering
+// the spec's proc actions as real signals.
+func (r *runner) execEpisode(ctx context.Context, spec campaign.Spec, ep int, dir string) (*campaign.History, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	eff := spec.ForEpisode(ep)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &execStack{r: r, eff: eff, dir: dir, rec: campaign.NewRecorder(eff.Name, ep)}
+	defer s.teardown()
+	if err := s.start(ctx); err != nil {
+		return s.rec.History(), err
+	}
+
+	// The timeline runs concurrently with the client workload, exactly like
+	// production chaos would.
+	tdone := make(chan struct{})
+	tctx, tcancel := context.WithCancel(ctx)
+	defer tcancel()
+	go func() {
+		defer close(tdone)
+		s.runTimeline(tctx)
+	}()
+
+	cl, err := client.New(client.Config{
+		BaseURL: s.clientURL, Seed: 1, Logf: r.logf,
+		MaxRetries: 12, Observer: s.rec.Observer(),
+	})
+	if err != nil {
+		return s.rec.History(), err
+	}
+	// Inspection goes direct to the daemon: the result bytes being judged are
+	// its durable state, not a chaos-mangled copy.
+	direct, err := client.New(client.Config{BaseURL: s.daemonURL, Seed: 2, Logf: r.logf, MaxRetries: 12})
+	if err != nil {
+		return s.rec.History(), err
+	}
+
+	s.sampleReady()
+	for _, j := range eff.Jobs {
+		key := campaign.IdempotencyKey(eff.Name, ep, j.ID)
+		for replay := 0; replay < 2; replay++ {
+			id, dedup, err := cl.SubmitWithKey(ctx, key, j)
+			s.rec.Submission(j.ID, key, id, dedup, err)
+		}
+		s.sampleReady()
+	}
+	for _, j := range eff.Jobs {
+		v, err := cl.Wait(ctx, j.ID, 100*time.Millisecond)
+		if err != nil {
+			return s.rec.History(), fmt.Errorf("waiting for job %s: %w", j.ID, err)
+		}
+		var result []byte
+		if v.State == daemon.StateDone {
+			result, err = direct.Result(ctx, j.ID)
+			if err != nil {
+				return s.rec.History(), fmt.Errorf("fetching result of done job %s: %w", j.ID, err)
+			}
+		}
+		s.rec.Result(v, result)
+		s.sampleReady()
+	}
+	// Let every scheduled proc action land before the final listing, so the
+	// history the oracles judge covers the whole timeline.
+	select {
+	case <-tdone:
+	case <-ctx.Done():
+		return s.rec.History(), ctx.Err()
+	}
+	views, err := direct.Jobs(ctx)
+	if err != nil {
+		return s.rec.History(), fmt.Errorf("final jobs listing: %w", err)
+	}
+	s.rec.Jobs(views)
+	s.sampleReady()
+	return s.rec.History(), nil
+}
+
+// proc is one spawned child with its reusable log sink (restarts append).
+type proc struct {
+	cmd *exec.Cmd
+	log *os.File
+}
+
+type execStack struct {
+	r   *runner
+	eff campaign.Spec
+	dir string
+	rec *campaign.Recorder
+
+	mu      sync.Mutex
+	daemon  *proc
+	workers []*proc
+	proxy   *proc
+
+	daemonAddr string // host:port the daemon listens on (stable across restarts)
+	daemonURL  string
+	clientURL  string // daemonURL, or the chaos proxy when the spec has one
+	stateDir   string
+	diskFile   string
+	numFile    string
+}
+
+// start brings up the whole stack: schedule files, daemon, optional chaos
+// proxy, optional workers.
+func (s *execStack) start(ctx context.Context) error {
+	s.stateDir = filepath.Join(s.dir, "state")
+	var err error
+	if s.eff.Disk != nil {
+		if s.diskFile, err = s.writeSchedule("disk.json", s.eff.Disk); err != nil {
+			return err
+		}
+	}
+	if s.eff.Num != nil {
+		if s.numFile, err = s.writeSchedule("num.json", s.eff.Num); err != nil {
+			return err
+		}
+	}
+	port, err := freePort()
+	if err != nil {
+		return err
+	}
+	s.daemonAddr = "127.0.0.1:" + strconv.Itoa(port)
+	s.daemonURL = "http://" + s.daemonAddr
+	s.clientURL = s.daemonURL
+	if err := s.startDaemon(ctx); err != nil {
+		return err
+	}
+
+	if s.eff.Net != nil {
+		netFile, err := s.writeSchedule("net.json", s.eff.Net)
+		if err != nil {
+			return err
+		}
+		pport, err := freePort()
+		if err != nil {
+			return err
+		}
+		paddr := "127.0.0.1:" + strconv.Itoa(pport)
+		s.proxy, err = s.spawn("tecfan-netchaos", "netchaos.log",
+			"-listen", paddr, "-target", s.daemonAddr,
+			"-schedule", netFile, "-seed", strconv.FormatInt(s.eff.NetSeed, 10))
+		if err != nil {
+			return err
+		}
+		s.clientURL = "http://" + paddr
+		waitPort(ctx, paddr)
+	}
+
+	if s.eff.Pool != nil {
+		for i := 0; i < s.eff.Pool.Workers; i++ {
+			w, err := s.startWorker(i)
+			if err != nil {
+				return err
+			}
+			s.workers = append(s.workers, w)
+		}
+	}
+	return nil
+}
+
+func (s *execStack) writeSchedule(name string, v any) (string, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(s.dir, name)
+	return path, os.WriteFile(path, data, 0o644)
+}
+
+// startDaemon spawns tecfand on the stack's stable address and state dir and
+// waits for liveness (not readiness: a campaign's disk schedule may hold
+// /readyz at 503 from the first operation, and that is a finding for the
+// oracles, not a startup failure).
+func (s *execStack) startDaemon(ctx context.Context) error {
+	args := []string{
+		"-addr", s.daemonAddr, "-state-dir", s.stateDir,
+		"-checkpoint-every", "1", "-scrub-interval", "2s",
+		"-storage-probe-interval", "500ms",
+	}
+	if s.eff.Pool != nil {
+		args = append(args, "-pool")
+		if s.eff.Pool.Chunk > 0 {
+			args = append(args, "-pool-chunk", strconv.Itoa(s.eff.Pool.Chunk))
+		}
+		if s.eff.Pool.LeaseTTL > 0 {
+			args = append(args, "-pool-lease-ttl", s.eff.Pool.LeaseTTL.Std().String())
+		}
+	}
+	if s.diskFile != "" {
+		args = append(args, "-diskfault-schedule", s.diskFile)
+	}
+	if s.numFile != "" {
+		args = append(args, "-numfault-schedule", s.numFile)
+	}
+	p, err := s.spawn("tecfand", "daemon.log", args...)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.daemon = p
+	s.mu.Unlock()
+	if !waitHTTP(ctx, s.daemonURL+"/livez", 15*time.Second) {
+		return fmt.Errorf("tecfand on %s never became live (see %s)", s.daemonAddr, filepath.Join(s.dir, "daemon.log"))
+	}
+	return nil
+}
+
+func (s *execStack) startWorker(i int) (*proc, error) {
+	args := []string{
+		"-coordinator", s.daemonURL,
+		"-name", fmt.Sprintf("crucible-w%d", i),
+		"-poll", "100ms",
+	}
+	if s.numFile != "" {
+		args = append(args, "-numfault-schedule", s.numFile)
+	}
+	return s.spawn("tecfan-worker", fmt.Sprintf("worker%d.log", i), args...)
+}
+
+// spawn starts one child with output appended to dir/logName (restarts of a
+// role share the sink, so the log reads as one continuous story).
+func (s *execStack) spawn(bin, logName string, args ...string) (*proc, error) {
+	f, err := os.OpenFile(filepath.Join(s.dir, logName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(filepath.Join(s.r.binDir, bin), args...)
+	cmd.Stdout, cmd.Stderr = f, f
+	if err := cmd.Start(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("starting %s: %w", bin, err)
+	}
+	return &proc{cmd: cmd, log: f}, nil
+}
+
+// runTimeline delivers the spec's proc actions at their offsets, in order.
+func (s *execStack) runTimeline(ctx context.Context) {
+	start := time.Now()
+	for _, p := range campaign.TimelineOrder(s.eff.Procs) {
+		if wait := time.Until(start.Add(p.At.Std())); wait > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(wait):
+			}
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		if err := s.apply(ctx, p); err != nil {
+			s.r.logf("timeline: %s %s: %v", p.Action, p.Target, err)
+			continue
+		}
+		s.rec.Proc(p.Target, p.Action)
+	}
+}
+
+// apply delivers one timeline action as a real signal (restart = SIGKILL,
+// reap, respawn on the same address and state dir — the crash-recovery path
+// end to end).
+func (s *execStack) apply(ctx context.Context, a campaign.ProcAction) error {
+	target, respawn := s.resolve(a.Target)
+	if target == nil {
+		return fmt.Errorf("no such process")
+	}
+	switch a.Action {
+	case campaign.ActStop:
+		return target.cmd.Process.Signal(syscall.SIGSTOP)
+	case campaign.ActCont:
+		return target.cmd.Process.Signal(syscall.SIGCONT)
+	case campaign.ActKill:
+		reap(target)
+		return nil
+	case campaign.ActRestart:
+		reap(target)
+		return respawn(ctx)
+	}
+	return fmt.Errorf("unknown action %q", a.Action)
+}
+
+// resolve maps a timeline target to its live process handle and its respawn
+// closure.
+func (s *execStack) resolve(target string) (*proc, func(context.Context) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if target == campaign.TargetDaemon {
+		return s.daemon, s.startDaemon
+	}
+	var idx int
+	if _, err := fmt.Sscanf(target, "worker:%d", &idx); err != nil || idx < 0 || idx >= len(s.workers) {
+		return nil, nil
+	}
+	return s.workers[idx], func(context.Context) error {
+		w, err := s.startWorker(idx)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.workers[idx] = w
+		s.mu.Unlock()
+		return nil
+	}
+}
+
+// reap SIGKILLs a child and waits it out of the process table. SIGKILL also
+// terminates SIGSTOPped children, so teardown never leaks a frozen process.
+func reap(p *proc) {
+	_ = p.cmd.Process.Kill()
+	_, _ = p.cmd.Process.Wait()
+}
+
+func (s *execStack) teardown() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range append([]*proc{s.daemon, s.proxy}, s.workers...) {
+		if p == nil {
+			continue
+		}
+		reap(p)
+		p.log.Close()
+	}
+}
+
+// sampleReady probes GET /readyz directly on the daemon and records what it
+// said. Probe transport errors (daemon mid-restart, SIGSTOPped) are skipped:
+// the sticky oracle judges only what the daemon actually answered.
+func (s *execStack) sampleReady() {
+	hc := &http.Client{Timeout: 2 * time.Second}
+	resp, err := hc.Get(s.daemonURL + "/readyz")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Reasons []string `json:"reasons"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return
+	}
+	s.rec.Ready(resp.StatusCode == http.StatusOK, body.Reasons)
+}
+
+// freePort grabs an ephemeral port by binding and releasing it. The tiny
+// close-to-bind race is acceptable in a drill that owns the machine.
+func freePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port, nil
+}
+
+// waitHTTP polls url until it answers 2xx or the budget runs out.
+func waitHTTP(ctx context.Context, url string, budget time.Duration) bool {
+	deadline := time.Now().Add(budget)
+	hc := &http.Client{Timeout: 2 * time.Second}
+	for time.Now().Before(deadline) {
+		if ctx.Err() != nil {
+			return false
+		}
+		resp, err := hc.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode < 300 {
+				return true
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return false
+}
+
+// waitPort waits briefly for a listener to accept; chaos may legitimately eat
+// the probe, so failure is not fatal (the client's retries take over).
+func waitPort(ctx context.Context, addr string) {
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if ctx.Err() != nil {
+			return
+		}
+		c, err := net.DialTimeout("tcp", addr, 500*time.Millisecond)
+		if err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

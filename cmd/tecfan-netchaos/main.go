@@ -70,11 +70,8 @@ func main() {
 		if *latency != 0 || *jitter != 0 || *drop != 0 || *reset != 0 || *bandwidth != 0 || *partition != "" || *period != 0 {
 			fatal(fmt.Errorf("-schedule is mutually exclusive with the inline fault flags"))
 		}
-		data, err := os.ReadFile(*schedFile)
-		if err != nil {
-			fatal(err)
-		}
-		sched, err = netfault.ParseSchedule(data)
+		var err error
+		sched, err = netfault.ParseScheduleFile(*schedFile)
 		if err != nil {
 			fatal(err)
 		}

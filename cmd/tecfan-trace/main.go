@@ -18,6 +18,7 @@ import (
 
 	"tecfan"
 	"tecfan/internal/cmdutil"
+	"tecfan/internal/numfault"
 )
 
 func main() {
@@ -33,11 +34,14 @@ func main() {
 
 	opts := []tecfan.Option{tecfan.WithScale(*scale)}
 	if *nfSchedule != "" {
-		data, err := os.ReadFile(*nfSchedule)
+		sched, err := numfault.ParseScheduleFile(*nfSchedule)
 		if err != nil {
 			fatal(err)
 		}
-		opts = append(opts, tecfan.WithNumFaultSchedule(data, *nfSeed))
+		if *nfSeed != 0 {
+			sched.Seed = *nfSeed
+		}
+		opts = append(opts, tecfan.WithNumFaults(sched))
 	}
 	sys, err := tecfan.New(opts...)
 	if err != nil {

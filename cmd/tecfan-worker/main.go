@@ -34,6 +34,7 @@ import (
 
 	"tecfan/internal/client"
 	"tecfan/internal/cmdutil"
+	"tecfan/internal/numfault"
 	"tecfan/internal/pool"
 	"tecfan/internal/worker"
 )
@@ -45,6 +46,8 @@ func main() {
 	healthPort := flag.Int("health-port", 0, "serve GET /healthz with worker stats on this port (0 disables)")
 	scratchDir := flag.String("scratch-dir", "", "existing directory for claim breadcrumbs (empty disables)")
 	requestTimeout := flag.Duration("request-timeout", 10*time.Second, "per-attempt deadline on coordinator calls")
+	nfSchedule := flag.String("numfault-schedule", "", "JSON numerical-fault schedule applied to every trace shard (numeric chaos)")
+	nfSeed := flag.Int64("numfault-seed", 0, "override the numfault schedule seed")
 	flag.Parse()
 
 	if *coordinator == "" {
@@ -66,6 +69,22 @@ func main() {
 		}
 	}
 
+	// Pooled trace shards must run under the same numeric fault lattice as the
+	// coordinator's in-process path would, or the crucible's pooled episodes
+	// and the in-process reference silently diverge in what they inject.
+	var numSched *numfault.Schedule
+	if *nfSchedule != "" {
+		sched, err := numfault.ParseScheduleFile(*nfSchedule)
+		if err != nil {
+			fatal(err)
+		}
+		if *nfSeed != 0 {
+			sched.Seed = *nfSeed
+		}
+		numSched = &sched
+		log.Printf("tecfan-worker %s: NUMERIC FAULT INJECTION ACTIVE (schedule %s, seed %d)", *name, *nfSchedule, sched.Seed)
+	}
+
 	cl, err := client.New(client.Config{
 		BaseURL:        *coordinator,
 		RequestTimeout: *requestTimeout,
@@ -75,11 +94,12 @@ func main() {
 		fatal(err)
 	}
 	w, err := worker.New(worker.Config{
-		Client:  cl,
-		Name:    *name,
-		Poll:    *poll,
-		Logf:    log.Printf,
-		OnClaim: breadcrumb(*scratchDir, *name),
+		Client:    cl,
+		Name:      *name,
+		Poll:      *poll,
+		Logf:      log.Printf,
+		OnClaim:   breadcrumb(*scratchDir, *name),
+		NumFaults: numSched,
 	})
 	if err != nil {
 		fatal(err)

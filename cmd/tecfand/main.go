@@ -123,11 +123,7 @@ func main() {
 	// exit 3, the same contract the SIGKILL crash drill exercises.
 	fsys := diskfault.OS
 	if *dfSchedule != "" {
-		raw, err := os.ReadFile(*dfSchedule)
-		if err != nil {
-			fatal(err)
-		}
-		sched, err := diskfault.ParseSchedule(raw)
+		sched, err := diskfault.ParseScheduleFile(*dfSchedule)
 		if err != nil {
 			fatal(err)
 		}
@@ -153,11 +149,7 @@ func main() {
 	// what the numfault drill proves.
 	var numSched *numfault.Schedule
 	if *nfSchedule != "" {
-		raw, err := os.ReadFile(*nfSchedule)
-		if err != nil {
-			fatal(err)
-		}
-		sched, err := numfault.ParseSchedule(raw)
+		sched, err := numfault.ParseScheduleFile(*nfSchedule)
 		if err != nil {
 			fatal(err)
 		}

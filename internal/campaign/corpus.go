@@ -1,0 +1,91 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tecfan/internal/schedfile"
+)
+
+// Entry is one committed crucible repro: a campaign spec plus replay
+// metadata. The corpus under testdata/crucible is the regression memory of
+// every compound-fault bug the crucible ever caught — CI replays all of it
+// forever, so a fixed bug that comes back fails loudly with its original
+// minimal schedule attached.
+type Entry struct {
+	// Note says what this entry pins: the incident, the property, or why the
+	// spec is shaped the way it is.
+	Note string `json:"note,omitempty"`
+	// Oracle names the oracle that originally failed, when the entry came out
+	// of the minimizer. Documentation only — replay always runs the whole
+	// catalog and demands zero violations.
+	Oracle string `json:"oracle,omitempty"`
+	// Episodes is how many seeded episodes to replay (default 1). Minimized
+	// repros carry pinned injector seeds, so one episode is the whole story;
+	// hand-written smoke entries may sweep several.
+	Episodes int `json:"episodes,omitempty"`
+	// Spec is the campaign to replay.
+	Spec Spec `json:"spec"`
+
+	// Path is where the entry was loaded from; set by LoadCorpus/LoadEntry,
+	// never serialized.
+	Path string `json:"-"`
+}
+
+// Validate checks the replay metadata and the embedded spec.
+func (e Entry) Validate() error {
+	if e.Episodes < 0 {
+		return fmt.Errorf("campaign: corpus entry: episodes must be non-negative")
+	}
+	return e.Spec.Validate()
+}
+
+// LoadEntry reads one corpus entry, normalizing Episodes to at least 1.
+func LoadEntry(path string) (Entry, error) {
+	var e Entry
+	if err := schedfile.Load(path, &e, func() error { return e.Validate() }); err != nil {
+		return Entry{}, err
+	}
+	if e.Episodes == 0 {
+		e.Episodes = 1
+	}
+	e.Path = path
+	return e, nil
+}
+
+// LoadCorpus loads every *.json entry under dir, in name order (glob order
+// is lexical, so replay order is deterministic). An empty or missing corpus
+// is an error: the caller asked to replay regressions that are not there.
+func LoadCorpus(dir string) ([]Entry, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: corpus %s: %w", dir, err)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("campaign: corpus %s: no *.json entries", dir)
+	}
+	entries := make([]Entry, 0, len(paths))
+	for _, p := range paths {
+		e, err := LoadEntry(p)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// WriteEntry writes a corpus entry as indented JSON — the form the minimizer
+// emits and humans review in a diff.
+func WriteEntry(path string, e Entry) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: encoding corpus entry: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

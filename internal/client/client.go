@@ -58,8 +58,33 @@ type Config struct {
 	Seed int64
 	// Logf receives retry decisions (default: silent).
 	Logf func(format string, args ...any)
+	// Observer, when non-nil, sees every attempt the client makes — including
+	// ones that never reached the wire (breaker-denied) or never got a
+	// response (transport error). The crucible records these into a
+	// client-observed history its oracles judge; nothing in the client's own
+	// behavior depends on it. Called synchronously: keep it fast and safe for
+	// concurrent use.
+	Observer func(ObservedCall)
 
 	sleep func(ctx context.Context, d time.Duration) error // test seam
+}
+
+// ObservedCall is one client attempt as Config.Observer sees it.
+type ObservedCall struct {
+	// Method and Path identify the API call; Retry is the 0-based attempt
+	// index within it.
+	Method string
+	Path   string
+	Retry  int
+	// Status is the HTTP status, or 0 when no response arrived; Err carries
+	// the breaker/transport error in that case.
+	Status int
+	Err    string
+	// RequestID echoes the daemon's X-Request-ID response header.
+	RequestID string
+	// ReadyState echoes the daemon's X-Tecfand-Ready header: "ok" or the
+	// "; "-joined unreadiness reasons stamped on this exact response.
+	ReadyState string
 }
 
 func (c *Config) fillDefaults() error {
@@ -151,6 +176,13 @@ func New(cfg Config) (*Client, error) {
 // Breaker exposes the client's circuit breaker for state inspection.
 func (c *Client) Breaker() *Breaker { return c.br }
 
+// observe delivers an attempt record to the configured Observer, if any.
+func (c *Client) observe(oc ObservedCall) {
+	if c.cfg.Observer != nil {
+		c.cfg.Observer(oc)
+	}
+}
+
 // backoffDelay draws the full-jitter delay for retry i (0-based):
 // uniform [0, min(BackoffMax, BackoffBase·2^i)).
 func (c *Client) backoffDelay(retry int) time.Duration {
@@ -213,7 +245,7 @@ func retryableStatus(status int) bool {
 func (c *Client) call(ctx context.Context, method, path string, body []byte, header http.Header, out any) (int, error) {
 	var lastErr error
 	for retry := 0; ; retry++ {
-		status, err := c.attempt(ctx, method, path, body, header, out)
+		status, err := c.attempt(ctx, retry, method, path, body, header, out)
 		if err == nil {
 			return status, nil
 		}
@@ -253,9 +285,10 @@ func (c *Client) retryDelay(err error, retry int) time.Duration {
 
 // attempt performs one request under the breaker and the per-attempt
 // deadline.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, header http.Header, out any) (int, error) {
+func (c *Client) attempt(ctx context.Context, retry int, method, path string, body []byte, header http.Header, out any) (int, error) {
 	record, err := c.br.Allow()
 	if err != nil {
+		c.observe(ObservedCall{Method: method, Path: path, Retry: retry, Err: err.Error()})
 		return 0, err
 	}
 	actx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
@@ -280,18 +313,25 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		record(false)
+		c.observe(ObservedCall{Method: method, Path: path, Retry: retry, Err: err.Error()})
 		return 0, fmt.Errorf("client: %w", err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
 		record(false)
+		c.observe(ObservedCall{Method: method, Path: path, Retry: retry, Err: err.Error()})
 		return 0, fmt.Errorf("client: reading response: %w", err)
 	}
 	// The wire worked: only 5xx counts against the breaker. 429 means the
 	// server is alive and shedding deliberately — pacing is Retry-After's
 	// job, not the breaker's.
 	record(resp.StatusCode < 500)
+	c.observe(ObservedCall{
+		Method: method, Path: path, Retry: retry, Status: resp.StatusCode,
+		RequestID:  resp.Header.Get("X-Request-ID"),
+		ReadyState: resp.Header.Get(daemon.ReadyHeader),
+	})
 
 	if resp.StatusCode >= 300 {
 		return resp.StatusCode, &StatusError{

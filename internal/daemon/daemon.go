@@ -835,7 +835,8 @@ func (s *Server) Handler() http.Handler {
 	if s.cfg.RequestTimeout > 0 {
 		h = withRequestTimeout(h, s.cfg.RequestTimeout)
 	}
-	return s.withRequestID(h)
+	// Outermost so even timeout/request-ID rejections carry the ready state.
+	return s.withReadyHeader(s.withRequestID(h))
 }
 
 // isSpecOnly reports whether a persisted record carries no progress yet.

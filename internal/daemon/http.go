@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"tecfan/internal/checkpoint"
 )
@@ -30,11 +31,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleReadyz is readiness: 503 with the reasons while the daemon cannot
-// usefully accept work — draining, admission queue full, or the checkpoint
-// state dir unwritable (a daemon that cannot checkpoint must not take jobs
-// it would lose). Load balancers and drill scripts gate on it.
-func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+// readyReasons collects every reason the daemon cannot usefully accept work
+// right now. With probeDisk set it additionally write-probes the state dir —
+// an expensive check (512 synced bytes through the FS seam, which also
+// advances the diskfault op counter) that only the dedicated /readyz endpoint
+// pays for; the cheap variant backs the per-response X-Tecfand-Ready header.
+func (s *Server) readyReasons(probeDisk bool) []string {
 	var reasons []string
 	if s.Draining() {
 		reasons = append(reasons, "draining")
@@ -44,8 +46,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.StorageDegraded() {
 		reasons = append(reasons, "storage degraded: state dir out of space")
-	} else if err := s.stateDirWritable(); err != nil {
-		reasons = append(reasons, "state dir unwritable: "+err.Error())
+	} else if probeDisk {
+		if err := s.stateDirWritable(); err != nil {
+			reasons = append(reasons, "state dir unwritable: "+err.Error())
+		}
 	}
 	if s.pool != nil && s.pool.LiveWorkers() == 0 {
 		// Pool mode executes nothing in-process: with no worker polling,
@@ -57,6 +61,37 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		// watched a solve diverge stays visibly unhealthy until restarted.
 		reasons = append(reasons, "numeric fail-safe: job "+d.Job+": "+string(d.V.Kind))
 	}
+	return reasons
+}
+
+// ReadyHeader carries the daemon's cheap readiness reasons on every response:
+// "ok" when ready, otherwise the "; "-joined reason list. External /readyz
+// polling can only sample readiness *between* requests; this header pins the
+// daemon's self-reported state to the exact response a client observed, which
+// is what makes the crucible's readiness-consistency oracle sound (no 2xx
+// submission may ever ride a response stamped draining or storage degraded).
+const ReadyHeader = "X-Tecfand-Ready"
+
+// withReadyHeader stamps ReadyHeader before the handler runs, using only the
+// cheap readiness checks — never the state-dir write probe, which would turn
+// every request into disk I/O and perturb scheduled disk-fault op counters.
+func (s *Server) withReadyHeader(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if reasons := s.readyReasons(false); len(reasons) > 0 {
+			w.Header().Set(ReadyHeader, strings.Join(reasons, "; "))
+		} else {
+			w.Header().Set(ReadyHeader, "ok")
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// handleReadyz is readiness: 503 with the reasons while the daemon cannot
+// usefully accept work — draining, admission queue full, or the checkpoint
+// state dir unwritable (a daemon that cannot checkpoint must not take jobs
+// it would lose). Load balancers and drill scripts gate on it.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	reasons := s.readyReasons(true)
 	if len(reasons) > 0 {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"status": "unready", "reasons": reasons,

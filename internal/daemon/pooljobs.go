@@ -69,9 +69,16 @@ func (s *Server) mergePooled(id string, spec JobSpec, payloads [][]byte) error {
 		if err := pool.DecodePayload(payloads[0], &sr); err != nil {
 			return fmt.Errorf("daemon: job %s: %w", id, err)
 		}
+		if sr.Numeric != nil && sr.Numeric.FailSafe && sr.Numeric.Diagnosis != nil {
+			// The worker rode out a confirmed divergence in the controller's
+			// fail-safe; the coordinator's /readyz must latch it exactly as it
+			// would for an in-process run.
+			s.noteDiverged(id, *sr.Numeric.Diagnosis)
+		}
 		return s.writeResult(id, traceResult{
 			Spec: spec, Threshold: sr.Threshold, Completed: sr.Completed,
 			Metrics: sr.Metrics, FinalTemps: sr.FinalTemps, Trace: sr.Trace,
+			Numeric: sr.Numeric,
 		})
 	case KindChaos:
 		out := &exp.ChaosResult{Bench: spec.Bench, Threads: spec.Threads, Seed: spec.Seed}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"path/filepath"
+
+	"tecfan/internal/schedfile"
 )
 
 // Op classifies a filesystem operation for schedule matching. Every FS and
@@ -194,6 +196,17 @@ func ParseSchedule(data []byte) (Schedule, error) {
 		return Schedule{}, fmt.Errorf("diskfault: parsing schedule: %w", err)
 	}
 	if err := s.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	return s, nil
+}
+
+// ParseScheduleFile loads and validates a schedule from a JSON file through
+// the shared schedfile loader, so errors carry the file path and rule index.
+func ParseScheduleFile(path string) (Schedule, error) {
+	var s Schedule
+	// Validate has a value receiver, so bind it after decoding via a closure.
+	if err := schedfile.Load(path, &s, func() error { return s.Validate() }); err != nil {
 		return Schedule{}, err
 	}
 	return s, nil

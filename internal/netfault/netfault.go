@@ -21,6 +21,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tecfan/internal/schedfile"
 )
 
 // Duration is a time.Duration that accepts both Go duration strings ("30ms")
@@ -153,6 +155,17 @@ func ParseSchedule(data []byte) (Schedule, error) {
 		return Schedule{}, fmt.Errorf("netfault: parsing schedule: %w", err)
 	}
 	if err := s.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	return s, nil
+}
+
+// ParseScheduleFile loads and validates a schedule from a JSON file through
+// the shared schedfile loader, so errors carry the file path and window index.
+func ParseScheduleFile(path string) (Schedule, error) {
+	var s Schedule
+	// Validate has a value receiver, so bind it after decoding via a closure.
+	if err := schedfile.Load(path, &s, func() error { return s.Validate() }); err != nil {
 		return Schedule{}, err
 	}
 	return s, nil

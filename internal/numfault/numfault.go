@@ -12,6 +12,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+
+	"tecfan/internal/schedfile"
 )
 
 // Targets a rule can corrupt.
@@ -111,6 +113,16 @@ func ParseSchedule(data []byte) (Schedule, error) {
 		return Schedule{}, fmt.Errorf("numfault: parse schedule: %w", err)
 	}
 	if err := s.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	return s, nil
+}
+
+// ParseScheduleFile loads and validates a schedule from a JSON file through
+// the shared schedfile loader, so errors carry the file path and rule index.
+func ParseScheduleFile(path string) (Schedule, error) {
+	var s Schedule
+	if err := schedfile.Load(path, &s, s.Validate); err != nil {
 		return Schedule{}, err
 	}
 	return s, nil

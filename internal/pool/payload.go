@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"tecfan/internal/exp"
+	"tecfan/internal/numguard"
 	"tecfan/internal/perf"
 	"tecfan/internal/sim"
 )
@@ -39,13 +40,18 @@ type TraceCheckpoint struct {
 }
 
 // TraceShardResult is a finished trace shard, carrying everything the
-// daemon's result file needs.
+// daemon's result file needs — including the numguard health block, so a
+// divergence a worker survived in fail-safe reaches the coordinator's result
+// file and sticky /readyz exactly as an in-process run's would. (Gob tolerates
+// the new field in either direction, but coordinator and workers are built
+// from one tree in every drill, so mixed versions never actually meet.)
 type TraceShardResult struct {
 	Threshold  float64
 	Completed  bool
 	Metrics    perf.Metrics
 	FinalTemps []float64
 	Trace      []sim.TracePoint
+	Numeric    *numguard.Health
 }
 
 // Table1Checkpoint is a table1 shard's progress: rows finished so far,

@@ -1,0 +1,85 @@
+package schedfile
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type doc struct {
+	Seed  int64 `json:"seed"`
+	Rules []struct {
+		Action string `json:"action"`
+	} `json:"rules"`
+}
+
+func (d *doc) validate() error {
+	for i, r := range d.Rules {
+		if r.Action == "" {
+			return fmt.Errorf("rule %d: missing action", i)
+		}
+	}
+	return nil
+}
+
+func write(t *testing.T, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "sched.json")
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadOK(t *testing.T) {
+	p := write(t, `{"seed": 7, "rules": [{"action": "nan"}]}`)
+	var d doc
+	if err := Load(p, &d, d.validate); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if d.Seed != 7 || len(d.Rules) != 1 {
+		t.Fatalf("decoded %+v", d)
+	}
+}
+
+func TestLoadErrorsCarryPath(t *testing.T) {
+	cases := []struct {
+		name, body, want string
+	}{
+		{"malformed", `{"seed": `, "sched.json"},
+		{"unknown field", `{"sede": 7}`, `unknown field "sede"`},
+		{"trailing content", `{"seed": 7} {"seed": 8}`, "trailing content"},
+		{"validation", `{"rules": [{"action": ""}]}`, "rule 0: missing action"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := write(t, c.body)
+			var d doc
+			err := Load(p, &d, d.validate)
+			if err == nil {
+				t.Fatal("Load accepted a bad document")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+			if !strings.Contains(err.Error(), p) {
+				t.Fatalf("error %q does not carry the path %q", err, p)
+			}
+		})
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "absent.json")
+	var d doc
+	err := Load(p, &d, nil)
+	if err == nil || !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("want wrapped ErrNotExist, got %v", err)
+	}
+	if !strings.Contains(err.Error(), p) {
+		t.Fatalf("error %q does not carry the path", err)
+	}
+}

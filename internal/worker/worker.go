@@ -24,6 +24,7 @@ import (
 	"tecfan/internal/client"
 	"tecfan/internal/exp"
 	"tecfan/internal/fault"
+	"tecfan/internal/numfault"
 	"tecfan/internal/pool"
 	"tecfan/internal/sim"
 	"tecfan/internal/workload"
@@ -44,6 +45,12 @@ type Config struct {
 	// OnClaim, when non-nil, observes every grant before execution starts —
 	// the breadcrumb seam tecfan-worker uses.
 	OnClaim func(grant *pool.ClaimResponse)
+	// NumFaults arms the numerical-chaos injector for every trace shard this
+	// worker executes, mirroring the daemon's -numfault-schedule so pooled
+	// jobs run under the same fault lattice as in-process ones. Injection is a
+	// pure function of (seed, step, rule), so a shard resumed by another
+	// worker with the same schedule replays the identical faults.
+	NumFaults *numfault.Schedule
 	// Logf receives operational log lines (default: silent).
 	Logf func(format string, args ...any)
 }
@@ -385,6 +392,7 @@ func (l *lease) runFig4(ctx context.Context) (any, error) {
 func (l *lease) runTrace(ctx context.Context) (any, error) {
 	sh := l.grant.Shard
 	env := l.env()
+	env.NumFaults = l.w.cfg.NumFaults
 	if sh.Scenario != "" {
 		sc, err := fault.ByName(sh.Scenario)
 		if err != nil {
@@ -447,6 +455,7 @@ func (l *lease) runTrace(ctx context.Context) (any, error) {
 	return pool.TraceShardResult{
 		Threshold: threshold, Completed: res.Completed,
 		Metrics: res.Metrics, FinalTemps: res.FinalTemps, Trace: res.Trace,
+		Numeric: res.Numeric,
 	}, nil
 }
 

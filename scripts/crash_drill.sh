@@ -10,64 +10,31 @@
 #        big enough that the kill reliably lands mid-run.
 set -euo pipefail
 
-ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-WORK="$(mktemp -d)"
-PIDS=()
-cleanup() {
-  for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
-  rm -rf "$WORK"
-}
-trap cleanup EXIT
+DRILL_NAME=crash_drill
+. "$(dirname "$0")/lib.sh"
+drill_init
 
 SCALE="${DRILL_SCALE:-5}"
 SPEC="{\"id\":\"drill\",\"kind\":\"trace\",\"bench\":\"cholesky\",\"threads\":16,\"policy\":\"TECfan-FT\",\"scale\":$SCALE}"
 
-say() { echo "crash_drill: $*"; }
-die() { say "FAIL: $*"; exit 1; }
-
 cd "$ROOT"
-go build -o "$WORK/tecfand" ./cmd/tecfand
-
-start_daemon() { # state_dir port log_file
-  "$WORK/tecfand" -addr "127.0.0.1:$2" -state-dir "$1" -checkpoint-every 1 \
-    >"$3" 2>&1 &
-  local pid=$!
-  disown "$pid" # keep bash from reporting the deliberate SIGKILLs
-  PIDS+=("$pid")
-  for _ in $(seq 1 100); do
-    if curl -fsS "http://127.0.0.1:$2/healthz" >/dev/null 2>&1; then
-      echo "$pid"
-      return 0
-    fi
-    sleep 0.1
-  done
-  die "daemon on port $2 never became healthy ($(cat "$3"))"
-}
-
-wait_done() { # port timeout_s
-  for _ in $(seq 1 $((10 * $2))); do
-    state="$(curl -fsS "http://127.0.0.1:$1/jobs/drill" | jq -r .state)"
-    case "$state" in
-      done) return 0 ;;
-      failed|canceled) die "job reached state $state" ;;
-    esac
-    sleep 0.1
-  done
-  die "job not done after $2 s"
-}
+build_bins tecfand
 
 # --- Reference: uninterrupted run. ---------------------------------------
 say "reference run"
-start_daemon "$WORK/ref-state" 18023 "$WORK/ref.log" >/dev/null
-curl -fsS -X POST -d "$SPEC" http://127.0.0.1:18023/jobs | jq -e '.id == "drill"' >/dev/null
-wait_done 18023 300
-curl -fsS http://127.0.0.1:18023/jobs/drill/result >"$WORK/ref.json"
+free_port; REF_PORT=$FREE_PORT
+start_tecfand "$WORK/ref-state" "$WORK/ref.log" "$REF_PORT" /healthz -checkpoint-every 1
+curl -fsS -X POST -d "$SPEC" "http://127.0.0.1:$REF_PORT/jobs" | jq -e '.id == "drill"' >/dev/null
+wait_job "http://127.0.0.1:$REF_PORT" drill 3000
+curl -fsS "http://127.0.0.1:$REF_PORT/jobs/drill/result" >"$WORK/ref.json"
 [ -s "$WORK/ref.json" ] || die "empty reference result"
 
 # --- Victim: SIGKILL once a mid-run checkpoint has landed. ---------------
 say "victim run (will be killed)"
-VICTIM_PID="$(start_daemon "$WORK/state" 18024 "$WORK/victim.log")"
-curl -fsS -X POST -d "$SPEC" http://127.0.0.1:18024/jobs >/dev/null
+free_port; VICTIM_PORT=$FREE_PORT
+start_tecfand "$WORK/state" "$WORK/victim.log" "$VICTIM_PORT" /healthz -checkpoint-every 1
+VICTIM_PID="$SPAWNED_PID"
+curl -fsS -X POST -d "$SPEC" "http://127.0.0.1:$VICTIM_PORT/jobs" >/dev/null
 
 CKPT="$WORK/state/drill.ckpt"
 killed=0
@@ -91,11 +58,12 @@ done
 
 # --- Restart: the next incarnation must resume and finish. ---------------
 say "restarting"
-start_daemon "$WORK/state" 18025 "$WORK/restart.log" >/dev/null
-curl -fsS http://127.0.0.1:18025/jobs/drill | jq -e '.resumed == true' >/dev/null \
+free_port; RESTART_PORT=$FREE_PORT
+start_tecfand "$WORK/state" "$WORK/restart.log" "$RESTART_PORT" /healthz -checkpoint-every 1
+curl -fsS "http://127.0.0.1:$RESTART_PORT/jobs/drill" | jq -e '.resumed == true' >/dev/null \
   || die "restarted job not marked resumed"
-wait_done 18025 300
-curl -fsS http://127.0.0.1:18025/jobs/drill/result >"$WORK/got.json"
+wait_job "http://127.0.0.1:$RESTART_PORT" drill 3000
+curl -fsS "http://127.0.0.1:$RESTART_PORT/jobs/drill/result" >"$WORK/got.json"
 
 cmp -s "$WORK/ref.json" "$WORK/got.json" \
   || die "resumed result differs from uninterrupted run ($(wc -c <"$WORK/ref.json") vs $(wc -c <"$WORK/got.json") bytes)"

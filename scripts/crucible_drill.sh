@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Crucible drill: the capstone compound-fault exercise. Where the other
+# drills each work one failure axis, this one runs the unified chaos-campaign
+# orchestrator twice:
+#
+#   1. campaign: N seeded episodes of the committed baseline compound spec —
+#      network chaos + partition on the client path, torn/lying disk writes
+#      under the state dir, a scheduled NaN upset in the solver, and a
+#      SIGKILL+restart of the daemon, all on one timeline — each episode
+#      judged against the fault-free reference by the full oracle catalog
+#      (exactly-once, byte-identical-or-declared-fail-safe, sticky fail-safe,
+#      no non-finite token, readiness consistency).
+#   2. corpus replay: every committed repro under testdata/crucible replays
+#      oracle-clean — the regression memory of every compound-fault bug the
+#      crucible ever caught.
+#
+# On an oracle violation the crucible minimizes the schedule to a still-
+# failing repro; CI uploads the artifact directory (histories, process logs,
+# minimized spec) so the repro can be reviewed and committed to the corpus.
+#
+# Usage: scripts/crucible_drill.sh
+# Env:   CRUCIBLE_EPISODES (default 5)  seeded episodes of the baseline spec
+#        CRUCIBLE_OUT      (default under the drill workdir)  artifact dir
+set -euo pipefail
+
+DRILL_NAME=crucible_drill
+. "$(dirname "$0")/lib.sh"
+drill_init
+
+EPISODES="${CRUCIBLE_EPISODES:-5}"
+OUT="${CRUCIBLE_OUT:-$WORK/artifacts}"
+
+cd "$ROOT"
+build_bins tecfand tecfan-worker tecfan-netchaos tecfan-crucible
+
+say "baseline compound campaign: $EPISODES seeded episodes"
+"$WORK/tecfan-crucible" -spec testdata/crucible/campaigns/baseline.json \
+  -episodes "$EPISODES" -bin-dir "$WORK" -out "$OUT/baseline" \
+  || die "baseline campaign failed (artifacts: $OUT/baseline)"
+
+say "corpus replay: every committed repro must stay oracle-clean"
+"$WORK/tecfan-crucible" -corpus testdata/crucible -bin-dir "$WORK" -out "$OUT/corpus" \
+  || die "corpus replay failed (artifacts: $OUT/corpus)"
+
+say "PASS"

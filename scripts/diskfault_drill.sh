@@ -38,7 +38,7 @@ CRASH_OP="${DISKFAULT_CRASH_OP:-900}"
 SPEC="{\"id\":\"drill\",\"kind\":\"trace\",\"bench\":\"cholesky\",\"threads\":16,\"policy\":\"TECfan-FT\",\"scale\":$SCALE}"
 
 cd "$ROOT"
-go build -o "$WORK/tecfand" ./cmd/tecfand
+build_bins tecfand
 
 # storage_field FILE KEY: numeric/bool field out of a /storage or job snapshot.
 storage_field() { json_field "$1" "$2"; }
@@ -70,10 +70,11 @@ wait_storage_min() {
 # ---------------------------------------------------------------------------
 reference_run() { # produces $WORK/ref.json
   say "reference run (fault-free)"
-  start_tecfand "$WORK/ref-state" "$WORK/ref.log" 18123 /healthz -checkpoint-every 1
-  curl -fsS -X POST -d "$SPEC" http://127.0.0.1:18123/jobs >/dev/null
-  wait_job http://127.0.0.1:18123 drill 3000
-  curl -fsS http://127.0.0.1:18123/jobs/drill/result >"$WORK/ref.json"
+  free_port; local port=$FREE_PORT
+  start_tecfand "$WORK/ref-state" "$WORK/ref.log" "$port" /healthz -checkpoint-every 1
+  curl -fsS -X POST -d "$SPEC" "http://127.0.0.1:$port/jobs" >/dev/null
+  wait_job "http://127.0.0.1:$port" drill 3000
+  curl -fsS "http://127.0.0.1:$port/jobs/drill/result" >"$WORK/ref.json"
   [ -s "$WORK/ref.json" ] || die "empty reference result"
   kill -9 "$SPAWNED_PID" 2>/dev/null || true
 }
@@ -93,11 +94,12 @@ chaos_phase() {
   ]
 }
 EOF
-  start_tecfand "$WORK/chaos-state" "$WORK/chaos.log" 18124 /healthz \
+  free_port; local port=$FREE_PORT
+  start_tecfand "$WORK/chaos-state" "$WORK/chaos.log" "$port" /healthz \
     -checkpoint-every 1 -max-attempts 10 \
     -diskfault-schedule "$WORK/sched_chaos.json"
   VICTIM="$SPAWNED_PID"
-  curl -fsS -X POST -d "$SPEC" http://127.0.0.1:18124/jobs >/dev/null
+  curl -fsS -X POST -d "$SPEC" "http://127.0.0.1:$port/jobs" >/dev/null
 
   # The scheduled power cut must kill the daemon before the job finishes.
   cut=0
@@ -118,23 +120,24 @@ EOF
   cat >"$WORK/sched_residual.json" <<EOF
 {"seed": $SEED, "rules": [{"action": "tear", "path": "*.ckpt.tmp*", "prob": 0.10}]}
 EOF
-  start_tecfand "$WORK/chaos-state" "$WORK/restart.log" 18125 /healthz \
+  free_port; port=$FREE_PORT
+  start_tecfand "$WORK/chaos-state" "$WORK/restart.log" "$port" /healthz \
     -checkpoint-every 1 -max-attempts 10 \
     -diskfault-schedule "$WORK/sched_residual.json"
-  code="$(curl -s -o "$WORK/job.json" -w '%{http_code}' http://127.0.0.1:18125/jobs/drill)"
+  code="$(curl -s -o "$WORK/job.json" -w '%{http_code}' "http://127.0.0.1:$port/jobs/drill")"
   if [ "$code" = "404" ]; then
     # Every generation was lost to the faults: a clean, logged refusal.
     grep -q "ignoring unreadable checkpoint\|quarantined" "$WORK/restart.log" \
       || die "checkpoint refused without a quarantine/skip log line"
     say "clean refusal (no verifiable generation survived); resubmitting"
-    curl -fsS -X POST -d "$SPEC" http://127.0.0.1:18125/jobs >/dev/null
+    curl -fsS -X POST -d "$SPEC" "http://127.0.0.1:$port/jobs" >/dev/null
   else
     [ "$(json_field "$WORK/job.json" resumed)" = "true" ] \
       || die "job survived the crash but is not marked resumed: $(cat "$WORK/job.json")"
     say "resumed from a surviving checkpoint generation"
   fi
-  wait_job http://127.0.0.1:18125 drill 3000
-  curl -fsS http://127.0.0.1:18125/jobs/drill/result >"$WORK/chaos.json"
+  wait_job "http://127.0.0.1:$port" drill 3000
+  curl -fsS "http://127.0.0.1:$port/jobs/drill/result" >"$WORK/chaos.json"
   cmp -s "$WORK/ref.json" "$WORK/chaos.json" \
     || die "result after chaos differs from the fault-free run ($(wc -c <"$WORK/ref.json") vs $(wc -c <"$WORK/chaos.json") bytes)"
   kill -9 "$SPAWNED_PID" 2>/dev/null || true
@@ -142,9 +145,10 @@ EOF
 
   # --- Rot run: deterministic corruption, fallback + scrub repair. ---------
   say "rot run (truncate head and oldest generation)"
-  start_tecfand "$WORK/rot-state" "$WORK/rot.log" 18126 /healthz -checkpoint-every 1
+  free_port; port=$FREE_PORT
+  start_tecfand "$WORK/rot-state" "$WORK/rot.log" "$port" /healthz -checkpoint-every 1
   ROT="$SPAWNED_PID"
-  curl -fsS -X POST -d "$SPEC" http://127.0.0.1:18126/jobs >/dev/null
+  curl -fsS -X POST -d "$SPEC" "http://127.0.0.1:$port/jobs" >/dev/null
   HEAD="$WORK/rot-state/drill.ckpt"
   killed=0
   for _ in $(seq 1 3000); do
@@ -180,19 +184,20 @@ EOF
   # Long checkpoint cadence so the damaged .g2 is not rotated away — and a
   # fast scrubber so the repair provably lands before the resumed job (a few
   # seconds of wall clock) finishes and retires its checkpoint chain.
-  start_tecfand "$WORK/rot-state" "$WORK/rot-restart.log" 18127 /healthz \
+  free_port; port=$FREE_PORT
+  start_tecfand "$WORK/rot-state" "$WORK/rot-restart.log" "$port" /healthz \
     -checkpoint-every 100000 -max-attempts 10 -scrub-interval 100ms
-  curl -fsS http://127.0.0.1:18127/jobs/drill >"$WORK/rotjob.json"
+  curl -fsS "http://127.0.0.1:$port/jobs/drill" >"$WORK/rotjob.json"
   [ "$(json_field "$WORK/rotjob.json" resumed)" = "true" ] \
     || die "rot-run job not resumed: $(cat "$WORK/rotjob.json")"
   grep -q "resumed from generation" "$WORK/rot-restart.log" \
     || die "no generation-fallback log line after corrupt head"
   ls "$HEAD".bad-* >/dev/null 2>&1 \
     || die "corrupt head was not quarantined to a .bad-N file"
-  wait_storage_min 18127 scrub_repairs 1 300
+  wait_storage_min "$port" scrub_repairs 1 300
   say "scrubber repaired the damaged generation"
-  wait_job http://127.0.0.1:18127 drill 3000
-  curl -fsS http://127.0.0.1:18127/jobs/drill/result >"$WORK/rot.json"
+  wait_job "http://127.0.0.1:$port" drill 3000
+  curl -fsS "http://127.0.0.1:$port/jobs/drill/result" >"$WORK/rot.json"
   cmp -s "$WORK/ref.json" "$WORK/rot.json" \
     || die "result after generation fallback differs from the fault-free run"
   kill -9 "$SPAWNED_PID" 2>/dev/null || true
@@ -213,13 +218,14 @@ enospc_phase() {
   ]
 }
 EOF
-  start_tecfand "$WORK/enospc-state" "$WORK/enospc.log" 18128 /healthz \
+  free_port; local port=$FREE_PORT
+  start_tecfand "$WORK/enospc-state" "$WORK/enospc.log" "$port" /healthz \
     -checkpoint-every 1 -max-attempts 10 -scrub-interval -1s \
     -storage-probe-interval 100ms \
     -diskfault-schedule "$WORK/sched_enospc.json"
-  curl -fsS -X POST -d "$SPEC" http://127.0.0.1:18128/jobs >/dev/null
+  curl -fsS -X POST -d "$SPEC" "http://127.0.0.1:$port/jobs" >/dev/null
 
-  wait_storage 18128 degraded true 300
+  wait_storage "$port" degraded true 300
   say "degraded mode entered"
   grep -q "entering degraded mode" "$WORK/enospc.log" \
     || die "degraded entry was not logged"
@@ -228,27 +234,27 @@ EOF
   # reads still served.
   code="$(curl -s -o "$WORK/shed.json" -w '%{http_code}' -D "$WORK/shed.hdr" \
     -X POST -d '{"id":"shed","kind":"trace","bench":"cholesky","threads":16,"policy":"TECfan","scale":1}' \
-    http://127.0.0.1:18128/jobs)"
+    "http://127.0.0.1:$port/jobs")"
   [ "$code" = "503" ] || die "submission while degraded answered $code, want 503"
   grep -qi "^Retry-After:" "$WORK/shed.hdr" || die "503 shed without Retry-After"
-  code="$(curl -s -o "$WORK/readyz.txt" -w '%{http_code}' http://127.0.0.1:18128/readyz)"
+  code="$(curl -s -o "$WORK/readyz.txt" -w '%{http_code}' "http://127.0.0.1:$port/readyz")"
   [ "$code" = "503" ] || die "/readyz while degraded answered $code, want 503"
   grep -q "storage degraded" "$WORK/readyz.txt" \
     || die "/readyz 503 without a storage-degraded reason"
-  curl -fsS http://127.0.0.1:18128/jobs/drill >/dev/null \
+  curl -fsS "http://127.0.0.1:$port/jobs/drill" >/dev/null \
     || die "job reads failed while degraded"
-  wait_storage_min 18128 skipped_checkpoints 1 100
+  wait_storage_min "$port" skipped_checkpoints 1 100
 
   # Space "returns" when the probe walks the op counter past the window.
-  wait_storage 18128 degraded false 600
+  wait_storage "$port" degraded false 600
   say "degraded mode left on its own"
   grep -q "leaving degraded mode" "$WORK/enospc.log" \
     || die "degraded exit was not logged"
   curl -fsS -X POST \
     -d '{"id":"after","kind":"trace","bench":"cholesky","threads":16,"policy":"TECfan","scale":1}' \
-    http://127.0.0.1:18128/jobs >/dev/null || die "submission after recovery failed"
-  wait_job http://127.0.0.1:18128 after 3000
-  wait_job http://127.0.0.1:18128 drill 3000
+    "http://127.0.0.1:$port/jobs" >/dev/null || die "submission after recovery failed"
+  wait_job "http://127.0.0.1:$port" after 3000
+  wait_job "http://127.0.0.1:$port" drill 3000
   kill -9 "$SPAWNED_PID" 2>/dev/null || true
   say "enospc phase PASS: shed + readyz flip + auto-recovery, jobs finished"
 }

@@ -28,6 +28,35 @@ drill_cleanup() {
   rm -rf "$WORK"
 }
 
+# free_port: pick a TCP port in [20000, 40000) with no current listener and
+# store it in the global FREE_PORT. A connect probe that is refused means
+# free; the probe-to-bind race is acceptable in drills that own the machine.
+# Call in the parent shell (never in command substitution), like spawn: the
+# used-ports registry must survive so two picks in one drill cannot collide
+# before anything listens on the first.
+free_port() {
+  local p
+  for _ in $(seq 1 64); do
+    p=$(( (RANDOM % 20000) + 20000 ))
+    case " ${FREE_PORTS_USED:-} " in *" $p "*) continue ;; esac
+    if ! (exec 3<>"/dev/tcp/127.0.0.1/$p") 2>/dev/null; then
+      FREE_PORTS_USED="${FREE_PORTS_USED:-} $p"
+      FREE_PORT=$p
+      return 0
+    fi
+  done
+  die "no free port found"
+}
+
+# build_bins NAME...: build cmd/NAME into $WORK/NAME — the build lines every
+# drill used to copy-paste.
+build_bins() {
+  local b
+  for b in "$@"; do
+    go build -o "$WORK/$b" "./cmd/$b"
+  done
+}
+
 # spawn LOG CMD...: start CMD in the background with output to LOG,
 # registered for cleanup. The pid lands in SPAWNED_PID and stays waitable.
 spawn() {

@@ -21,12 +21,11 @@ drill_init
 
 JOBS="${DRILL_JOBS:-6}"
 SCALE="${DRILL_SCALE:-0.02}"
-DAEMON_PORT=18031
-PROXY_PORT=18032
+free_port; DAEMON_PORT=$FREE_PORT
+free_port; PROXY_PORT=$FREE_PORT
 
 cd "$ROOT"
-go build -o "$WORK/tecfand" ./cmd/tecfand
-go build -o "$WORK/tecfan-netchaos" ./cmd/tecfan-netchaos
+build_bins tecfand tecfan-netchaos
 go build -o "$WORK/netchaosdrill" ./scripts/netchaosdrill
 
 start_daemon() { # state_dir log_file  (pid in SPAWNED_PID)

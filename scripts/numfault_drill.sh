@@ -29,8 +29,7 @@ SEED="${NUMFAULT_SEED:-31337}"
 TRACE_ARGS=(-bench cholesky -threads 16 -fan 1)
 
 cd "$ROOT"
-go build -o "$WORK/tecfan-trace" ./cmd/tecfan-trace
-go build -o "$WORK/tecfand" ./cmd/tecfand
+build_bins tecfan-trace tecfand
 
 # no_nonfinite FILE...: no output file may ever contain a NaN/Inf token.
 # Diagnoses spell values as "not-a-number" / "overflow" on purpose.
@@ -108,16 +107,17 @@ no_nonfinite "$WORK/plain.csv" "$WORK/plain_health.json" "$WORK/plain.err"
 
 # ---------------------------------------------------------------------------
 say "phase 5: tecfand surfaces the divergence (result health + /readyz)"
-start_tecfand "$WORK/state" "$WORK/daemon.log" 18331 /readyz \
+free_port; PORT=$FREE_PORT
+start_tecfand "$WORK/state" "$WORK/daemon.log" "$PORT" /readyz \
   -numfault-schedule "$WORK/persistent.json" -numfault-seed "$SEED"
 SPEC='{"id":"numdrill","kind":"trace","bench":"cholesky","threads":16,"policy":"TECfan-FT","scale":1}'
-curl -fsS -X POST -d "$SPEC" http://127.0.0.1:18331/jobs >/dev/null
-wait_job http://127.0.0.1:18331 numdrill 3000
-curl -fsS http://127.0.0.1:18331/jobs/numdrill/result >"$WORK/job.json"
+curl -fsS -X POST -d "$SPEC" "http://127.0.0.1:$PORT/jobs" >/dev/null
+wait_job "http://127.0.0.1:$PORT" numdrill 3000
+curl -fsS "http://127.0.0.1:$PORT/jobs/numdrill/result" >"$WORK/job.json"
 grep -q '"numeric_health"' "$WORK/job.json" || die "job result carries no numeric_health"
 grep -q '"fail_safe": *true' "$WORK/job.json" || die "job health not in fail-safe"
 no_nonfinite "$WORK/job.json"
-code="$(curl -s -o "$WORK/readyz.json" -w '%{http_code}' http://127.0.0.1:18331/readyz)"
+code="$(curl -s -o "$WORK/readyz.json" -w '%{http_code}' "http://127.0.0.1:$PORT/readyz")"
 [ "$code" = "503" ] || die "/readyz answered $code after a divergence, want 503"
 grep -q "numeric fail-safe: job numdrill" "$WORK/readyz.json" \
   || die "/readyz reason missing: $(cat "$WORK/readyz.json")"

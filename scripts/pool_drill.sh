@@ -22,15 +22,13 @@ DRILL_NAME=pool_drill
 drill_init
 
 SCALE="${DRILL_SCALE:-0.05}"
-COORD_PORT=18041
-PROXY_PORT=18042
+free_port; COORD_PORT=$FREE_PORT
+free_port; PROXY_PORT=$FREE_PORT
 COORD="http://127.0.0.1:$COORD_PORT"
 LEASE_TTL=2s
 
 cd "$ROOT"
-go build -o "$WORK/tecfand" ./cmd/tecfand
-go build -o "$WORK/tecfan-worker" ./cmd/tecfan-worker
-go build -o "$WORK/tecfan-netchaos" ./cmd/tecfan-netchaos
+build_bins tecfand tecfan-worker tecfan-netchaos
 mkdir -p "$WORK/scratch"
 
 SPEC='{"id":"pooldrill","kind":"chaos","bench":"cholesky","threads":16,"scale":'"$SCALE"',"seed":7}'

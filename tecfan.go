@@ -85,6 +85,20 @@ func WithNumFaultSchedule(schedule []byte, seed int64) Option {
 	}
 }
 
+// WithNumFaults arms the numerical-chaos injector with an already-parsed
+// schedule — the path CLIs take after loading a file through
+// numfault.ParseScheduleFile, which carries file-path error context that the
+// raw-bytes variant above cannot.
+func WithNumFaults(s numfault.Schedule) Option {
+	return func(e *exp.Env) error {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		e.NumFaults = &s
+		return nil
+	}
+}
+
 // New builds the full-scale 16-core system.
 func New(opts ...Option) (*System, error) {
 	env := exp.NewEnv()
