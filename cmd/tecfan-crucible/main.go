@@ -47,6 +47,7 @@ import (
 	"tecfan/internal/campaign"
 	"tecfan/internal/client"
 	"tecfan/internal/daemon"
+	"tecfan/internal/pool"
 )
 
 func main() {
@@ -368,6 +369,7 @@ func (r *runner) execEpisode(ctx context.Context, spec campaign.Spec, ep int, di
 		return s.rec.History(), fmt.Errorf("final jobs listing: %w", err)
 	}
 	s.rec.Jobs(views)
+	s.collectLeases()
 	s.sampleReady()
 	return s.rec.History(), nil
 }
@@ -395,6 +397,7 @@ type execStack struct {
 	stateDir   string
 	diskFile   string
 	numFile    string
+	clockFile  string
 }
 
 // start brings up the whole stack: schedule files, daemon, optional chaos
@@ -409,6 +412,11 @@ func (s *execStack) start(ctx context.Context) error {
 	}
 	if s.eff.Num != nil {
 		if s.numFile, err = s.writeSchedule("num.json", s.eff.Num); err != nil {
+			return err
+		}
+	}
+	if s.eff.Clock != nil {
+		if s.clockFile, err = s.writeSchedule("clock.json", s.eff.Clock); err != nil {
 			return err
 		}
 	}
@@ -489,6 +497,9 @@ func (s *execStack) startDaemon(ctx context.Context) error {
 	if s.numFile != "" {
 		args = append(args, "-numfault-schedule", s.numFile)
 	}
+	if s.clockFile != "" {
+		args = append(args, "-clockfault-schedule", s.clockFile)
+	}
 	p, err := s.spawn("tecfand", "daemon.log", args...)
 	if err != nil {
 		return err
@@ -510,6 +521,11 @@ func (s *execStack) startWorker(i int) (*proc, error) {
 	}
 	if s.numFile != "" {
 		args = append(args, "-numfault-schedule", s.numFile)
+	}
+	if s.clockFile != "" {
+		// One shared schedule file; each worker skews independently because
+		// its -name is its clockfault proc identity.
+		args = append(args, "-clockfault-schedule", s.clockFile)
 	}
 	return s.spawn("tecfan-worker", fmt.Sprintf("worker%d.log", i), args...)
 }
@@ -616,6 +632,28 @@ func (s *execStack) teardown() {
 		reap(p)
 		p.log.Close()
 	}
+}
+
+// collectLeases fetches the coordinator's lease ledger for the lease-safety
+// oracle. Direct to the daemon, after the timeline has fully drained, so the
+// ledger covers every grant/expire/complete decision of the episode.
+func (s *execStack) collectLeases() {
+	if s.eff.Pool == nil {
+		return
+	}
+	hc := &http.Client{Timeout: 2 * time.Second}
+	resp, err := hc.Get(s.daemonURL + "/pool/leases")
+	if err != nil {
+		s.r.logf("lease ledger fetch: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	var events []pool.LeaseEvent
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		s.r.logf("lease ledger decode: %v", err)
+		return
+	}
+	s.rec.Leases(events)
 }
 
 // sampleReady probes GET /readyz directly on the daemon and records what it

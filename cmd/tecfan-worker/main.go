@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"tecfan/internal/client"
+	"tecfan/internal/clockfault"
 	"tecfan/internal/cmdutil"
 	"tecfan/internal/numfault"
 	"tecfan/internal/pool"
@@ -48,6 +49,8 @@ func main() {
 	requestTimeout := flag.Duration("request-timeout", 10*time.Second, "per-attempt deadline on coordinator calls")
 	nfSchedule := flag.String("numfault-schedule", "", "JSON numerical-fault schedule applied to every trace shard (numeric chaos)")
 	nfSeed := flag.Int64("numfault-seed", 0, "override the numfault schedule seed")
+	cfSchedule := flag.String("clockfault-schedule", "", "JSON clock-fault schedule file; skews this worker's wall clock and timers (testing only)")
+	cfSeed := flag.Int64("clockfault-seed", 0, "override the clockfault schedule seed")
 	flag.Parse()
 
 	if *coordinator == "" {
@@ -85,10 +88,32 @@ func main() {
 		log.Printf("tecfan-worker %s: NUMERIC FAULT INJECTION ACTIVE (schedule %s, seed %d)", *name, *nfSchedule, sched.Seed)
 	}
 
+	// With a -clockfault-schedule this worker's wall clock lies per the
+	// schedule under its own -name as the proc identity, so a fleet sharing
+	// one schedule file still skews each worker independently. Heartbeats,
+	// upload deadlines, and claim backoff all ride the same clock.
+	var clk clockfault.Clock
+	if *cfSchedule != "" {
+		sched, err := clockfault.ParseScheduleFile(*cfSchedule)
+		if err != nil {
+			fatal(err)
+		}
+		if *cfSeed != 0 {
+			sched.Seed = *cfSeed
+		}
+		fc, err := clockfault.New(sched, *name, &clockfault.Options{Logf: log.Printf})
+		if err != nil {
+			fatal(err)
+		}
+		clk = fc
+		log.Printf("tecfan-worker %s: CLOCK FAULT INJECTION ACTIVE (schedule %s, seed %d, proc %s)", *name, *cfSchedule, sched.Seed, *name)
+	}
+
 	cl, err := client.New(client.Config{
 		BaseURL:        *coordinator,
 		RequestTimeout: *requestTimeout,
 		Logf:           log.Printf,
+		Clock:          clk,
 	})
 	if err != nil {
 		fatal(err)
@@ -100,6 +125,7 @@ func main() {
 		Logf:      log.Printf,
 		OnClaim:   breadcrumb(*scratchDir, *name),
 		NumFaults: numSched,
+		Clock:     clk,
 	})
 	if err != nil {
 		fatal(err)

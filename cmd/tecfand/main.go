@@ -54,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"tecfan/internal/clockfault"
 	"tecfan/internal/cmdutil"
 	"tecfan/internal/daemon"
 	"tecfan/internal/diskfault"
@@ -86,6 +87,8 @@ func main() {
 	dfSeed := flag.Int64("diskfault-seed", 0, "override the schedule's seed (with -diskfault-schedule)")
 	nfSchedule := flag.String("numfault-schedule", "", "JSON numerical-fault schedule file; corrupts trace-job solver state (testing only)")
 	nfSeed := flag.Int64("numfault-seed", 0, "override the schedule's seed (with -numfault-schedule)")
+	cfSchedule := flag.String("clockfault-schedule", "", "JSON clock-fault schedule file; skews this process's wall clock and timers (testing only)")
+	cfSeed := flag.Int64("clockfault-seed", 0, "override the schedule's seed (with -clockfault-schedule)")
 	flag.Parse()
 
 	for _, err := range []error{
@@ -160,6 +163,29 @@ func main() {
 		log.Printf("tecfand: NUMERIC FAULT INJECTION ACTIVE (schedule %s, seed %d)", *nfSchedule, sched.Seed)
 	}
 
+	// With a -clockfault-schedule the daemon reads time through a seeded
+	// FaultClock under proc identity "daemon": its wall clock steps, drifts,
+	// and freezes per the schedule while the monotonic side — everything
+	// leases, watchdogs, and backoffs actually compare — stays truthful. The
+	// clockfault drill runs a skewed daemon against skewed workers and
+	// demands a byte-identical merged result.
+	var clk clockfault.Clock
+	if *cfSchedule != "" {
+		sched, err := clockfault.ParseScheduleFile(*cfSchedule)
+		if err != nil {
+			fatal(err)
+		}
+		if *cfSeed != 0 {
+			sched.Seed = *cfSeed
+		}
+		fc, err := clockfault.New(sched, "daemon", &clockfault.Options{Logf: log.Printf})
+		if err != nil {
+			fatal(err)
+		}
+		clk = fc
+		log.Printf("tecfand: CLOCK FAULT INJECTION ACTIVE (schedule %s, seed %d, proc daemon)", *cfSchedule, sched.Seed)
+	}
+
 	s, err := daemon.New(daemon.Config{
 		StateDir:             *stateDir,
 		Workers:              *workers,
@@ -178,6 +204,7 @@ func main() {
 		ScrubInterval:        *scrubInterval,
 		StorageProbeInterval: *probeInterval,
 		NumFaults:            numSched,
+		Clock:                clk,
 	})
 	if err != nil {
 		fatal(err)

@@ -32,6 +32,10 @@ func TestFloatcmp(t *testing.T) {
 	analysistest.Run(t, "testdata/floatcmp", analysis.Floatcmp)
 }
 
+func TestMonotime(t *testing.T) {
+	analysistest.Run(t, "testdata/monotime", analysis.Monotime)
+}
+
 // TestIgnoreDirective covers the escape hatch's own contract: trailing and
 // comment-above suppression, single-line reach, mandatory justification,
 // and unknown-analyzer rejection.

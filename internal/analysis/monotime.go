@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// monotimeScope is the set of control-plane packages whose timing decisions
+// — lease expiry, watchdog staleness, retry backoff, breaker cooldown,
+// heartbeat cadence — must survive a lying wall clock. These packages read
+// time exclusively through the injected clockfault.Clock seam: its Mono /
+// Since / Deadline side is step-immune, its timers carry the fault
+// injection, and its Now is reserved for display, seeds, and logs.
+var monotimeScope = regexp.MustCompile(`(^|/)internal/(daemon|worker|client|pool)(/|$)`)
+
+// monotimeFuncs are the time package entry points that either read the wall
+// clock directly or arm a timer outside the injected seam. Each has a Clock
+// counterpart: Now→Clock.Now (display only) or Clock.Mono, Since/Until→
+// Clock.Since on a Mono, Sleep/After/Tick/NewTimer/NewTicker/AfterFunc→
+// Clock.Sleep/Clock.NewTimer/Clock.NewTicker.
+var monotimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "NewTicker": true, "NewTimer": true, "After": true, "AfterFunc": true,
+}
+
+// monotimeWallMethods are the time.Time comparisons that turn two wall
+// timestamps into a decision. On clockfault.Mono values the same names are
+// fine — Mono is a distinct type and monotonic by construction.
+var monotimeWallMethods = map[string]bool{
+	"Sub": true, "After": true, "Before": true,
+}
+
+// Monotime enforces the wall-vs-monotonic discipline in the control-plane
+// packages: no direct time-package clock reads or timer arms (use the
+// injected clockfault.Clock), and no expiry/elapsed decisions built from
+// time.Time arithmetic (use clockfault.Mono). An NTP step, a VM resume, or
+// a clockfault schedule must never be able to expire a live lease, starve a
+// watchdog, or stretch a backoff into next week.
+var Monotime = &Analyzer{
+	Name: "monotime",
+	Doc: "forbids direct time.Now/Since/Sleep/NewTimer/... calls and time.Time " +
+		"Sub/After/Before arithmetic in internal/{daemon,worker,client,pool}; " +
+		"read time through the injected clockfault.Clock and do expiry/elapsed " +
+		"math on clockfault.Mono, which wall-clock steps cannot move",
+	Run: runMonotime,
+}
+
+func runMonotime(pass *Pass) error {
+	if !monotimeScope.MatchString(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		// Selectors in call position report through checkMonotimeCall;
+		// collect them so the value-reference walk doesn't double-report.
+		callees := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					callees[sel] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkMonotimeCall(pass, n)
+			case *ast.SelectorExpr:
+				if !callees[n] {
+					checkMonotimeValueRef(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMonotimeCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if fn.Pkg().Path() == "time" && isPackageLevel(fn) && monotimeFuncs[fn.Name()] {
+		pass.Reportf(call.Pos(),
+			"time.%s bypasses the clock seam in %s; read time through the injected clockfault.Clock (Mono/Since/Deadline for arithmetic, Sleep/NewTimer/NewTicker for waits)",
+			fn.Name(), pass.Pkg.Path())
+		return
+	}
+	// Wall-timestamp arithmetic: t1.Sub(t2), t1.After(t2), t1.Before(t2)
+	// where t1 is a time.Time. Elapsed/expiry math belongs on Mono values.
+	if fn.Pkg().Path() == "time" && !isPackageLevel(fn) && monotimeWallMethods[fn.Name()] {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil && isTimeTime(recv.Type()) {
+			pass.Reportf(call.Pos(),
+				"time.Time.%s compares wall timestamps in %s; a clock step breaks this — hold clockfault.Mono values and compare those",
+				fn.Name(), pass.Pkg.Path())
+		}
+	}
+}
+
+// checkMonotimeValueRef flags seam-bypassing time functions captured as
+// values (`sleep := time.Sleep`, `cfg.now = time.Now`): the bypass lands the
+// moment the default is installed.
+func checkMonotimeValueRef(pass *Pass, sel *ast.SelectorExpr) {
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || !isPackageLevel(fn) {
+		return
+	}
+	if fn.Pkg().Path() == "time" && monotimeFuncs[fn.Name()] {
+		pass.Reportf(sel.Pos(),
+			"time.%s captured as a value in %s bypasses the clock seam; thread the injected clockfault.Clock instead",
+			fn.Name(), pass.Pkg.Path())
+	}
+}
+
+// isTimeTime reports whether t (possibly behind a pointer) is time.Time.
+func isTimeTime(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Time" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}

@@ -11,6 +11,7 @@ func All() []*Analyzer {
 		Atomicwrite,
 		Lockedio,
 		Floatcmp,
+		Monotime,
 	}
 }
 

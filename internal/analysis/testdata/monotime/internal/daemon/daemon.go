@@ -1,0 +1,68 @@
+// Package daemon is an in-scope fixture for the monotime analyzer: its
+// import path (fixture/internal/daemon) matches the control-plane scope, so
+// seam-bypassing time calls and wall-timestamp arithmetic are findings,
+// while duration math and injected-seam usage stay clean.
+package daemon
+
+import (
+	"context"
+	"time"
+)
+
+// Clock mirrors the production clockfault.Clock seam shape.
+type Clock interface {
+	Now() time.Time
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+func bypasses() {
+	now := time.Now()       // want `time\.Now bypasses the clock seam`
+	_ = time.Since(now)     // want `time\.Since bypasses the clock seam`
+	_ = time.Until(now)     // want `time\.Until bypasses the clock seam`
+	time.Sleep(time.Second) // want `time\.Sleep bypasses the clock seam`
+	t := time.NewTimer(1)   // want `time\.NewTimer bypasses the clock seam`
+	t.Stop()
+	k := time.NewTicker(1) // want `time\.NewTicker bypasses the clock seam`
+	k.Stop()
+	<-time.After(1) // want `time\.After bypasses the clock seam`
+}
+
+func captured() func() time.Time {
+	sleep := time.Sleep // want `time\.Sleep captured as a value`
+	_ = sleep
+	return time.Now // want `time\.Now captured as a value`
+}
+
+func wallArithmetic(a, b time.Time) {
+	_ = a.Sub(b)    // want `time\.Time\.Sub compares wall timestamps`
+	_ = a.After(b)  // want `time\.Time\.After compares wall timestamps`
+	_ = a.Before(b) // want `time\.Time\.Before compares wall timestamps`
+}
+
+// Mono mimics clockfault.Mono: a distinct type, so its Sub/After/Before are
+// monotonic comparisons and must not be flagged.
+type Mono int64
+
+func (m Mono) Sub(o Mono) time.Duration { return time.Duration(m - o) }
+func (m Mono) After(o Mono) bool        { return m > o }
+func (m Mono) Before(o Mono) bool       { return m < o }
+
+func monoArithmetic(a, b Mono) {
+	_ = a.Sub(b)
+	_ = a.After(b)
+	_ = a.Before(b)
+}
+
+func cleanUsage(c Clock, a time.Time) {
+	// Reading through the seam, duration math, formatting, and Equal (a
+	// pure identity check, not an ordering decision) are all fine.
+	now := c.Now()
+	_ = now.Add(time.Second)
+	_ = now.Equal(a)
+	_ = now.Format(time.RFC3339)
+	_ = c.Sleep(context.Background(), 5*time.Millisecond)
+}
+
+func justified() time.Time {
+	return time.Now() //lint:tecfan-ignore monotime -- display-only timestamp for a log line
+}

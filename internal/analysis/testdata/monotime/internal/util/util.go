@@ -1,0 +1,8 @@
+// Package util is outside the monotime scope (not daemon/worker/client/
+// pool), so direct wall-clock reads and time.Time arithmetic are allowed.
+package util
+
+import "time"
+
+func Stamp() time.Time              { return time.Now() }
+func Age(t time.Time) time.Duration { return time.Now().Sub(t) }

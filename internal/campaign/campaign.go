@@ -26,6 +26,7 @@ import (
 	"strconv"
 	"strings"
 
+	"tecfan/internal/clockfault"
 	"tecfan/internal/daemon"
 	"tecfan/internal/diskfault"
 	"tecfan/internal/exp"
@@ -103,6 +104,11 @@ type Spec struct {
 	Disk *diskfault.Schedule `json:"disk,omitempty"`
 	// Num arms the numfault injector on the daemon and on every worker.
 	Num *numfault.Schedule `json:"num,omitempty"`
+	// Clock arms the clockfault injector: the daemon runs under process
+	// identity "daemon" and each worker under its own name, so one schedule
+	// skews coordinator and workers independently while monotonic
+	// arithmetic — and with it lease safety — stays truthful everywhere.
+	Clock *clockfault.Schedule `json:"clock,omitempty"`
 	// Procs are the signal-level events on the episode timeline.
 	Procs []ProcAction `json:"procs,omitempty"`
 	// Timeout bounds one episode's wall clock in the exec driver
@@ -212,6 +218,11 @@ func (s Spec) Validate() error {
 	if s.Num != nil {
 		if err := s.Num.Validate(); err != nil {
 			return fmt.Errorf("campaign: num: %w", err)
+		}
+	}
+	if s.Clock != nil {
+		if err := s.Clock.Validate(); err != nil {
+			return fmt.Errorf("campaign: clock: %w", err)
 		}
 	}
 	if s.Timeout < 0 {
@@ -336,9 +347,10 @@ func deriveSeed(base int64, episode int, salt uint64) int64 {
 
 // Per-injector salts for deriveSeed.
 const (
-	saltDisk = 0xd15c
-	saltNum  = 0x40f1
-	saltNet  = 0x4e7f
+	saltDisk  = 0xd15c
+	saltNum   = 0x40f1
+	saltNet   = 0x4e7f
+	saltClock = 0xc10c
 )
 
 // ForEpisode resolves the spec for one episode: every embedded schedule whose
@@ -356,17 +368,20 @@ func (s Spec) ForEpisode(episode int) Spec {
 	if eff.Net != nil && eff.NetSeed == 0 {
 		eff.NetSeed = deriveSeed(s.Seed, episode, saltNet)
 	}
+	if eff.Clock != nil && eff.Clock.Seed == 0 {
+		eff.Clock.Seed = deriveSeed(s.Seed, episode, saltClock)
+	}
 	return eff
 }
 
 // WithoutFaults strips the entire fault lattice — network, disk, numeric,
-// proc actions — and the pool, leaving the plain in-process daemon running
+// clock, proc actions — and the pool, leaving the plain in-process daemon running
 // the same jobs. This is the reference configuration: a chaotic episode's
 // completed results must be byte-identical to it (or carry a declared
 // fail-safe / typed refusal; see the oracle catalog).
 func (s Spec) WithoutFaults() Spec {
 	eff := s.Clone()
-	eff.Net, eff.Disk, eff.Num = nil, nil, nil
+	eff.Net, eff.Disk, eff.Num, eff.Clock = nil, nil, nil, nil
 	eff.NetSeed = 0
 	eff.Procs = nil
 	eff.Pool = nil

@@ -7,10 +7,14 @@ import (
 	"strings"
 	"testing"
 
+	"time"
+
+	"tecfan/internal/clockfault"
 	"tecfan/internal/daemon"
 	"tecfan/internal/diskfault"
 	"tecfan/internal/netfault"
 	"tecfan/internal/numfault"
+	"tecfan/internal/schedfile"
 )
 
 func traceJob(id string) daemon.JobSpec {
@@ -40,6 +44,11 @@ func compoundSpec() Spec {
 		}},
 		Num: &numfault.Schedule{Rules: []numfault.Rule{
 			{Target: "temps", Action: "nan", Index: 0, FromStep: 10, ToStep: 11},
+		}},
+		Clock: &clockfault.Schedule{Rules: []clockfault.Rule{
+			{Kind: clockfault.KindStep, Proc: "daemon", AtOp: 1,
+				Offset: schedfile.Duration(-90 * time.Second)},
+			{Kind: clockfault.KindDrift, Proc: "crucible-w*", FromOp: 1, Rate: 0.5},
 		}},
 		Procs: []ProcAction{
 			{At: netfault.Duration(2e9), Target: "worker:0", Action: ActStop},

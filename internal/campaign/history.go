@@ -5,6 +5,7 @@ import (
 
 	"tecfan/internal/client"
 	"tecfan/internal/daemon"
+	"tecfan/internal/pool"
 )
 
 // History is everything one episode's client observed, in observation order.
@@ -33,6 +34,11 @@ type History struct {
 	Procs []ProcEvent `json:"procs,omitempty"`
 	// Jobs is the final GET /jobs listing.
 	Jobs []daemon.JobView `json:"jobs"`
+	// Leases is the coordinator's append-only lease ledger (grant / expire /
+	// re-adopt / complete), fetched after the final jobs listing. Its Seq is
+	// the coordinator's own total order, independent of the History Seq space;
+	// the lease-safety oracle replays it per shard.
+	Leases []pool.LeaseEvent `json:"leases,omitempty"`
 }
 
 // Call is one client attempt (see client.ObservedCall).
@@ -164,6 +170,13 @@ func (r *Recorder) Jobs(views []daemon.JobView) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.h.Jobs = append([]daemon.JobView(nil), views...)
+}
+
+// Leases records the coordinator's lease ledger snapshot.
+func (r *Recorder) Leases(events []pool.LeaseEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.h.Leases = append([]pool.LeaseEvent(nil), events...)
 }
 
 // History snapshots the accumulated record.

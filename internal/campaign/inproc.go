@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"tecfan/internal/client"
+	"tecfan/internal/clockfault"
 	"tecfan/internal/daemon"
 	"tecfan/internal/diskfault"
 	"tecfan/internal/netfault"
@@ -61,6 +62,19 @@ func RunEpisode(ctx context.Context, spec Spec, episode int, opts *RunOptions) (
 	eff := spec.ForEpisode(episode)
 	logf := opts.logf()
 
+	// Each process identity gets its own FaultClock over the shared schedule,
+	// so coordinator and workers carry independent skews from one spec.
+	clockFor := func(proc string) (clockfault.Clock, error) {
+		if eff.Clock == nil {
+			return nil, nil
+		}
+		return clockfault.New(*eff.Clock, proc, &clockfault.Options{Logf: logf})
+	}
+	daemonClock, err := clockFor(TargetDaemon)
+	if err != nil {
+		return nil, err
+	}
+
 	stateDir, err := os.MkdirTemp("", "crucible-ep")
 	if err != nil {
 		return nil, err
@@ -87,7 +101,8 @@ func RunEpisode(ctx context.Context, spec Spec, episode int, opts *RunOptions) (
 			}
 			return 0
 		}(),
-		Logf: logf,
+		Clock: daemonClock,
+		Logf:  logf,
 	})
 	if err != nil {
 		return nil, err
@@ -115,7 +130,7 @@ func RunEpisode(ctx context.Context, spec Spec, episode int, opts *RunOptions) (
 	}
 
 	if eff.Pool != nil {
-		stop, err := startPoolWorkers(hs.URL, eff, logf)
+		stop, err := startPoolWorkers(hs.URL, eff, clockFor, logf)
 		if err != nil {
 			return nil, err
 		}
@@ -166,6 +181,7 @@ func RunEpisode(ctx context.Context, spec Spec, episode int, opts *RunOptions) (
 		return rec.History(), fmt.Errorf("campaign: final jobs listing: %w", err)
 	}
 	rec.Jobs(views)
+	rec.Leases(srv.PoolLeases())
 	sampleReady(rec, hs.URL)
 	return rec.History(), nil
 }
@@ -179,22 +195,30 @@ func poolChunk(p *PoolSpec) int {
 
 // startPoolWorkers launches the spec's worker loops against the coordinator,
 // each armed with the same numeric fault schedule the daemon carries (the
-// exec driver passes the same schedule via -numfault-schedule).
-func startPoolWorkers(coordURL string, eff Spec, logf func(string, ...any)) (stop func(), err error) {
+// exec driver passes the same schedule via -numfault-schedule) and its own
+// per-identity FaultClock (via -clockfault-schedule there).
+func startPoolWorkers(coordURL string, eff Spec, clockFor func(string) (clockfault.Clock, error), logf func(string, ...any)) (stop func(), err error) {
 	wctx, cancel := context.WithCancel(context.Background())
 	done := make(chan struct{}, eff.Pool.Workers)
 	started := 0
 	for i := 0; i < eff.Pool.Workers; i++ {
-		wcl, err := client.New(client.Config{BaseURL: coordURL, Logf: logf, Seed: int64(10 + i)})
+		name := fmt.Sprintf("crucible-w%d", i)
+		wclk, err := clockFor(name)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		wcl, err := client.New(client.Config{BaseURL: coordURL, Logf: logf, Seed: int64(10 + i), Clock: wclk})
 		if err != nil {
 			cancel()
 			return nil, err
 		}
 		w, err := worker.New(worker.Config{
 			Client:    wcl,
-			Name:      fmt.Sprintf("crucible-w%d", i),
+			Name:      name,
 			Poll:      20 * time.Millisecond,
 			Logf:      logf,
+			Clock:     wclk,
 			NumFaults: eff.Num,
 		})
 		if err != nil {

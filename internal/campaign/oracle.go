@@ -7,6 +7,9 @@ import (
 	"net/http"
 	"regexp"
 	"strings"
+
+	"tecfan/internal/daemon"
+	"tecfan/internal/pool"
 )
 
 // Violation is one oracle failure: which invariant broke, on which job (when
@@ -38,6 +41,8 @@ const (
 	OracleStickyFailSafe   = "sticky-fail-safe"
 	OracleNoNonFinite      = "no-non-finite"
 	OracleReadyConsistency = "ready-consistency"
+	OracleLeaseSafety      = "lease-safety"
+	OracleBoundedLiveness  = "bounded-liveness"
 )
 
 // Catalog is the full oracle set, in evaluation order.
@@ -48,6 +53,8 @@ func Catalog() []Oracle {
 		{OracleStickyFailSafe, checkStickyFailSafe},
 		{OracleNoNonFinite, checkNoNonFinite},
 		{OracleReadyConsistency, checkReadyConsistency},
+		{OracleLeaseSafety, checkLeaseSafety},
+		{OracleBoundedLiveness, checkBoundedLiveness},
 	}
 }
 
@@ -328,6 +335,146 @@ func checkReadyConsistency(h *History, _ map[string][]byte) []Violation {
 			out = append(out, Violation{OracleReadyConsistency, "", fmt.Sprintf(
 				"call %d: submission accepted (%d) on a response stamped %q",
 				c.Seq, c.Status, c.ReadyState)})
+		}
+	}
+	return out
+}
+
+// checkLeaseSafety replays the coordinator's lease ledger shard by shard and
+// proves the fencing discipline held no matter what the clocks did: tokens
+// never move backwards and each grant strictly bumps; a shard never carries
+// two holders at once (a grant or re-adoption only lands on an unheld shard);
+// an expiry or completion names the actual holder under the holder's own
+// token; and a shard completes at most once, with nothing after. A skewed or
+// stepped clock may expire leases early or late — that costs reassignment
+// work, never safety — so any violation here means wall time leaked into the
+// lease arithmetic.
+func checkLeaseSafety(h *History, _ map[string][]byte) []Violation {
+	var out []Violation
+	type shardState struct {
+		holder    string
+		token     uint64 // highest token observed
+		completed bool
+	}
+	shards := map[string]*shardState{}
+	lastSeq := int64(-1)
+	for _, e := range h.Leases {
+		if e.Seq <= lastSeq {
+			out = append(out, Violation{OracleLeaseSafety, e.JobID, fmt.Sprintf(
+				"ledger seq went %d -> %d; the coordinator's total order is broken", lastSeq, e.Seq)})
+		}
+		lastSeq = e.Seq
+		key := e.JobID + "/" + e.ShardID
+		st := shards[key]
+		if st == nil {
+			st = &shardState{}
+			shards[key] = st
+		}
+		if st.completed {
+			out = append(out, Violation{OracleLeaseSafety, e.JobID, fmt.Sprintf(
+				"shard %s saw %q (seq %d) after its completion", e.ShardID, e.Event, e.Seq)})
+		}
+		switch e.Event {
+		case pool.EventGrant:
+			if st.holder != "" {
+				out = append(out, Violation{OracleLeaseSafety, e.JobID, fmt.Sprintf(
+					"shard %s granted to %s while %s still held it (seq %d)",
+					e.ShardID, e.Worker, st.holder, e.Seq)})
+			}
+			if e.Token <= st.token {
+				out = append(out, Violation{OracleLeaseSafety, e.JobID, fmt.Sprintf(
+					"shard %s grant token %d did not advance past %d (seq %d): a fenced holder's writes could land",
+					e.ShardID, e.Token, st.token, e.Seq)})
+			}
+			st.holder, st.token = e.Worker, e.Token
+		case pool.EventReAdopt:
+			if st.holder != "" {
+				out = append(out, Violation{OracleLeaseSafety, e.JobID, fmt.Sprintf(
+					"shard %s re-adopted by %s while %s still held it (seq %d)",
+					e.ShardID, e.Worker, st.holder, e.Seq)})
+			}
+			if e.Token < st.token {
+				out = append(out, Violation{OracleLeaseSafety, e.JobID, fmt.Sprintf(
+					"shard %s re-adoption token %d below observed %d (seq %d)",
+					e.ShardID, e.Token, st.token, e.Seq)})
+			}
+			st.holder, st.token = e.Worker, e.Token
+		case pool.EventExpire:
+			if st.holder == "" {
+				out = append(out, Violation{OracleLeaseSafety, e.JobID, fmt.Sprintf(
+					"shard %s expired an unheld lease (seq %d)", e.ShardID, e.Seq)})
+			} else if e.Worker != st.holder {
+				out = append(out, Violation{OracleLeaseSafety, e.JobID, fmt.Sprintf(
+					"shard %s expiry fenced %s but %s held the lease (seq %d)",
+					e.ShardID, e.Worker, st.holder, e.Seq)})
+			}
+			if e.Token != st.token {
+				out = append(out, Violation{OracleLeaseSafety, e.JobID, fmt.Sprintf(
+					"shard %s expiry carried token %d, holder held %d (seq %d)",
+					e.ShardID, e.Token, st.token, e.Seq)})
+			}
+			st.holder = ""
+		case pool.EventComplete:
+			if st.holder == "" {
+				out = append(out, Violation{OracleLeaseSafety, e.JobID, fmt.Sprintf(
+					"shard %s completed with no lease held (seq %d)", e.ShardID, e.Seq)})
+			} else if e.Worker != st.holder {
+				out = append(out, Violation{OracleLeaseSafety, e.JobID, fmt.Sprintf(
+					"shard %s completed by %s but %s held the lease (seq %d)",
+					e.ShardID, e.Worker, st.holder, e.Seq)})
+			}
+			if e.Token != st.token {
+				out = append(out, Violation{OracleLeaseSafety, e.JobID, fmt.Sprintf(
+					"shard %s completion carried token %d, lease held %d (seq %d): a fenced completion landed",
+					e.ShardID, e.Token, st.token, e.Seq)})
+			}
+			st.holder = ""
+			st.completed = true
+		default:
+			out = append(out, Violation{OracleLeaseSafety, e.JobID, fmt.Sprintf(
+				"ledger carries unknown event %q (seq %d)", e.Event, e.Seq)})
+		}
+	}
+	return out
+}
+
+// checkBoundedLiveness: chaos may slow the system down but must never strand
+// it — every accepted submission reaches a terminal observation, and the
+// final job table holds nothing still queued or running after the episode's
+// drain. The clock layer is the classic way to break this: a backoff
+// stretched by a forward step, or a lease whose expiry a frozen clock never
+// reaches, parks a job forever while every component believes it is waiting
+// correctly.
+func checkBoundedLiveness(h *History, _ map[string][]byte) []Violation {
+	var out []Violation
+	terminal := func(st daemon.JobState) bool {
+		switch st {
+		case daemon.StateDone, daemon.StateFailed, daemon.StateCanceled:
+			return true
+		}
+		return false
+	}
+	observed := map[string]bool{}
+	for _, r := range h.Results {
+		if terminal(daemon.JobState(r.State)) {
+			observed[r.JobID] = true
+		}
+	}
+	reported := map[string]bool{}
+	for _, s := range h.Submissions {
+		if s.Err != "" || reported[s.JobID] {
+			continue
+		}
+		reported[s.JobID] = true
+		if !observed[s.JobID] {
+			out = append(out, Violation{OracleBoundedLiveness, s.JobID,
+				"accepted submission never reached a terminal result observation"})
+		}
+	}
+	for _, v := range h.Jobs {
+		if !terminal(v.State) {
+			out = append(out, Violation{OracleBoundedLiveness, v.ID, fmt.Sprintf(
+				"job still %q in the final job table after the episode drained", v.State)})
 		}
 	}
 	return out

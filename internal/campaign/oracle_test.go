@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tecfan/internal/daemon"
+	"tecfan/internal/pool"
 )
 
 // greenHistory is a violation-free episode: one job submitted twice under one
@@ -237,5 +238,91 @@ func TestRecorderIncarnation(t *testing.T) {
 	}
 	if h.Procs[0].Seq >= h.Ready[1].Seq || h.Ready[0].Seq >= h.Procs[0].Seq {
 		t.Fatal("Seq must totally order records across kinds")
+	}
+}
+
+// greenLedger is a safety-clean shard lifecycle: grant, expiry fencing the
+// holder, a re-grant under a bumped token, and one completion.
+func greenLedger() []pool.LeaseEvent {
+	return []pool.LeaseEvent{
+		{Seq: 0, Event: pool.EventGrant, JobID: "a", ShardID: "s0", Worker: "w1", Token: 1},
+		{Seq: 1, Event: pool.EventExpire, JobID: "a", ShardID: "s0", Worker: "w1", Token: 1},
+		{Seq: 2, Event: pool.EventGrant, JobID: "a", ShardID: "s0", Worker: "w2", Token: 2},
+		{Seq: 3, Event: pool.EventComplete, JobID: "a", ShardID: "s0", Worker: "w2", Token: 2},
+	}
+}
+
+func TestLeaseSafety(t *testing.T) {
+	h, ref := greenHistory()
+	h.Leases = greenLedger()
+	if vs := Evaluate(h, ref); len(vs) != 0 {
+		t.Fatalf("clean ledger must be violation-free, got %v", vs)
+	}
+
+	// Double grant: a second holder while the first was never fenced.
+	h.Leases = []pool.LeaseEvent{
+		{Seq: 0, Event: pool.EventGrant, JobID: "a", ShardID: "s0", Worker: "w1", Token: 1},
+		{Seq: 1, Event: pool.EventGrant, JobID: "a", ShardID: "s0", Worker: "w2", Token: 2},
+	}
+	wantOracle(t, checkLeaseSafety(h, ref), OracleLeaseSafety, "while w1 still held it")
+
+	// Token regression on re-grant after an expiry.
+	h.Leases = []pool.LeaseEvent{
+		{Seq: 0, Event: pool.EventGrant, JobID: "a", ShardID: "s0", Worker: "w1", Token: 2},
+		{Seq: 1, Event: pool.EventExpire, JobID: "a", ShardID: "s0", Worker: "w1", Token: 2},
+		{Seq: 2, Event: pool.EventGrant, JobID: "a", ShardID: "s0", Worker: "w2", Token: 2},
+	}
+	wantOracle(t, checkLeaseSafety(h, ref), OracleLeaseSafety, "did not advance")
+
+	// A fenced completion: complete under a token the current lease outran.
+	h.Leases = []pool.LeaseEvent{
+		{Seq: 0, Event: pool.EventGrant, JobID: "a", ShardID: "s0", Worker: "w1", Token: 1},
+		{Seq: 1, Event: pool.EventExpire, JobID: "a", ShardID: "s0", Worker: "w1", Token: 1},
+		{Seq: 2, Event: pool.EventGrant, JobID: "a", ShardID: "s0", Worker: "w2", Token: 2},
+		{Seq: 3, Event: pool.EventComplete, JobID: "a", ShardID: "s0", Worker: "w1", Token: 1},
+	}
+	wantOracle(t, checkLeaseSafety(h, ref), OracleLeaseSafety, "completed by w1 but w2 held")
+
+	// Double completion.
+	h.Leases = append(greenLedger(),
+		pool.LeaseEvent{Seq: 4, Event: pool.EventGrant, JobID: "a", ShardID: "s0", Worker: "w3", Token: 3})
+	wantOracle(t, checkLeaseSafety(h, ref), OracleLeaseSafety, "after its completion")
+
+	// Expiry of an unheld lease.
+	h.Leases = []pool.LeaseEvent{
+		{Seq: 0, Event: pool.EventExpire, JobID: "a", ShardID: "s0", Worker: "w1", Token: 1},
+	}
+	wantOracle(t, checkLeaseSafety(h, ref), OracleLeaseSafety, "unheld lease")
+
+	// Broken total order.
+	h.Leases = []pool.LeaseEvent{
+		{Seq: 1, Event: pool.EventGrant, JobID: "a", ShardID: "s0", Worker: "w1", Token: 1},
+		{Seq: 1, Event: pool.EventComplete, JobID: "a", ShardID: "s0", Worker: "w1", Token: 1},
+	}
+	wantOracle(t, checkLeaseSafety(h, ref), OracleLeaseSafety, "total order is broken")
+}
+
+func TestBoundedLiveness(t *testing.T) {
+	h, ref := greenHistory()
+	if vs := checkBoundedLiveness(h, ref); len(vs) != 0 {
+		t.Fatalf("green history must be live, got %v", vs)
+	}
+
+	// A job stranded mid-run in the final table.
+	h.Jobs = []daemon.JobView{{ID: "a", State: daemon.StateRunning}}
+	wantOracle(t, checkBoundedLiveness(h, ref), OracleBoundedLiveness, "still \"running\"")
+
+	// An accepted submission that never reached a terminal observation.
+	h, ref = greenHistory()
+	h.Results = nil
+	wantOracle(t, checkBoundedLiveness(h, ref), OracleBoundedLiveness, "never reached a terminal")
+
+	// Failed submissions are the exactly-once oracle's business, not a
+	// liveness hole: nothing was accepted, so nothing is owed a terminal.
+	h, ref = greenHistory()
+	h.Submissions = []Submission{{Seq: 1, JobID: "b", Key: "k", Err: "refused"}}
+	h.Results, h.Jobs = nil, nil
+	if vs := checkBoundedLiveness(h, ref); len(vs) != 0 {
+		t.Fatalf("rejected submissions owe no liveness, got %v", vs)
 	}
 }

@@ -88,6 +88,7 @@ const (
 	atomDiskCrash
 	atomDiskRule
 	atomNumRule
+	atomClockRule
 	atomProc
 )
 
@@ -129,6 +130,11 @@ func atomsOf(s Spec) []atom {
 	if s.Num != nil {
 		for i := range s.Num.Rules {
 			out = append(out, atom{atomNumRule, i})
+		}
+	}
+	if s.Clock != nil {
+		for i := range s.Clock.Rules {
+			out = append(out, atom{atomClockRule, i})
 		}
 	}
 	for i := range s.Procs {
@@ -202,6 +208,18 @@ func buildCandidate(orig Spec, kept map[atom]bool) Spec {
 		s.Num.Rules = rules
 		if len(rules) == 0 {
 			s.Num = nil
+		}
+	}
+	if s.Clock != nil {
+		rules := s.Clock.Rules[:0:0]
+		for i, r := range s.Clock.Rules {
+			if kept[atom{atomClockRule, i}] {
+				rules = append(rules, r)
+			}
+		}
+		s.Clock.Rules = rules
+		if len(rules) == 0 {
+			s.Clock = nil
 		}
 	}
 	var procs []ProcAction

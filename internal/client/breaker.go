@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"tecfan/internal/clockfault"
 )
 
 // BreakerState is the circuit breaker's phase.
@@ -68,7 +70,7 @@ type BreakerConfig struct {
 	// Disabled turns the breaker into a pass-through.
 	Disabled bool
 
-	now func() time.Time // test seam
+	clock clockfault.Clock // time seam; client.New threads its Clock here
 }
 
 func (c *BreakerConfig) fillDefaults() {
@@ -84,9 +86,7 @@ func (c *BreakerConfig) fillDefaults() {
 	if c.SuccessThreshold <= 0 {
 		c.SuccessThreshold = 2
 	}
-	if c.now == nil {
-		c.now = time.Now
-	}
+	c.clock = clockfault.Or(c.clock)
 }
 
 // Breaker is a classic closed/open/half-open circuit breaker guarding the
@@ -108,7 +108,7 @@ type Breaker struct {
 	failures  int
 	successes int
 	probes    int // in-flight half-open probes
-	openedAt  time.Time
+	openedAt  clockfault.Mono
 }
 
 // NewBreaker builds a breaker in the closed state.
@@ -148,7 +148,7 @@ func (b *Breaker) Allow() (record func(success bool), err error) {
 	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerOpen:
-		wait := b.cfg.Cooldown - b.cfg.now().Sub(b.openedAt)
+		wait := b.cfg.Cooldown - b.cfg.clock.Since(b.openedAt)
 		if wait > 0 {
 			return nil, &OpenError{State: BreakerOpen, RetryIn: wait}
 		}
@@ -189,7 +189,7 @@ func (b *Breaker) record(gen uint64, success bool) {
 		b.failures++
 		if b.failures >= b.cfg.FailureThreshold {
 			b.transitionLocked(BreakerOpen)
-			b.openedAt = b.cfg.now()
+			b.openedAt = b.cfg.clock.Mono()
 		}
 	case BreakerHalfOpen:
 		b.probes--
@@ -197,7 +197,7 @@ func (b *Breaker) record(gen uint64, success bool) {
 			// One failed probe is proof enough: reopen and restart the
 			// cooldown clock.
 			b.transitionLocked(BreakerOpen)
-			b.openedAt = b.cfg.now()
+			b.openedAt = b.cfg.clock.Mono()
 			return
 		}
 		b.successes++

@@ -2,36 +2,24 @@ package client
 
 import (
 	"errors"
-	"sync"
 	"testing"
 	"time"
+
+	"tecfan/internal/clockfault"
 )
 
-// fakeClock is a hand-advanced clock for breaker tests.
-type fakeClock struct {
-	mu sync.Mutex
-	t  time.Time
+// newFakeClock is the hand-advanced clock for breaker tests.
+func newFakeClock() *clockfault.Manual {
+	return clockfault.NewManual(time.Unix(0, 0))
 }
 
-func (c *fakeClock) now() time.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.t
-}
-
-func (c *fakeClock) advance(d time.Duration) {
-	c.mu.Lock()
-	c.t = c.t.Add(d)
-	c.mu.Unlock()
-}
-
-func testBreaker(clk *fakeClock) *Breaker {
+func testBreaker(clk *clockfault.Manual) *Breaker {
 	return NewBreaker(BreakerConfig{
 		FailureThreshold: 3,
 		Cooldown:         time.Second,
 		ProbeBudget:      2,
 		SuccessThreshold: 2,
-		now:              clk.now,
+		clock:            clk,
 	})
 }
 
@@ -51,7 +39,7 @@ func allowRecord(t *testing.T, b *Breaker, success bool) {
 // half-open after cooldown with a bounded probe budget, reopen on a failed
 // probe, and close again after enough successful probes.
 func TestBreakerTransitions(t *testing.T) {
-	clk := &fakeClock{t: time.Unix(0, 0)}
+	clk := newFakeClock()
 	b := testBreaker(clk)
 
 	if b.State() != BreakerClosed {
@@ -81,7 +69,7 @@ func TestBreakerTransitions(t *testing.T) {
 	}
 
 	// Cooldown served: half-open admits ProbeBudget probes, rejects beyond.
-	clk.advance(time.Second + time.Millisecond)
+	clk.Advance(time.Second + time.Millisecond)
 	rec1, err := b.Allow()
 	if err != nil {
 		t.Fatalf("first probe refused: %v", err)
@@ -108,7 +96,7 @@ func TestBreakerTransitions(t *testing.T) {
 	}
 
 	// Recover: cooldown, then SuccessThreshold successful probes close it.
-	clk.advance(time.Second + time.Millisecond)
+	clk.Advance(time.Second + time.Millisecond)
 	for i := 0; i < 2; i++ {
 		allowRecord(t, b, true)
 	}
@@ -128,19 +116,19 @@ func TestBreakerTransitions(t *testing.T) {
 // the new window's probe budget, nor count toward its success threshold —
 // and a success that does close the breaker must leave it fully reset.
 func TestBreakerHalfOpenProbeBudgetRace(t *testing.T) {
-	clk := &fakeClock{t: time.Unix(0, 0)}
+	clk := newFakeClock()
 	b := NewBreaker(BreakerConfig{
 		FailureThreshold: 1,
 		Cooldown:         time.Second,
 		ProbeBudget:      2,
 		SuccessThreshold: 2,
-		now:              clk.now,
+		clock:            clk,
 	})
 
 	// Open the breaker, serve the cooldown, and exhaust the probe budget
 	// with two slow in-flight probes A and B.
 	allowRecord(t, b, false)
-	clk.advance(time.Second + time.Millisecond)
+	clk.Advance(time.Second + time.Millisecond)
 	recA, err := b.Allow()
 	if err != nil {
 		t.Fatal(err)
@@ -160,7 +148,7 @@ func TestBreakerHalfOpenProbeBudgetRace(t *testing.T) {
 	}
 
 	// Next cooldown: a fresh half-open window admits probe C.
-	clk.advance(time.Second + time.Millisecond)
+	clk.Advance(time.Second + time.Millisecond)
 	recC, err := b.Allow()
 	if err != nil {
 		t.Fatal(err)
@@ -203,7 +191,7 @@ func TestBreakerHalfOpenProbeBudgetRace(t *testing.T) {
 	if b.State() != BreakerOpen {
 		t.Fatalf("post-close failure did not open: %v", b.State())
 	}
-	clk.advance(time.Second + time.Millisecond)
+	clk.Advance(time.Second + time.Millisecond)
 	if _, err := b.Allow(); err != nil {
 		t.Fatalf("fresh window probe 1: %v", err)
 	}

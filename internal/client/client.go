@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"tecfan/internal/clockfault"
 	"tecfan/internal/daemon"
 )
 
@@ -58,6 +59,10 @@ type Config struct {
 	Seed int64
 	// Logf receives retry decisions (default: silent).
 	Logf func(format string, args ...any)
+	// Clock is the time seam for retry backoff, breaker cooldown, and seed
+	// derivation (default clockfault.OS); tecfan-worker wires a FaultClock
+	// here under -clockfault-schedule.
+	Clock clockfault.Clock
 	// Observer, when non-nil, sees every attempt the client makes — including
 	// ones that never reached the wire (breaker-denied) or never got a
 	// response (transport error). The crucible records these into a
@@ -112,21 +117,11 @@ func (c *Config) fillDefaults() error {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	c.Clock = clockfault.Or(c.Clock)
 	if c.sleep == nil {
-		c.sleep = sleepCtx
+		c.sleep = c.Clock.Sleep
 	}
 	return nil
-}
-
-func sleepCtx(ctx context.Context, d time.Duration) error {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
 }
 
 // StatusError is a non-2xx response that was not (or could no longer be)
@@ -164,11 +159,15 @@ func New(cfg Config) (*Client, error) {
 	}
 	seed := cfg.Seed
 	if seed == 0 {
-		seed = time.Now().UnixNano()
+		seed = cfg.Clock.Now().UnixNano()
+	}
+	brCfg := cfg.Breaker
+	if brCfg.clock == nil {
+		brCfg.clock = cfg.Clock
 	}
 	return &Client{
 		cfg: cfg,
-		br:  NewBreaker(cfg.Breaker),
+		br:  NewBreaker(brCfg),
 		rng: mrand.New(mrand.NewSource(seed)),
 	}, nil
 }
@@ -206,7 +205,7 @@ func NewIdempotencyKey() string {
 	if _, err := rand.Read(b[:]); err != nil {
 		// crypto/rand failing is a broken platform; fall back to time so the
 		// client still functions, at reduced collision resistance.
-		return fmt.Sprintf("key-%x", time.Now().UnixNano())
+		return fmt.Sprintf("key-%x", time.Now().UnixNano()) //lint:tecfan-ignore monotime -- package-level fallback with no clock in reach; collision resistance only, no timing decision
 	}
 	return "key-" + hex.EncodeToString(b[:])
 }

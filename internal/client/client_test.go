@@ -207,7 +207,7 @@ func TestBreakerOpensUnderFaultSchedule(t *testing.T) {
 	}))
 	defer srv.Close()
 
-	clk := &fakeClock{t: time.Unix(0, 0)}
+	clk := newFakeClock()
 	c := testClient(t, srv.URL, &sleepRecorder{}, func(cfg *Config) {
 		cfg.MaxRetries = 2
 		cfg.Breaker = BreakerConfig{
@@ -215,7 +215,7 @@ func TestBreakerOpensUnderFaultSchedule(t *testing.T) {
 			Cooldown:         10 * time.Second,
 			ProbeBudget:      1,
 			SuccessThreshold: 1,
-			now:              clk.now,
+			clock:            clk,
 		}
 	})
 
@@ -237,7 +237,7 @@ func TestBreakerOpensUnderFaultSchedule(t *testing.T) {
 
 	// Heal phase: cooldown elapses, one probe closes it, traffic flows.
 	healthy.Store(true)
-	clk.advance(11 * time.Second)
+	clk.Advance(11 * time.Second)
 	if _, err := c.Jobs(context.Background()); err != nil {
 		t.Fatalf("post-heal call failed: %v", err)
 	}

@@ -1,0 +1,149 @@
+// Package clockfault is the control plane's time seam and its chaos
+// injector. Every time-sensitive package (daemon, pool, worker, client)
+// reads time exclusively through the Clock interface, which splits the two
+// clocks apart: Now is the wall clock — the one NTP steps, operators reset,
+// and VMs resume into the past of — and Mono/Since/Deadline are the
+// monotonic clock, which only ever moves forward at roughly one second per
+// second. The discipline the monotime analyzer enforces follows directly:
+// expiry, elapsed-time, and backoff decisions use only monotonic
+// arithmetic; the wall clock is for display, seeds, and logs.
+//
+// FaultClock is the seeded, schedule-driven chaos half: it wraps a base
+// Clock and injects wall-clock steps (forward and backward), drift rates,
+// frozen windows, and timer jitter/late-fire as a pure function of (seed,
+// schedule, op counter), with a per-process identity so the coordinator and
+// each worker carry independent skews. The monotonic side stays truthful —
+// exactly like a real machine, where NTP slews the wall clock but the
+// monotonic clock never lies. Code that survives the FaultClock therefore
+// survives real clock trouble; code that breaks under it was comparing wall
+// timestamps it never owned.
+package clockfault
+
+import (
+	"context"
+	"time"
+)
+
+// Mono is a monotonic-clock instant: the elapsed time since an arbitrary
+// process-local origin. Wall-clock steps never move it, so two Mono values
+// from the same Clock are always safe to subtract. It is deliberately not a
+// time.Time — a Mono cannot be formatted as a date, compared against a wall
+// timestamp, or accidentally serialized as one.
+type Mono time.Duration
+
+// Add offsets the instant by d.
+func (m Mono) Add(d time.Duration) Mono { return m + Mono(d) }
+
+// Sub returns the elapsed time from o to m.
+func (m Mono) Sub(o Mono) time.Duration { return time.Duration(m - o) }
+
+// After reports whether m is later than o.
+func (m Mono) After(o Mono) bool { return m > o }
+
+// Before reports whether m is earlier than o.
+func (m Mono) Before(o Mono) bool { return m < o }
+
+// Timer is the injectable time.Timer: C fires once, Stop releases it.
+type Timer interface {
+	C() <-chan time.Time
+	Stop() bool
+}
+
+// Ticker is the injectable time.Ticker.
+type Ticker interface {
+	C() <-chan time.Time
+	Stop()
+}
+
+// Clock is the time seam. OS is the passthrough default; FaultClock is the
+// chaos injector; Manual is the hand-cranked test clock.
+type Clock interface {
+	// Now reads the wall clock. Under fault injection (or NTP, or an
+	// operator) it may step backward, drift, or freeze — never derive an
+	// expiry, elapsed time, or timeout from it.
+	Now() time.Time
+	// Mono reads the monotonic clock. It is strictly non-decreasing and
+	// immune to wall-clock faults.
+	Mono() Mono
+	// Since returns the monotonic time elapsed since m.
+	Since(m Mono) time.Duration
+	// Deadline returns the monotonic instant d from now — the only correct
+	// way to set an expiry.
+	Deadline(d time.Duration) Mono
+	// Sleep blocks for d (possibly jittered under fault injection) or until
+	// ctx is done, returning ctx.Err() in that case.
+	Sleep(ctx context.Context, d time.Duration) error
+	// NewTimer starts a one-shot timer for d.
+	NewTimer(d time.Duration) Timer
+	// NewTicker starts a repeating ticker at interval d.
+	NewTicker(d time.Duration) Ticker
+}
+
+// monoOrigin anchors the OS clock's Mono readings. This is the one
+// sanctioned wall-clock read in the seam: time.Since on a time.Now value
+// uses Go's embedded monotonic reading, so OS.Mono is step-immune.
+var monoOrigin = time.Now()
+
+// OS is the passthrough Clock backed by the operating system.
+var OS Clock = osClock{}
+
+type osClock struct{}
+
+func (osClock) Now() time.Time                  { return time.Now() }
+func (osClock) Mono() Mono                      { return Mono(time.Since(monoOrigin)) }
+func (c osClock) Since(m Mono) time.Duration    { return c.Mono().Sub(m) }
+func (c osClock) Deadline(d time.Duration) Mono { return c.Mono().Add(d) }
+
+func (c osClock) Sleep(ctx context.Context, d time.Duration) error {
+	return sleepOn(ctx, c.NewTimer(d))
+}
+
+func (osClock) NewTimer(d time.Duration) Timer   { return osTimer{time.NewTimer(d)} }
+func (osClock) NewTicker(d time.Duration) Ticker { return osTicker{time.NewTicker(d)} }
+
+type osTimer struct{ t *time.Timer }
+
+func (t osTimer) C() <-chan time.Time { return t.t.C }
+func (t osTimer) Stop() bool          { return t.t.Stop() }
+
+type osTicker struct{ t *time.Ticker }
+
+func (t osTicker) C() <-chan time.Time { return t.t.C }
+func (t osTicker) Stop()               { t.t.Stop() }
+
+// sleepOn blocks on a one-shot timer or context cancellation.
+func sleepOn(ctx context.Context, t Timer) error {
+	defer t.Stop()
+	select {
+	case <-t.C():
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Or returns c when non-nil, OS otherwise — the standard config default.
+func Or(c Clock) Clock {
+	if c != nil {
+		return c
+	}
+	return OS
+}
+
+// WithTimeout derives a context canceled after d on clock c — the clock-seam
+// replacement for context.WithTimeout, so upload deadlines and similar
+// bounds are timed by the injected clock (and jittered under a FaultClock).
+// Cancellation after expiry carries context.DeadlineExceeded as its cause.
+func WithTimeout(parent context.Context, c Clock, d time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancelCause(parent)
+	t := c.NewTimer(d)
+	go func() {
+		defer t.Stop()
+		select {
+		case <-t.C():
+			cancel(context.DeadlineExceeded)
+		case <-ctx.Done():
+		}
+	}()
+	return ctx, func() { cancel(context.Canceled) }
+}

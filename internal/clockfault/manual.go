@@ -1,0 +1,132 @@
+package clockfault
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Manual is a hand-cranked Clock for tests: the wall and monotonic clocks
+// only move when Advance (both) or StepWall (wall only — a seam for testing
+// skew directly) is called. Timers and tickers fire from Advance, on the
+// goroutine that called it. All methods are safe for concurrent use.
+type Manual struct {
+	mu     sync.Mutex
+	wall   time.Time
+	mono   Mono
+	timers map[*manualTimer]struct{}
+}
+
+// NewManual builds a Manual clock whose wall reads start at start.
+func NewManual(start time.Time) *Manual {
+	return &Manual{wall: start, timers: map[*manualTimer]struct{}{}}
+}
+
+// Now returns the current manual wall time.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.wall
+}
+
+// Mono returns the current manual monotonic reading.
+func (m *Manual) Mono() Mono {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mono
+}
+
+// Since returns the monotonic time elapsed since o.
+func (m *Manual) Since(o Mono) time.Duration { return m.Mono().Sub(o) }
+
+// Deadline returns the monotonic instant d from now.
+func (m *Manual) Deadline(d time.Duration) Mono { return m.Mono().Add(d) }
+
+// Advance moves both clocks forward by d, firing every timer and ticker
+// whose deadline is reached.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	m.mono = m.mono.Add(d)
+	m.wall = m.wall.Add(d)
+	now, mono := m.wall, m.mono
+	var due []*manualTimer
+	for t := range m.timers {
+		if !t.deadline.After(mono) {
+			due = append(due, t)
+		}
+	}
+	for _, t := range due {
+		if t.period > 0 {
+			for !t.deadline.After(mono) {
+				t.deadline = t.deadline.Add(t.period)
+			}
+		} else {
+			delete(m.timers, t)
+		}
+	}
+	m.mu.Unlock()
+	for _, t := range due {
+		select {
+		case t.ch <- now:
+		default: // a ticker whose last fire was never drained; drop, like time.Ticker
+		}
+	}
+}
+
+// StepWall moves only the wall clock by d (which may be negative) — a
+// simulated NTP step. Monotonic readings and timers are unaffected.
+func (m *Manual) StepWall(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.wall = m.wall.Add(d)
+}
+
+// Sleep blocks until Advance accumulates d or ctx is done.
+func (m *Manual) Sleep(ctx context.Context, d time.Duration) error {
+	return sleepOn(ctx, m.NewTimer(d))
+}
+
+// NewTimer starts a one-shot timer that fires from Advance.
+func (m *Manual) NewTimer(d time.Duration) Timer {
+	return m.newTimer(d, 0)
+}
+
+// NewTicker starts a repeating ticker that fires from Advance.
+func (m *Manual) NewTicker(d time.Duration) Ticker {
+	return manualTicker{m.newTimer(d, d)}
+}
+
+func (m *Manual) newTimer(d, period time.Duration) *manualTimer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := &manualTimer{
+		clk:      m,
+		ch:       make(chan time.Time, 1),
+		deadline: m.mono.Add(d),
+		period:   period,
+	}
+	m.timers[t] = struct{}{}
+	return t
+}
+
+type manualTimer struct {
+	clk      *Manual
+	ch       chan time.Time
+	deadline Mono
+	period   time.Duration
+}
+
+func (t *manualTimer) C() <-chan time.Time { return t.ch }
+
+// manualTicker adapts manualTimer's Stop() bool to the Ticker interface.
+type manualTicker struct{ *manualTimer }
+
+func (t manualTicker) Stop() { t.manualTimer.Stop() }
+
+func (t *manualTimer) Stop() bool {
+	t.clk.mu.Lock()
+	defer t.clk.mu.Unlock()
+	_, armed := t.clk.timers[t]
+	delete(t.clk.timers, t)
+	return armed
+}

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tecfan/internal/clockfault"
 )
 
 // tokenBucket is the submission admission controller: a classic token
@@ -20,16 +22,17 @@ type tokenBucket struct {
 	rate   float64
 	burst  float64
 	tokens float64
-	last   time.Time
-	now    func() time.Time
+	primed bool
+	last   clockfault.Mono
+	clock  clockfault.Clock
 }
 
 // newTokenBucket builds a full bucket; rate < 0 disables admission control.
-func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+func newTokenBucket(rate float64, burst int, clock clockfault.Clock) *tokenBucket {
 	if rate < 0 {
 		return nil
 	}
-	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), now: now}
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), clock: clock}
 }
 
 // take spends a token. When the bucket is empty it returns false and the
@@ -40,13 +43,14 @@ func (b *tokenBucket) take() (bool, time.Duration) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	now := b.now()
-	if !b.last.IsZero() {
+	now := b.clock.Mono()
+	if b.primed {
 		b.tokens += now.Sub(b.last).Seconds() * b.rate
 		if b.tokens > b.burst {
 			b.tokens = b.burst
 		}
 	}
+	b.primed = true
 	b.last = now
 	if b.tokens >= 1 {
 		b.tokens--

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"tecfan/internal/checkpoint"
+	"tecfan/internal/clockfault"
 	"tecfan/internal/diskfault"
 	"tecfan/internal/numfault"
 	"tecfan/internal/numguard"
@@ -104,8 +105,12 @@ type Config struct {
 	// Logf receives operational log lines (default log.Printf).
 	Logf func(format string, args ...any)
 
+	// Clock is the time seam (default clockfault.OS). Watchdog staleness,
+	// restart backoff, lease expiry, and admission refill all run on this
+	// clock's monotonic arithmetic; its wall side only feeds seeds and logs.
+	Clock clockfault.Clock
+
 	rng   *rand.Rand                                       // jitter source; tests may seed it
-	now   func() time.Time                                 // clock; tests may fake it
 	sleep func(ctx context.Context, d time.Duration) error // restart-backoff timer; tests may record it
 }
 
@@ -167,29 +172,14 @@ func (c *Config) fillDefaults() error {
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
+	c.Clock = clockfault.Or(c.Clock)
 	if c.rng == nil {
-		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
-	}
-	if c.now == nil {
-		c.now = time.Now
+		c.rng = rand.New(rand.NewSource(c.Clock.Now().UnixNano()))
 	}
 	if c.sleep == nil {
-		c.sleep = sleepCtx
+		c.sleep = c.Clock.Sleep
 	}
 	return nil
-}
-
-// sleepCtx is the production restart-backoff timer: a real sleep that a
-// canceled context cuts short.
-func sleepCtx(ctx context.Context, d time.Duration) error {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
 }
 
 // JobKind selects what a job runs.
@@ -298,7 +288,7 @@ type Server struct {
 
 	// beats records the last liveness signal per running job for the
 	// watchdog; attemptCancel the per-attempt cancel it may fire.
-	beats         map[string]time.Time
+	beats         map[string]clockfault.Mono
 	attemptCancel map[string]context.CancelFunc
 
 	// genStores caches the per-job generational checkpoint stores (guarded
@@ -347,8 +337,8 @@ func New(cfg Config) (*Server, error) {
 		jobs:          map[string]*job{},
 		queue:         make(chan string, cfg.QueueDepth),
 		idem:          idem,
-		admit:         newTokenBucket(cfg.SubmitRate, cfg.SubmitBurst, cfg.now),
-		beats:         map[string]time.Time{},
+		admit:         newTokenBucket(cfg.SubmitRate, cfg.SubmitBurst, cfg.Clock),
+		beats:         map[string]clockfault.Mono{},
 		attemptCancel: map[string]context.CancelFunc{},
 		genStores:     map[string]*checkpoint.GenStore{},
 		rootCtx:       ctx,
@@ -358,7 +348,7 @@ func New(cfg Config) (*Server, error) {
 		s.pool = pool.New(pool.Config{
 			LeaseTTL: cfg.PoolLeaseTTL,
 			Logf:     cfg.Logf,
-			Now:      cfg.now,
+			Clock:    cfg.Clock,
 		})
 	}
 	if err := s.recover(); err != nil {
@@ -662,7 +652,7 @@ func (s *Server) runSupervised(jobCtx context.Context, id string, j *job) {
 		attemptCtx, attemptCancel := context.WithCancel(jobCtx)
 		s.mu.Lock()
 		s.attemptCancel[id] = attemptCancel
-		s.beats[id] = s.cfg.now()
+		s.beats[id] = s.cfg.Clock.Mono()
 		s.mu.Unlock()
 
 		err := s.runAttempt(attemptCtx, id, j.spec)
@@ -751,7 +741,7 @@ func (s *Server) finish(id string, j *job, st JobState, msg string) {
 // checkpoint and chaos-row emission.
 func (s *Server) heartbeat(id string) {
 	s.mu.Lock()
-	s.beats[id] = s.cfg.now()
+	s.beats[id] = s.cfg.Clock.Mono()
 	s.mu.Unlock()
 }
 
@@ -764,15 +754,15 @@ func (s *Server) watchdog() {
 	if interval < 10*time.Millisecond {
 		interval = 10 * time.Millisecond
 	}
-	t := time.NewTicker(interval)
+	t := s.cfg.Clock.NewTicker(interval)
 	defer t.Stop()
 	for {
 		select {
 		case <-s.rootCtx.Done():
 			return
-		case <-t.C:
+		case <-t.C():
 		}
-		now := s.cfg.now()
+		now := s.cfg.Clock.Mono()
 		s.mu.Lock()
 		for id, last := range s.beats {
 			if now.Sub(last) > s.cfg.WatchdogTimeout {
@@ -830,6 +820,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("POST /pool/checkpoint", s.handlePoolCheckpoint)
 		mux.HandleFunc("POST /pool/complete", s.handlePoolComplete)
 		mux.HandleFunc("GET /pool/stats", s.handlePoolStats)
+		mux.HandleFunc("GET /pool/leases", s.handlePoolLeases)
 	}
 	var h http.Handler = mux
 	if s.cfg.RequestTimeout > 0 {

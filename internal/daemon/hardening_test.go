@@ -12,6 +12,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"tecfan/internal/clockfault"
 )
 
 // TestBackoffDelayBounds: every jittered restart delay stays within
@@ -335,13 +337,12 @@ func TestSubmitRateLimit(t *testing.T) {
 	}
 	defer func() { testRunHook = nil }()
 
-	var mu sync.Mutex
-	now := time.Unix(1000, 0)
+	clk := clockfault.NewManual(time.Unix(1000, 0))
 	cfg := fastConfig(t)
 	cfg.QueueDepth = 64
 	cfg.SubmitRate = 1
 	cfg.SubmitBurst = 2
-	cfg.now = func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	cfg.Clock = clk
 	s := newTestServer(t, cfg)
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
@@ -368,9 +369,7 @@ func TestSubmitRateLimit(t *testing.T) {
 		t.Fatal("rate-limited 429 without Retry-After")
 	}
 	// Advance the clock: a token refills and the next submission is admitted.
-	mu.Lock()
-	now = now.Add(1500 * time.Millisecond)
-	mu.Unlock()
+	clk.Advance(1500 * time.Millisecond)
 	if resp := submit(); resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("post-refill submit = %d, want 202", resp.StatusCode)
 	}
@@ -417,9 +416,7 @@ func TestRequestIDPropagation(t *testing.T) {
 // TestTokenBucket exercises the bucket directly: burst, exhaustion, refill,
 // and the disabled (< 0 rate) pass-through.
 func TestTokenBucket(t *testing.T) {
-	var mu sync.Mutex
-	now := time.Unix(0, 0)
-	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	clock := clockfault.NewManual(time.Unix(0, 0))
 	b := newTokenBucket(2, 3, clock)
 	for i := 0; i < 3; i++ {
 		if ok, _ := b.take(); !ok {
@@ -430,9 +427,7 @@ func TestTokenBucket(t *testing.T) {
 	if ok || wait <= 0 {
 		t.Fatalf("empty bucket take = %v wait %s", ok, wait)
 	}
-	mu.Lock()
-	now = now.Add(time.Second) // refills 2 tokens
-	mu.Unlock()
+	clock.Advance(time.Second) // refills 2 tokens
 	for i := 0; i < 2; i++ {
 		if ok, _ := b.take(); !ok {
 			t.Fatalf("post-refill take %d refused", i)

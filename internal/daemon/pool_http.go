@@ -116,3 +116,18 @@ func (s *Server) handlePoolComplete(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePoolStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.pool.Stats())
 }
+
+// handlePoolLeases serves the coordinator's lease ledger — the raw material
+// for the crucible's lease-safety oracle and for operators chasing a fencing
+// incident.
+func (s *Server) handlePoolLeases(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.PoolLeases())
+}
+
+// PoolLeases snapshots the lease ledger (empty when pooling is disabled).
+func (s *Server) PoolLeases() []pool.LeaseEvent {
+	if s.pool == nil {
+		return []pool.LeaseEvent{}
+	}
+	return s.pool.Leases()
+}

@@ -3,7 +3,6 @@ package daemon
 import (
 	"fmt"
 	"regexp"
-	"time"
 
 	"tecfan/internal/checkpoint"
 	"tecfan/internal/diskfault"
@@ -76,13 +75,13 @@ func (s *Server) StorageDegraded() bool { return s.degraded.Load() }
 // a probe lands — space came back (operator deleted files, quota raised).
 func (s *Server) storageProbe() {
 	defer s.wg.Done()
-	t := time.NewTicker(s.cfg.StorageProbeInterval)
+	t := s.cfg.Clock.NewTicker(s.cfg.StorageProbeInterval)
 	defer t.Stop()
 	for {
 		select {
 		case <-s.rootCtx.Done():
 			return
-		case <-t.C:
+		case <-t.C():
 		}
 		if !s.degraded.Load() {
 			continue
@@ -102,13 +101,13 @@ func (s *Server) storageProbe() {
 // the only copy left.
 func (s *Server) scrubber() {
 	defer s.wg.Done()
-	t := time.NewTicker(s.cfg.ScrubInterval)
+	t := s.cfg.Clock.NewTicker(s.cfg.ScrubInterval)
 	defer t.Stop()
 	for {
 		select {
 		case <-s.rootCtx.Done():
 			return
-		case <-t.C:
+		case <-t.C():
 		}
 		s.ScrubNow()
 	}

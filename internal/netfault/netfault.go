@@ -25,36 +25,10 @@ import (
 	"tecfan/internal/schedfile"
 )
 
-// Duration is a time.Duration that accepts both Go duration strings ("30ms")
-// and nanosecond numbers in JSON, so schedule files stay human-writable.
-type Duration time.Duration
-
-// UnmarshalJSON accepts "250ms"-style strings or integer nanoseconds.
-func (d *Duration) UnmarshalJSON(b []byte) error {
-	var s string
-	if err := json.Unmarshal(b, &s); err == nil {
-		v, err := time.ParseDuration(s)
-		if err != nil {
-			return fmt.Errorf("netfault: bad duration %q: %w", s, err)
-		}
-		*d = Duration(v)
-		return nil
-	}
-	var n int64
-	if err := json.Unmarshal(b, &n); err != nil {
-		return fmt.Errorf("netfault: bad duration %s", b)
-	}
-	*d = Duration(n)
-	return nil
-}
-
-// MarshalJSON emits the string form.
-func (d Duration) MarshalJSON() ([]byte, error) {
-	return json.Marshal(time.Duration(d).String())
-}
-
-// Std returns the wrapped time.Duration.
-func (d Duration) Std() time.Duration { return time.Duration(d) }
+// Duration is the shared schedule-file duration type ("30ms" strings or
+// nanosecond numbers); the definition moved to schedfile so every schedule
+// format can use it, and this alias keeps netfault's existing API intact.
+type Duration = schedfile.Duration
 
 // Fault is the set of impairments active at an instant.
 type Fault struct {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"tecfan/internal/clockfault"
 )
 
 // Sentinel errors surfaced to the HTTP layer (and through it to workers).
@@ -27,8 +29,11 @@ type Config struct {
 	LeaseTTL time.Duration
 	// Logf receives coordinator events; nil discards them.
 	Logf func(format string, args ...any)
-	// Now is the clock seam for tests; nil means time.Now.
-	Now func() time.Time
+	// Clock is the time seam; nil means clockfault.OS. Lease expiry and
+	// worker liveness are judged exclusively by this clock's monotonic
+	// arithmetic, so a wall-clock step (NTP, operator, fault injection) can
+	// neither mass-expire live leases nor immortalize dead ones.
+	Clock clockfault.Clock
 }
 
 // JobHooks are the per-job callbacks the job owner (the daemon) provides.
@@ -88,7 +93,7 @@ type shard struct {
 	token      uint64
 	state      shardState
 	holder     string
-	expiry     time.Time
+	expiry     clockfault.Mono
 	checkpoint []byte
 	result     []byte
 }
@@ -129,7 +134,8 @@ type Coordinator struct {
 	mu       sync.Mutex
 	jobs     map[string]*poolJob
 	jobOrder []string
-	lastSeen map[string]time.Time
+	lastSeen map[string]clockfault.Mono
+	ledger   []LeaseEvent
 
 	grants, completes, fenced, expired int64
 }
@@ -142,15 +148,11 @@ func New(cfg Config) *Coordinator {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	if cfg.Now == nil {
-		// Lease expiry is wall-clock by nature; determinism lives in the
-		// shard plan/merge, which never reads Now. Tests inject a fake.
-		cfg.Now = time.Now //lint:tecfan-ignore nondeterminism -- clock seam default; lease timing is wall-clock by design, tests inject
-	}
+	cfg.Clock = clockfault.Or(cfg.Clock)
 	return &Coordinator{
 		cfg:      cfg,
 		jobs:     map[string]*poolJob{},
-		lastSeen: map[string]time.Time{},
+		lastSeen: map[string]clockfault.Mono{},
 	}
 }
 
@@ -239,19 +241,25 @@ func (c *Coordinator) Results(id string) (payloads [][]byte, ok bool) {
 // pending under a bumped token, so any still-running holder's subsequent
 // writes are rejected. Called with c.mu held, lazily from worker-driven
 // entry points — worker polling is the pool's clock, no background sweeper.
-func (c *Coordinator) expireLocked(now time.Time) {
+func (c *Coordinator) expireLocked(now clockfault.Mono) {
 	for _, id := range c.jobOrder {
 		for _, sh := range c.jobs[id].shards {
 			if sh.state == shardLeased && now.After(sh.expiry) {
-				c.cfg.Logf("pool: lease expired: job %s shard %s holder %s token %d",
-					id, sh.spec.ID, sh.holder, sh.token)
-				sh.state = shardPending
-				sh.holder = ""
-				sh.token++
-				c.expired++
+				c.expireShardLocked(id, sh)
 			}
 		}
 	}
+}
+
+// expireShardLocked fences one overdue lease. Called with c.mu held.
+func (c *Coordinator) expireShardLocked(jobID string, sh *shard) {
+	c.cfg.Logf("pool: lease expired: job %s shard %s holder %s token %d",
+		jobID, sh.spec.ID, sh.holder, sh.token)
+	c.recordLocked(EventExpire, jobID, sh.spec.ID, sh.holder, sh.token)
+	sh.state = shardPending
+	sh.holder = ""
+	sh.token++
+	c.expired++
 }
 
 // Claim grants the first pending shard in plan order to worker, bumping and
@@ -260,7 +268,7 @@ func (c *Coordinator) expireLocked(now time.Time) {
 func (c *Coordinator) Claim(worker string) (*ClaimResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	now := c.cfg.Now()
+	now := c.cfg.Clock.Mono()
 	c.lastSeen[worker] = now
 	c.expireLocked(now)
 	for _, id := range c.jobOrder {
@@ -285,6 +293,7 @@ func (c *Coordinator) Claim(worker string) (*ClaimResponse, error) {
 			}
 			c.grants++
 			c.cfg.Logf("pool: granted job %s shard %s to %s token %d", id, sh.spec.ID, worker, sh.token)
+			c.recordLocked(EventGrant, id, sh.spec.ID, worker, sh.token)
 			if j.hooks.OnEvent != nil {
 				j.hooks.OnEvent("grant", sh.spec.ID)
 			}
@@ -329,7 +338,7 @@ func (c *Coordinator) lookupLocked(kind, workerName, jobID, shardID string, toke
 func (c *Coordinator) Heartbeat(hb *HeartbeatRequest) (*HeartbeatResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	now := c.cfg.Now()
+	now := c.cfg.Clock.Mono()
 	c.lastSeen[hb.Worker] = now
 	j, sh, err := c.lookupLocked("heartbeat", hb.Worker, hb.JobID, hb.ShardID, hb.Token)
 	if err != nil {
@@ -346,12 +355,7 @@ func (c *Coordinator) Heartbeat(hb *HeartbeatRequest) (*HeartbeatResponse, error
 			return nil, fmt.Errorf("%w: %s held by %s", ErrFenced, hb.ShardID, sh.holder)
 		}
 		if now.After(sh.expiry) {
-			c.cfg.Logf("pool: lease expired: job %s shard %s holder %s token %d",
-				hb.JobID, sh.spec.ID, sh.holder, sh.token)
-			sh.state = shardPending
-			sh.holder = ""
-			sh.token++
-			c.expired++
+			c.expireShardLocked(hb.JobID, sh)
 			c.fenced++
 			return nil, fmt.Errorf("%w: %s lease expired", ErrFenced, hb.ShardID)
 		}
@@ -363,6 +367,7 @@ func (c *Coordinator) Heartbeat(hb *HeartbeatRequest) (*HeartbeatResponse, error
 		sh.expiry = now.Add(c.cfg.LeaseTTL)
 		c.cfg.Logf("pool: re-adopted job %s shard %s holder %s token %d",
 			hb.JobID, sh.spec.ID, hb.Worker, sh.token)
+		c.recordLocked(EventReAdopt, hb.JobID, sh.spec.ID, hb.Worker, sh.token)
 		if j.hooks.OnEvent != nil {
 			j.hooks.OnEvent("re-adopt", sh.spec.ID)
 		}
@@ -377,7 +382,7 @@ func (c *Coordinator) Heartbeat(hb *HeartbeatRequest) (*HeartbeatResponse, error
 func (c *Coordinator) UploadCheckpoint(up *CheckpointUpload) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	now := c.cfg.Now()
+	now := c.cfg.Clock.Mono()
 	c.lastSeen[up.Worker] = now
 	j, sh, err := c.lookupLocked("checkpoint upload", up.Worker, up.JobID, up.ShardID, up.Token)
 	if err != nil {
@@ -390,10 +395,7 @@ func (c *Coordinator) UploadCheckpoint(up *CheckpointUpload) error {
 		return fmt.Errorf("%w: %s not leased to %s", ErrFenced, up.ShardID, up.Worker)
 	}
 	if now.After(sh.expiry) {
-		sh.state = shardPending
-		sh.holder = ""
-		sh.token++
-		c.expired++
+		c.expireShardLocked(up.JobID, sh)
 		c.fenced++
 		c.cfg.Logf("pool: fenced checkpoint upload from %s: job %s shard %s lease expired",
 			up.Worker, up.JobID, up.ShardID)
@@ -419,7 +421,7 @@ func (c *Coordinator) UploadCheckpoint(up *CheckpointUpload) error {
 func (c *Coordinator) Complete(cr *CompleteRequest) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	now := c.cfg.Now()
+	now := c.cfg.Clock.Mono()
 	c.lastSeen[cr.Worker] = now
 	j, sh, err := c.lookupLocked("complete", cr.Worker, cr.JobID, cr.ShardID, cr.Token)
 	if err != nil {
@@ -433,10 +435,7 @@ func (c *Coordinator) Complete(cr *CompleteRequest) error {
 		return fmt.Errorf("%w: %s not leased to %s", ErrFenced, cr.ShardID, cr.Worker)
 	}
 	if now.After(sh.expiry) {
-		sh.state = shardPending
-		sh.holder = ""
-		sh.token++
-		c.expired++
+		c.expireShardLocked(cr.JobID, sh)
 		c.fenced++
 		c.cfg.Logf("pool: fenced complete from %s: job %s shard %s lease expired",
 			cr.Worker, cr.JobID, cr.ShardID)
@@ -457,6 +456,7 @@ func (c *Coordinator) Complete(cr *CompleteRequest) error {
 	}
 	c.completes++
 	c.cfg.Logf("pool: completed job %s shard %s by %s token %d", cr.JobID, sh.spec.ID, cr.Worker, sh.token)
+	c.recordLocked(EventComplete, cr.JobID, sh.spec.ID, cr.Worker, sh.token)
 	if j.hooks.OnEvent != nil {
 		j.hooks.OnEvent("complete", sh.spec.ID)
 	}
@@ -470,10 +470,10 @@ func (c *Coordinator) Complete(cr *CompleteRequest) error {
 func (c *Coordinator) LiveWorkers() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.liveWorkersLocked(c.cfg.Now())
+	return c.liveWorkersLocked(c.cfg.Clock.Mono())
 }
 
-func (c *Coordinator) liveWorkersLocked(now time.Time) int {
+func (c *Coordinator) liveWorkersLocked(now clockfault.Mono) int {
 	n := 0
 	for _, seen := range c.lastSeen {
 		if now.Sub(seen) <= 2*c.cfg.LeaseTTL {
@@ -488,7 +488,7 @@ func (c *Coordinator) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := Stats{
-		WorkersLive:   c.liveWorkersLocked(c.cfg.Now()),
+		WorkersLive:   c.liveWorkersLocked(c.cfg.Clock.Mono()),
 		Jobs:          len(c.jobs),
 		Grants:        c.grants,
 		Completes:     c.completes,

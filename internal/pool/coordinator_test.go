@@ -8,28 +8,13 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"tecfan/internal/clockfault"
 )
 
-// fakeClock is the deterministic time source driving lease expiry in tests.
-type fakeClock struct {
-	mu sync.Mutex
-	t  time.Time
-}
-
-func newFakeClock() *fakeClock {
-	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
-}
-
-func (c *fakeClock) now() time.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.t
-}
-
-func (c *fakeClock) advance(d time.Duration) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.t = c.t.Add(d)
+// newFakeClock is the deterministic time source driving lease expiry in tests.
+func newFakeClock() *clockfault.Manual {
+	return clockfault.NewManual(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
 }
 
 func testShards(n int) []ShardSpec {
@@ -42,7 +27,7 @@ func testShards(n int) []ShardSpec {
 
 func TestClaimGrantAndComplete(t *testing.T) {
 	clk := newFakeClock()
-	c := New(Config{LeaseTTL: time.Second, Now: clk.now})
+	c := New(Config{LeaseTTL: time.Second, Clock: clk})
 	var persisted *PersistedState
 	done, err := c.AddJob("j", testShards(2), nil, JobHooks{
 		Persist: func(st *PersistedState) error { persisted = st; return nil },
@@ -100,7 +85,7 @@ func TestLeaseExpiryFencesAndReassigns(t *testing.T) {
 	clk := newFakeClock()
 	var logBuf strings.Builder
 	var logMu sync.Mutex
-	c := New(Config{LeaseTTL: time.Second, Now: clk.now, Logf: func(f string, a ...any) {
+	c := New(Config{LeaseTTL: time.Second, Clock: clk, Logf: func(f string, a ...any) {
 		logMu.Lock()
 		defer logMu.Unlock()
 		fmt.Fprintf(&logBuf, f+"\n", a...)
@@ -114,13 +99,13 @@ func TestLeaseExpiryFencesAndReassigns(t *testing.T) {
 	}
 
 	// Within the TTL the holder renews freely.
-	clk.advance(500 * time.Millisecond)
+	clk.Advance(500 * time.Millisecond)
 	if _, err := c.Heartbeat(&HeartbeatRequest{Worker: "w1", JobID: "j", ShardID: "s0", Token: g1.Token}); err != nil {
 		t.Fatalf("in-lease heartbeat: %v", err)
 	}
 
 	// Past the TTL the lease is fenced on the holder's own heartbeat...
-	clk.advance(2 * time.Second)
+	clk.Advance(2 * time.Second)
 	if _, err := c.Heartbeat(&HeartbeatRequest{Worker: "w1", JobID: "j", ShardID: "s0", Token: g1.Token}); !errors.Is(err, ErrFenced) {
 		t.Fatalf("expired heartbeat: want ErrFenced, got %v", err)
 	}
@@ -171,7 +156,7 @@ func TestLeaseExpiryFencesAndReassigns(t *testing.T) {
 
 func TestCheckpointHandoffToNextClaimant(t *testing.T) {
 	clk := newFakeClock()
-	c := New(Config{LeaseTTL: time.Second, Now: clk.now})
+	c := New(Config{LeaseTTL: time.Second, Clock: clk})
 	if _, err := c.AddJob("j", testShards(1), nil, JobHooks{}); err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +166,7 @@ func TestCheckpointHandoffToNextClaimant(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	clk.advance(3 * time.Second) // kill w1 by silence
+	clk.Advance(3 * time.Second) // kill w1 by silence
 	g2, err := c.Claim("w2")
 	if err != nil || g2 == nil {
 		t.Fatal(err)
@@ -195,7 +180,7 @@ func TestCoordinatorRestartReAdoption(t *testing.T) {
 	clk := newFakeClock()
 	var persisted *PersistedState
 	hooks := JobHooks{Persist: func(st *PersistedState) error { persisted = st; return nil }}
-	c := New(Config{LeaseTTL: time.Second, Now: clk.now})
+	c := New(Config{LeaseTTL: time.Second, Clock: clk})
 	if _, err := c.AddJob("j", testShards(2), nil, hooks); err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +193,7 @@ func TestCoordinatorRestartReAdoption(t *testing.T) {
 	g2, _ := c.Claim("w1")
 
 	// "Restart": a fresh coordinator restored from the persisted state.
-	c2 := New(Config{LeaseTTL: time.Second, Now: clk.now})
+	c2 := New(Config{LeaseTTL: time.Second, Clock: clk})
 	if _, err := c2.AddJob("j", testShards(2), persisted, hooks); err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +223,7 @@ func TestCoordinatorRestartReAdoption(t *testing.T) {
 func TestPersistFailureRefusesGrantAndCompletion(t *testing.T) {
 	clk := newFakeClock()
 	fail := true
-	c := New(Config{LeaseTTL: time.Second, Now: clk.now})
+	c := New(Config{LeaseTTL: time.Second, Clock: clk})
 	if _, err := c.AddJob("j", testShards(1), nil, JobHooks{
 		Persist: func(*PersistedState) error {
 			if fail {
@@ -278,7 +263,7 @@ func TestPersistFailureRefusesGrantAndCompletion(t *testing.T) {
 
 func TestDropJobAnswersShardGone(t *testing.T) {
 	clk := newFakeClock()
-	c := New(Config{LeaseTTL: time.Second, Now: clk.now})
+	c := New(Config{LeaseTTL: time.Second, Clock: clk})
 	done, _ := c.AddJob("j", testShards(1), nil, JobHooks{})
 	g, _ := c.Claim("w1")
 	c.DropJob("j")
@@ -317,7 +302,7 @@ func TestFencingTokensStrictlyMonotonicProperty(t *testing.T) {
 				}}
 			}
 			newCoord := func() *Coordinator {
-				c := New(Config{LeaseTTL: time.Second, Now: clk.now})
+				c := New(Config{LeaseTTL: time.Second, Clock: clk})
 				if _, err := c.AddJob("j", testShards(nShards), store["j"], hooks("j")); err != nil {
 					t.Fatal(err)
 				}
@@ -364,7 +349,7 @@ func TestFencingTokensStrictlyMonotonicProperty(t *testing.T) {
 					})
 					delete(held, w)
 				case op < 9: // time passes; maybe past lease expiry
-					clk.advance(time.Duration(rng.Intn(1500)) * time.Millisecond)
+					clk.Advance(time.Duration(rng.Intn(1500)) * time.Millisecond)
 				default: // coordinator crash + restore from persisted state
 					c = newCoord()
 				}

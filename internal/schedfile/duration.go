@@ -1,0 +1,40 @@
+package schedfile
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Duration is a time.Duration that accepts both Go duration strings ("30ms")
+// and nanosecond numbers in JSON, so schedule files stay human-writable. It
+// began life in netfault; every schedule format (net, clock, campaign) now
+// shares this one definition through the same loader door.
+type Duration time.Duration
+
+// UnmarshalJSON accepts "250ms"-style strings or integer nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("schedfile: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("schedfile: bad duration %s", b)
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// MarshalJSON emits the string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// Std returns the wrapped time.Duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) }

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"tecfan/internal/client"
+	"tecfan/internal/clockfault"
 	"tecfan/internal/exp"
 	"tecfan/internal/fault"
 	"tecfan/internal/numfault"
@@ -45,6 +46,10 @@ type Config struct {
 	// OnClaim, when non-nil, observes every grant before execution starts —
 	// the breadcrumb seam tecfan-worker uses.
 	OnClaim func(grant *pool.ClaimResponse)
+	// Clock is the time seam driving the poll wait, heartbeat cadence, and
+	// upload deadlines (default clockfault.OS); tecfan-worker wires a
+	// FaultClock here under -clockfault-schedule.
+	Clock clockfault.Clock
 	// NumFaults arms the numerical-chaos injector for every trace shard this
 	// worker executes, mirroring the daemon's -numfault-schedule so pooled
 	// jobs run under the same fault lattice as in-process ones. Injection is a
@@ -71,6 +76,7 @@ func (c *Config) fillDefaults() error {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	c.Clock = clockfault.Or(c.Clock)
 	return nil
 }
 
@@ -144,12 +150,7 @@ func (w *Worker) Run(ctx context.Context) error {
 }
 
 func (w *Worker) sleep(ctx context.Context, d time.Duration) {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-	case <-ctx.Done():
-	}
+	_ = w.cfg.Clock.Sleep(ctx, d)
 }
 
 // lease is the worker's handle on one granted shard: identity for every
@@ -214,13 +215,13 @@ func (l *lease) heartbeatLoop(ctx context.Context) {
 	if interval <= 0 {
 		interval = time.Second
 	}
-	t := time.NewTicker(interval)
+	t := l.w.cfg.Clock.NewTicker(interval)
 	defer t.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-t.C:
+		case <-t.C():
 		}
 		_, err := l.w.cfg.Client.PoolHeartbeat(ctx, &pool.HeartbeatRequest{
 			Worker: l.w.cfg.Name, JobID: l.grant.JobID,
@@ -249,7 +250,7 @@ func (l *lease) upload(v any) {
 			l.w.cfg.Name, l.grant.JobID, l.grant.Shard.ID, err)
 		return
 	}
-	uctx, ucancel := context.WithTimeout(context.Background(), l.w.cfg.UploadTimeout)
+	uctx, ucancel := clockfault.WithTimeout(context.Background(), l.w.cfg.Clock, l.w.cfg.UploadTimeout)
 	defer ucancel()
 	err = l.w.cfg.Client.PoolCheckpoint(uctx, &pool.CheckpointUpload{
 		Worker: l.w.cfg.Name, JobID: l.grant.JobID,
@@ -278,7 +279,7 @@ func (l *lease) complete(result any) error {
 	if err != nil {
 		return fmt.Errorf("worker: encoding result: %w", err)
 	}
-	cctx, ccancel := context.WithTimeout(context.Background(), l.w.cfg.UploadTimeout)
+	cctx, ccancel := clockfault.WithTimeout(context.Background(), l.w.cfg.Clock, l.w.cfg.UploadTimeout)
 	defer ccancel()
 	err = l.w.cfg.Client.PoolComplete(cctx, &pool.CompleteRequest{
 		Worker: l.w.cfg.Name, JobID: l.grant.JobID,

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Clock-fault drill: run the worker pool with every process's wall clock
+# lying in a different direction and prove the lease protocol never notices:
+#   - the coordinator's wall clock starts +90s in the future;
+#   - worker w1's wall clock runs -90s in the past, then takes an NTP-style
+#     +150s correction step mid-sweep (w2 keeps an honest clock), and every
+#     process's timers carry seeded jitter;
+#   - lease expiry, heartbeat renewal, and fencing all ride monotonic
+#     arithmetic, so every shard completes exactly once and the merged
+#     pooled result is byte-identical to a fault-free single-process
+#     reference run;
+#   - the coordinator's lease ledger (GET /pool/leases) records the
+#     episode's grants and completions for post-mortem replay.
+#
+# The skews dwarf the 2s lease TTL by 45x in both directions: if wall time
+# leaked into any lease or heartbeat decision, shards would be fenced
+# instantly and forever (coordinator ahead) or never (worker behind).
+#
+# Usage: scripts/clockfault_drill.sh
+# Env:   DRILL_SCALE (default 0.05) — instruction-budget scale of the sweep.
+set -euo pipefail
+
+DRILL_NAME=clockfault_drill
+. "$(dirname "$0")/lib.sh"
+drill_init
+
+SCALE="${DRILL_SCALE:-0.05}"
+free_port; COORD_PORT=$FREE_PORT
+COORD="http://127.0.0.1:$COORD_PORT"
+LEASE_TTL=2s
+
+cd "$ROOT"
+build_bins tecfand tecfan-worker
+
+SPEC='{"id":"clockdrill","kind":"chaos","bench":"cholesky","threads":16,"scale":'"$SCALE"',"seed":7}'
+
+submit() { # base_url
+  curl -fsS -X POST "$1/jobs" -H 'Content-Type: application/json' -d "$SPEC" >/dev/null
+}
+
+stat_field() { # key -> value (empty when unreachable)
+  curl -fsS "$COORD/pool/stats" 2>/dev/null | sed -nE 's/.*"'"$1"'": *([0-9]+).*/\1/p' | head -n1
+}
+
+# One schedule file, three stories: the proc glob picks each process's rules,
+# so the daemon runs fast, w1 runs slow, and w2 stays honest — while the
+# shared jitter rule shakes everyone's timers.
+CLOCK="$WORK/clock.json"
+cat >"$CLOCK" <<'EOF'
+{
+  "seed": 42,
+  "rules": [
+    {"kind": "step", "proc": "daemon", "at_op": 1, "offset": "90s"},
+    {"kind": "step", "proc": "w1", "at_op": 1, "offset": "-90s"},
+    {"kind": "step", "proc": "w1", "at_op": 120, "offset": "150s"},
+    {"kind": "drift", "proc": "w1", "from_op": 1, "rate": 0.1},
+    {"kind": "jitter", "proc": "*", "from_op": 1, "max": "3ms", "prob": 0.3}
+  ]
+}
+EOF
+
+# --- Reference pass: the same sweep, single-process, honest clocks. ------
+say "reference pass (scale $SCALE)"
+start_tecfand "$WORK/ref-state" "$WORK/ref-daemon.log" "$COORD_PORT" /readyz \
+  -checkpoint-every 1
+submit "$COORD"
+wait_job "$COORD" clockdrill
+curl -fsS "$COORD/jobs/clockdrill/result" >"$WORK/ref.json"
+kill -9 "$SPAWNED_PID" 2>/dev/null || true
+sleep 0.3
+
+# --- Chaos pass: skewed coordinator + skewed/honest workers. -------------
+say "chaos pass: coordinator +90s, w1 -90s with a +150s NTP step mid-sweep, w2 honest"
+start_tecfand "$WORK/pool-state" "$WORK/coord.log" "$COORD_PORT" /livez \
+  -checkpoint-every 1 -pool -pool-chunk 1 -pool-lease-ttl "$LEASE_TTL" \
+  -clockfault-schedule "$CLOCK"
+grep -q "CLOCK FAULT INJECTION ACTIVE" "$WORK/coord.log" \
+  || die "coordinator never armed the clock schedule"
+submit "$COORD"
+SHARDS="$(stat_field shards_total)"
+[ -n "$SHARDS" ] && [ "$SHARDS" -gt 3 ] || die "implausible shard plan: ${SHARDS:-none}"
+
+start_worker() { # name
+  spawn_victim "$WORK/$1.log" "$WORK/tecfan-worker" \
+    -coordinator "$COORD" -name "$1" -poll 100ms -clockfault-schedule "$CLOCK"
+}
+start_worker w1
+start_worker w2
+grep -q "CLOCK FAULT INJECTION ACTIVE" "$WORK/w1.log" || sleep 0.5
+
+wait_job "$COORD" clockdrill
+curl -fsS "$COORD/jobs/clockdrill/result" >"$WORK/skewed.json"
+
+# --- Acceptance. ---------------------------------------------------------
+cmp -s "$WORK/ref.json" "$WORK/skewed.json" \
+  || die "skewed result differs from reference ($(wc -c <"$WORK/ref.json") vs $(wc -c <"$WORK/skewed.json") bytes)"
+
+COMPLETES="$(stat_field completes)"
+say "stats: shards=$SHARDS completes=$COMPLETES"
+[ "$COMPLETES" = "$SHARDS" ] \
+  || die "completes=$COMPLETES != shards=$SHARDS (exactly-once violated under skew)"
+
+# Both skewed processes must have applied their schedules, and the ledger
+# must have recorded the episode.
+grep -q "clockfault: proc \"daemon\"" "$WORK/coord.log" \
+  || die "coordinator log shows no applied clock faults"
+grep -q "CLOCK FAULT INJECTION ACTIVE" "$WORK/w1.log" \
+  || die "w1 never armed the clock schedule"
+curl -fsS "$COORD/pool/leases" >"$WORK/leases.json"
+grep -q '"event": *"grant"' "$WORK/leases.json" \
+  || die "lease ledger recorded no grants"
+grep -q '"event": *"complete"' "$WORK/leases.json" \
+  || die "lease ledger recorded no completions"
+say "PASS: $SHARDS shards exactly once under +/-90s skew and a +150s NTP step; result byte-identical"
