@@ -6,6 +6,12 @@
 //	tecfan-bench -scale 1 -trace 600   # full paper-scale run
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, hw, all.
+//
+// With -gobench it instead becomes the performance regression gate over
+// the Go micro-benchmarks (see gate.go and scripts/bench_gate.sh):
+//
+//	tecfan-bench -gobench -emit BENCH_10.json          # record a baseline
+//	tecfan-bench -gobench -gate -baseline BENCH_10.json  # CI gate
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"time"
 
 	"tecfan"
+	"tecfan/internal/cmdutil"
 )
 
 func main() {
@@ -27,7 +34,26 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "16-core instruction-budget scale (1 = paper length)")
 	traceSec := flag.Int("trace", 600, "Fig. 7 per-core trace seconds (600 = paper's 10 min)")
 	out := flag.String("o", "", "output file (default stdout)")
+
+	gobench := flag.Bool("gobench", false, "run the Go micro-benchmarks as the perf gate instead of the paper experiments")
+	var gf gateFlags
+	flag.BoolVar(&gf.gate, "gate", false, "with -gobench: compare against -baseline and exit 1 on regression")
+	flag.StringVar(&gf.baseline, "baseline", "", "baseline BENCH JSON `file` for -gate")
+	flag.StringVar(&gf.emit, "emit", "", "write the measured BENCH JSON to `file`")
+	flag.IntVar(&gf.runs, "runs", 3, "benchmark repetitions; the per-metric median gates")
+	flag.StringVar(&gf.benchtime, "benchtime", "100ms", "go test -benchtime value (time-based, so ns-scale and ms-scale kernels measure equally long)")
+	flag.StringVar(&gf.benchRe, "bench", gateBenchRe, "go test -bench regex (default: the hot-path kernel set)")
+	flag.Float64Var(&gf.nsTol, "ns-tol", 0.15, "ns/op tolerance fraction on a matching CPU")
 	flag.Parse()
+
+	if *gobench {
+		if gf.baseline != "" {
+			if err := cmdutil.CheckFileExists("baseline", gf.baseline); err != nil {
+				fatal(err)
+			}
+		}
+		os.Exit(runGoBench(gf, flag.Args()))
+	}
 
 	valid := []string{"table1", "fig4", "fig5", "fig6", "fig7", "hw", "ablate",
 		"mapping", "timescales", "scaling", "mix", "oraclegap", "report", "all"}

@@ -1,12 +1,22 @@
 // Command tecfan-lint is the repo's static-invariant multichecker: it runs
-// the five DESIGN.md §13 analyzers (nondeterminism, ctxloop, atomicwrite,
-// lockedio, floatcmp) over package patterns and exits nonzero on any
-// unjustified finding.
+// the nine DESIGN.md §13/§18 analyzers (nondeterminism, ctxloop,
+// atomicwrite, lockedio, floatcmp, monotime, allocfree, scratchalias,
+// hotcall) over package patterns and exits nonzero on any unjustified
+// finding.
 //
 //	tecfan-lint ./...                # standalone, human-readable
 //	tecfan-lint -json ./...          # standalone, machine-readable
 //	tecfan-lint -analyzers           # print the catalog
+//	tecfan-lint -escape ./...        # confirm allocs with go build -gcflags=-m=2
+//	tecfan-lint -escape-cache=escape.json ./...  # reuse a saved -m=2 report
 //	go vet -vettool=$(which tecfan-lint) ./...
+//
+// -escape runs the compiler's escape analysis over the whole module and
+// hands the parsed report to the analyzers, which may use it only to clear
+// or annotate syntactic findings (never to add new ones) — so escape-aware
+// and plain runs agree on a clean tree. -escape-cache loads a report saved
+// by a previous run (escape.Report.Save) instead of rebuilding; both are
+// standalone-mode only and are not forwarded through the vet driver.
 //
 // The last form speaks cmd/go's (unpublished) vet driver protocol: cmd/go
 // invokes the tool once per package with a vet.cfg file naming the sources
@@ -27,6 +37,7 @@ import (
 	"strings"
 
 	"tecfan/internal/analysis"
+	"tecfan/internal/analysis/escape"
 	"tecfan/internal/analysis/loader"
 	"tecfan/internal/cmdutil"
 )
@@ -48,6 +59,9 @@ func main() {
 
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout (exit 0; for tooling)")
 	listAnalyzers := flag.Bool("analyzers", false, "print the analyzer catalog and exit")
+	useEscape := flag.Bool("escape", false, "run go build -gcflags=-m=2 and confirm allocation findings against the compiler (standalone mode only)")
+	escapeCache := flag.String("escape-cache", "", "load a saved -m=2 escape report from `file` instead of rebuilding (standalone mode only)")
+	escapeSave := flag.String("escape-save", "", "with -escape: also save the parsed report to `file` for later -escape-cache runs")
 	flag.Parse()
 	args := flag.Args()
 
@@ -60,6 +74,9 @@ func main() {
 
 	// vet driver mode: cmd/go passes exactly one argument, the config file.
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		if *useEscape || *escapeCache != "" {
+			fatal(fmt.Errorf("-escape/-escape-cache are standalone-mode flags; the vet driver cannot carry an escape report"))
+		}
 		os.Exit(vetMode(args[0], *jsonOut))
 	}
 
@@ -72,9 +89,35 @@ func main() {
 			fatal(err)
 		}
 	}
+	var rep *escape.Report
+	switch {
+	case *escapeCache != "":
+		if err := cmdutil.CheckFileExists("escape-cache", *escapeCache); err != nil {
+			fatal(err)
+		}
+		var err error
+		if rep, err = escape.LoadFile(*escapeCache); err != nil {
+			fatal(err)
+		}
+	case *useEscape:
+		var err error
+		if rep, err = escape.Run(".", args...); err != nil {
+			fatal(err)
+		}
+		if *escapeSave != "" {
+			if err := rep.Save(*escapeSave); err != nil {
+				fatal(err)
+			}
+		}
+	}
 	pkgs, err := loader.Load(".", args...)
 	if err != nil {
 		fatal(err)
+	}
+	if rep != nil {
+		for _, pkg := range pkgs {
+			pkg.Escape = rep
+		}
 	}
 	var findings []analysis.Finding
 	for _, pkg := range pkgs {

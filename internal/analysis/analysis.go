@@ -1,11 +1,13 @@
 // Package analysis is the repo's static-invariant suite: a small,
 // stdlib-only re-creation of the slice of golang.org/x/tools/go/analysis
-// that tecfan needs, plus the five analyzers that mechanically enforce the
+// that tecfan needs, plus the nine analyzers that mechanically enforce the
 // conventions every headline proof in this repo leans on — deterministic
 // sim/exp paths (bitwise-identical crash resume, §10), context discipline
 // in long loops (<1-control-period cancellation, §10), checkpoint-only
 // state writes (§10/§12), no I/O under locks (the §11 breaker-race class),
-// and epsilon-compared floats.
+// epsilon-compared floats, monotonic-time discipline in lease arithmetic
+// (§17), and the hot-path allocation discipline (§18: allocfree,
+// scratchalias, hotcall keep the 2 ms control loop at zero allocations).
 //
 // The x/tools analysis framework is deliberately not imported: the repo is
 // zero-dependency by policy, so Analyzer/Pass/Diagnostic are re-declared
@@ -27,6 +29,8 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+
+	"tecfan/internal/analysis/escape"
 )
 
 // Analyzer describes one invariant checker. Mirrors
@@ -49,6 +53,13 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Escape, when non-nil, carries the compiler's -m=2 escape report for
+	// this build (tecfan-lint -escape / -escape-cache). Analyzers that use
+	// it may only *clear or annotate* syntactic findings with it — never
+	// add findings — so runs with and without the report agree on a clean
+	// tree.
+	Escape *escape.Report
+
 	report func(Diagnostic)
 }
 
@@ -70,6 +81,9 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// Escape is the optional compiler escape report; see Pass.Escape.
+	Escape *escape.Report
 }
 
 // Finding is one surviving diagnostic, positioned and attributed.
@@ -128,6 +142,7 @@ func RunPackage(pkg *Package, analyzers []*Analyzer, validNames []string) ([]Fin
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Escape:    pkg.Escape,
 		}
 		var diags []Diagnostic
 		pass.report = func(d Diagnostic) { diags = append(diags, d) }

@@ -1,0 +1,238 @@
+// Package escape runs the real compiler's escape analysis and parses its
+// diagnostics, so allocfree's syntactic allocation candidates can be
+// confirmed or cleared by ground truth instead of heuristics. It is the
+// escape-analysis half of what internal/analysis/loader is for package
+// loading: one `go build -gcflags=-m=2` invocation over the target
+// patterns, stderr parsed into per-position diagnostics, no dependency
+// outside the standard library and the go tool itself.
+//
+// The -m=2 stream interleaves several diagnostic families. This package
+// classifies the ones allocfree consumes:
+//
+//	p.go:12:13: make([]float64, n) escapes to heap:     → KindEscapes
+//	p.go:30:9: &Config{...} does not escape             → KindNotEscape
+//	p.go:18:2: moved to heap: acc                       → KindMoved
+//	p.go:7:6: can inline rowSum with cost 17 ...        → KindOther
+//
+// and skips the indented flow/explanation continuations that -m=2 attaches
+// under an escape line ("   flow: {heap} = &x:", "     from ... at ...").
+// Inlining chains reposition diagnostics into the caller's file, and
+// generic functions report once per instantiation with a "[go.shape...]"
+// suffix — both forms parse to ordinary diagnostics at their printed
+// position (see testdata and TestParseGolden).
+//
+// Build caching is not a concern: cmd/go replays a cached compilation's
+// diagnostics, so a warm cache still yields the full -m=2 stream.
+package escape
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Kind classifies one compiler diagnostic.
+type Kind string
+
+const (
+	// KindEscapes marks a value the compiler heap-allocates at its
+	// creation site ("... escapes to heap").
+	KindEscapes Kind = "escapes"
+	// KindNotEscape marks a value the compiler proved stack-allocatable
+	// ("... does not escape").
+	KindNotEscape Kind = "not-escape"
+	// KindMoved marks a variable moved to the heap because its address
+	// outlives the frame ("moved to heap: x").
+	KindMoved Kind = "moved"
+	// KindOther covers the rest of the -m stream (inlining decisions,
+	// parameter leak summaries) — parsed and retained for completeness,
+	// ignored by allocfree.
+	KindOther Kind = "other"
+)
+
+// Diag is one parsed compiler diagnostic.
+type Diag struct {
+	File string `json:"file"` // absolute, cleaned
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Kind Kind   `json:"kind"`
+	Text string `json:"text"` // message after the position prefix
+}
+
+// Report holds the diagnostics of one -m=2 run, indexed by file and line.
+type Report struct {
+	// Diags maps "file:line" (file absolute) to that line's diagnostics
+	// in stream order.
+	Diags map[string][]Diag `json:"diags"`
+}
+
+// At returns the diagnostics recorded for file:line, or nil. file is
+// cleaned but must already be absolute (token.Position filenames from the
+// loader are).
+func (r *Report) At(file string, line int) []Diag {
+	if r == nil {
+		return nil
+	}
+	return r.Diags[key(filepath.Clean(file), line)]
+}
+
+func key(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}
+
+// Run builds the patterns in dir with -gcflags=-m=2 and parses the
+// resulting diagnostics. The build artifacts are discarded (-o is not
+// set; `go build` of non-main packages writes only the build cache).
+func Run(dir string, patterns ...string) (*Report, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"build", "-gcflags=-m=2"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// GOWORK=off for the same reason as the loader: a workspace file above
+	// the module must not change what "./..." means.
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("escape: go build -gcflags=-m=2 %s: %w\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+	return Parse(&stderr, dir)
+}
+
+// Parse reads a -m=2 diagnostic stream, resolving relative file paths
+// against dir. Unrecognized lines (package banners, trailing noise) are
+// skipped; a diagnostic with an unparseable position is skipped rather
+// than guessed at.
+func Parse(r io.Reader, dir string) (*Report, error) {
+	rep := &Report{Diags: map[string][]Diag{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		d, ok := ParseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if !filepath.IsAbs(d.File) {
+			d.File = filepath.Join(dir, d.File)
+		}
+		d.File = filepath.Clean(d.File)
+		k := key(d.File, d.Line)
+		rep.Diags[k] = append(rep.Diags[k], d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("escape: reading diagnostics: %w", err)
+	}
+	return rep, nil
+}
+
+// ParseLine parses one stderr line into a diagnostic. It returns ok=false
+// for lines that are not position-prefixed diagnostics (package banners
+// like "# tecfan/internal/thermal", blank lines) and for the indented
+// flow-explanation continuations -m=2 prints under an escape diagnostic.
+// Exported for FuzzEscapeDiagParser.
+func ParseLine(line string) (Diag, bool) {
+	// Shape: file.go:LINE:COL: message. Split on ": " after locating the
+	// position prefix manually — messages may themselves contain colons
+	// ("moved to heap: acc", "flow: {heap} = &x:").
+	rest := line
+	colon := strings.Index(rest, ".go:")
+	if colon < 0 {
+		return Diag{}, false
+	}
+	file := rest[:colon+3]
+	rest = rest[colon+4:]
+
+	lineNo, rest, ok := cutInt(rest)
+	if !ok || lineNo <= 0 {
+		return Diag{}, false
+	}
+	colNo, rest, ok := cutInt(rest)
+	if !ok || colNo <= 0 {
+		return Diag{}, false
+	}
+	if !strings.HasPrefix(rest, " ") {
+		return Diag{}, false
+	}
+	msg := rest[1:]
+	if msg == "" || msg[0] == ' ' || msg[0] == '\t' {
+		// Indented continuation: the flow explanation under an escape
+		// diagnostic. The parent line already carries the verdict.
+		return Diag{}, false
+	}
+	return Diag{File: file, Line: lineNo, Col: colNo, Kind: classify(msg), Text: msg}, true
+}
+
+// cutInt consumes "N:" from the head of s.
+func cutInt(s string) (int, string, bool) {
+	i := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	if i == 0 || i >= len(s) || s[i] != ':' {
+		return 0, s, false
+	}
+	n, err := strconv.Atoi(s[:i])
+	if err != nil {
+		return 0, s, false
+	}
+	return n, s[i+1:], true
+}
+
+func classify(msg string) Kind {
+	switch {
+	case strings.HasPrefix(msg, "moved to heap:"):
+		return KindMoved
+	case strings.Contains(msg, "does not escape"):
+		return KindNotEscape
+	case strings.Contains(msg, "escapes to heap"):
+		return KindEscapes
+	default:
+		return KindOther
+	}
+}
+
+// cacheFile is the JSON schema of a saved report.
+type cacheFile struct {
+	Schema int               `json:"schema"`
+	Diags  map[string][]Diag `json:"diags"`
+}
+
+// Save writes the report as JSON, for tecfan-lint's -escape-cache flag:
+// CI runs the (expensive) build once and replays the report across lint
+// invocations.
+func (r *Report) Save(path string) error {
+	data, err := json.MarshalIndent(cacheFile{Schema: 1, Diags: r.Diags}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("escape: encoding cache: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadFile reads a report saved by Save.
+func LoadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("escape: reading cache: %w", err)
+	}
+	var c cacheFile
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("escape: decoding cache %s: %w", path, err)
+	}
+	if c.Schema != 1 {
+		return nil, fmt.Errorf("escape: cache %s has unsupported schema %d", path, c.Schema)
+	}
+	if c.Diags == nil {
+		c.Diags = map[string][]Diag{}
+	}
+	return &Report{Diags: c.Diags}, nil
+}

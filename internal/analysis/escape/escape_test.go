@@ -1,0 +1,221 @@
+package escape
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParseGolden parses a committed -m=2 stream (captured from
+// testdata/mod with go1.24) and checks the classification of each family:
+// a cleared make, a moved local, inlining chains, and the per-instantiation
+// diagnostics of a generic function. Flow continuations must vanish.
+func TestParseGolden(t *testing.T) {
+	data, err := os.ReadFile("testdata/m2_sample.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Parse(strings.NewReader(string(data)), "/mod")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	at := func(line int) []Diag { return rep.At("/mod/p.go", line) }
+
+	// make([]int, 4) does not escape — the clearing verdict.
+	found := false
+	for _, d := range at(10) {
+		if d.Kind == KindNotEscape && strings.Contains(d.Text, "make([]int, 4)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("line 10: want a not-escape diag for make([]int, 4), got %+v", at(10))
+	}
+
+	// x escapes (flow lines skipped) and is moved to heap.
+	var kinds []Kind
+	for _, d := range at(18) {
+		kinds = append(kinds, d.Kind)
+		if strings.Contains(d.Text, "flow:") || strings.Contains(d.Text, "from ") {
+			t.Errorf("line 18: flow continuation leaked into diags: %q", d.Text)
+		}
+	}
+	if len(kinds) != 2 || kinds[0] != KindEscapes || kinds[1] != KindMoved {
+		t.Errorf("line 18: want [escapes moved], got %v", kinds)
+	}
+
+	// Inlining decisions classify as other, including the generic
+	// instantiation chains on the declaration line.
+	sawShape := false
+	for _, d := range at(28) {
+		if d.Kind == KindOther && strings.Contains(d.Text, "go.shape") {
+			sawShape = true
+		}
+	}
+	if !sawShape {
+		t.Errorf("line 28: want a go.shape instantiation diag, got %+v", at(28))
+	}
+
+	// The inlined call site reports at the caller's position.
+	sawInline := false
+	for _, d := range at(25) {
+		if d.Kind == KindOther && strings.Contains(d.Text, "inlining call to tiny") {
+			sawInline = true
+		}
+	}
+	if !sawInline {
+		t.Errorf("line 25: want an inlining-call diag, got %+v", at(25))
+	}
+
+	// The package banner line must not parse.
+	if len(rep.Diags) == 0 {
+		t.Fatal("no diagnostics parsed")
+	}
+	for k := range rep.Diags {
+		if strings.HasPrefix(k, "#") {
+			t.Errorf("package banner parsed as a diagnostic: %q", k)
+		}
+	}
+}
+
+// TestRun compiles the fixture module for real and checks the live stream
+// agrees with the golden expectations on the two load-bearing verdicts.
+func TestRun(t *testing.T) {
+	dir, err := filepath.Abs("testdata/mod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfile := filepath.Join(dir, "p.go")
+
+	hasKind := func(line int, k Kind) bool {
+		for _, d := range rep.At(pfile, line) {
+			if d.Kind == k {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasKind(10, KindNotEscape) {
+		t.Errorf("live run: want not-escape at p.go:10, got %+v", rep.At(pfile, 10))
+	}
+	if !hasKind(18, KindMoved) {
+		t.Errorf("live run: want moved at p.go:18, got %+v", rep.At(pfile, 18))
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	rep, err := Parse(strings.NewReader(
+		"./a.go:3:7: make([]int, n) escapes to heap:\n"+
+			"./a.go:3:7:   flow: {heap} = make:\n"+
+			"./a.go:9:2: moved to heap: acc\n"), "/root/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "escape.json")
+	if err := rep.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := got.At("/root/x/a.go", 3)
+	if len(d) != 1 || d[0].Kind != KindEscapes || d[0].Col != 7 {
+		t.Errorf("round-trip lost the escape diag: %+v", d)
+	}
+	if d := got.At("/root/x/a.go", 9); len(d) != 1 || d[0].Kind != KindMoved {
+		t.Errorf("round-trip lost the moved diag: %+v", d)
+	}
+	if got.At("/root/x/a.go", 99) != nil {
+		t.Error("phantom diagnostics at an empty line")
+	}
+}
+
+func TestLoadFileRejects(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(bad); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("want schema error, got %v", err)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("want error for missing cache file")
+	}
+}
+
+// TestParseLineShapes pins the classifier on the exact line shapes -m=2
+// emits, including the ones that must NOT parse.
+func TestParseLineShapes(t *testing.T) {
+	cases := []struct {
+		line string
+		ok   bool
+		kind Kind
+	}{
+		{"./p.go:10:13: make([]int, 4) does not escape", true, KindNotEscape},
+		{"./p.go:18:2: x escapes to heap:", true, KindEscapes},
+		{"./p.go:18:2: moved to heap: x", true, KindMoved},
+		{"./p.go:22:6: can inline tiny with cost 4 as: func(int, int) int { return a + b }", true, KindOther},
+		{"./p.go:28:31: parameter v leaks to ~r0 with derefs=0:", true, KindOther},
+		{"internal/thermal/thermal.go:7:2: moved to heap: acc", true, KindMoved},
+		{"./p.go:18:2:   flow: {heap} = &x:", false, ""},
+		{"./p.go:18:2:     from &x (address-of) at ./p.go:19:9", false, ""},
+		{"# escfixture", false, ""},
+		{"", false, ""},
+		{"no position here", false, ""},
+		{"./p.go:bad:2: nope", false, ""},
+		{"./p.go:1:2:", false, ""},
+	}
+	for _, c := range cases {
+		d, ok := ParseLine(c.line)
+		if ok != c.ok {
+			t.Errorf("ParseLine(%q) ok=%v, want %v", c.line, ok, c.ok)
+			continue
+		}
+		if ok && d.Kind != c.kind {
+			t.Errorf("ParseLine(%q) kind=%v, want %v", c.line, d.Kind, c.kind)
+		}
+	}
+}
+
+// FuzzEscapeDiagParser hardens ParseLine against arbitrary compiler
+// output: it must never panic, and every accepted line must yield a
+// positive position and a non-empty message consistent with the input.
+func FuzzEscapeDiagParser(f *testing.F) {
+	f.Add("./p.go:10:13: make([]int, 4) does not escape")
+	f.Add("./p.go:18:2: x escapes to heap:")
+	f.Add("./p.go:18:2:   flow: {heap} = &x:")
+	f.Add("# escfixture")
+	f.Add("p.go:1:1: moved to heap: v")
+	f.Add("weird.go:: ::")
+	f.Add("a.go:999999999999999999999:1: overflow line")
+	f.Add("./p.go:28:6: can inline Generic[go.shape.int] with cost 3")
+	f.Fuzz(func(t *testing.T, line string) {
+		d, ok := ParseLine(line)
+		if !ok {
+			return
+		}
+		if d.Line <= 0 || d.Col <= 0 {
+			t.Fatalf("accepted non-positive position: %+v from %q", d, line)
+		}
+		if d.File == "" || !strings.HasSuffix(d.File, ".go") {
+			t.Fatalf("accepted bad file %q from %q", d.File, line)
+		}
+		if d.Text == "" {
+			t.Fatalf("accepted empty message from %q", line)
+		}
+		if d.Kind == "" {
+			t.Fatalf("missing kind classification from %q", line)
+		}
+		if !strings.Contains(line, d.Text) {
+			t.Fatalf("message %q not a substring of input %q", d.Text, line)
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module escfixture
+
+go 1.22

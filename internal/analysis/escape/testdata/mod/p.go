@@ -1,0 +1,37 @@
+// Package p is a tiny module the escape tests compile with -m=2: it
+// contains one provable non-escape, one forced heap move, one inlinable
+// helper (exercising the repositioned-diagnostic form), and one generic
+// function (exercising the per-instantiation "[go.shape...]" form).
+package p
+
+var Sink *int
+
+func NotEscaping() int {
+	buf := make([]int, 4)
+	for i := range buf {
+		buf[i] = i
+	}
+	return buf[0]
+}
+
+func Moved() {
+	x := 7
+	Sink = &x
+}
+
+func tiny(a, b int) int { return a + b }
+
+func CallsTiny(n int) int {
+	return tiny(n, n)
+}
+
+func Generic[T int | float64](v T) *T {
+	return &v
+}
+
+var FloatSink *float64
+
+func UsesGeneric() {
+	_ = Generic(1)
+	FloatSink = Generic(2.5)
+}

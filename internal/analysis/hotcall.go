@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Hotcall makes the hot-path annotation transitive: a //tecfan:hotpath
+// function (or defaultHotpath member) may only call other hot functions,
+// the whitelisted leaf accessors (leafFuncs/leafPkgs in hotpath.go),
+// builtins, and conversions. Calls through function-typed values are
+// flagged too — a func value is invisible to the whole suite, so hot code
+// restructures closures into methods the analyzers can see. Without this,
+// allocfree's guarantee erodes one innocent-looking helper call at a time.
+var Hotcall = &Analyzer{
+	Name: "hotcall",
+	Doc: "restricts //tecfan:hotpath functions to calling other hot-path " +
+		"functions, whitelisted leaf accessors, builtins, and conversions; " +
+		"calls through func values or to unvetted functions break the " +
+		"transitive zero-alloc guarantee and are reported",
+	Run: runHotcall,
+}
+
+func runHotcall(pass *Pass) error {
+	hs := collectHotFuncs(pass)
+	for fn, fd := range hs.funcs {
+		checkHotCalls(pass, hs, displayName(fn), fd)
+	}
+	return nil
+}
+
+func checkHotCalls(pass *Pass, hs *hotSet, name string, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // allocfree owns closures; their bodies are not this function
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun := ast.Unparen(call.Fun)
+
+		// Builtins (len, cap, copy, append, ...) — allocfree polices the
+		// allocating ones.
+		if fid, ok := fun.(*ast.Ident); ok {
+			if _, isBuiltin := pass.TypesInfo.Uses[fid].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+		// Conversions: float64(x), T(v).
+		if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+			return true
+		}
+
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			pass.Reportf(call.Pos(),
+				"hot-path function %s calls through a function value; the callee is invisible to the analyzer suite — restructure it as a named method",
+				name)
+			return true
+		}
+		if !isHotCallee(hs, fn) {
+			pass.Reportf(call.Pos(),
+				"hot-path function %s calls %s, which is neither //tecfan:hotpath nor a whitelisted leaf; annotate the callee, add it to the leaf table, or move the call off the hot path",
+				name, funcKey(fn))
+		}
+		return true
+	})
+}

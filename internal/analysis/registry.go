@@ -12,6 +12,9 @@ func All() []*Analyzer {
 		Lockedio,
 		Floatcmp,
 		Monotime,
+		Allocfree,
+		Scratchalias,
+		Hotcall,
 	}
 }
 

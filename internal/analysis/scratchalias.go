@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Scratchalias guards the aliasing bug class that zero-alloc refactors
+// create: a hot-path function is lent a scratch buffer (a slice parameter)
+// for the duration of the call, and must not let it outlive the call.
+// Within //tecfan:hotpath functions (and the defaultHotpath set), a slice
+// parameter — or any reslice or local alias of it — must not be returned,
+// stored into a field or package-level variable, or embedded in a
+// composite literal that is. Element reads and writes (p[i]) are the
+// point of the loan and are always fine; append(dst, p...) copies the
+// elements and is fine too.
+var Scratchalias = &Analyzer{
+	Name: "scratchalias",
+	Doc: "forbids retaining or returning scratch-buffer slice parameters " +
+		"(including via reslices and local aliases) from //tecfan:hotpath " +
+		"functions: the caller owns the buffer and will overwrite it on the " +
+		"next step, so any retained alias is a latent corruption",
+	Run: runScratchalias,
+}
+
+func runScratchalias(pass *Pass) error {
+	hs := collectHotFuncs(pass)
+	for fn, fd := range hs.funcs {
+		checkScratchAlias(pass, displayName(fn), fd)
+	}
+	return nil
+}
+
+func checkScratchAlias(pass *Pass, name string, fd *ast.FuncDecl) {
+	// Scratch candidates: slice-typed parameters.
+	scratch := map[*types.Var]bool{}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, pn := range field.Names {
+				v, ok := pass.TypesInfo.Defs[pn].(*types.Var)
+				if !ok {
+					continue
+				}
+				if _, isSlice := v.Type().Underlying().(*types.Slice); isSlice {
+					scratch[v] = true
+				}
+			}
+		}
+	}
+	if len(scratch) == 0 {
+		return
+	}
+
+	// One forward pass to pick up simple local aliases (q := p, q := p[1:],
+	// q, r := p, s). No fixpoint: lint-level flow is enough for the direct
+	// laundering patterns a refactor produces.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, _ := pass.TypesInfo.Defs[id].(*types.Var)
+			if v == nil {
+				v, _ = pass.TypesInfo.Uses[id].(*types.Var)
+			}
+			if v == nil || !isLocalVar(v, fd) {
+				continue
+			}
+			if aliasOfScratch(pass.TypesInfo, scratch, as.Rhs[i]) != nil {
+				scratch[v] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if v := retainedScratch(pass.TypesInfo, scratch, res); v != nil {
+					pass.Reportf(res.Pos(),
+						"hot-path function %s returns scratch buffer %s; the caller owns it and will overwrite it next step — copy into a caller-provided destination instead",
+						name, v.Name())
+				}
+			}
+		case *ast.AssignStmt:
+			for i := range n.Lhs {
+				if i >= len(n.Rhs) && len(n.Rhs) != 1 {
+					break
+				}
+				rhs := n.Rhs[min(i, len(n.Rhs)-1)]
+				if !retentionTarget(pass.TypesInfo, fd, n.Lhs[i]) {
+					continue
+				}
+				if v := retainedScratch(pass.TypesInfo, scratch, rhs); v != nil {
+					pass.Reportf(rhs.Pos(),
+						"hot-path function %s stores scratch buffer %s beyond the call; copy the contents instead of retaining the alias",
+						name, v.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isLocalVar reports whether v is declared inside fd (a local, not a
+// field or package-level var).
+func isLocalVar(v *types.Var, fd *ast.FuncDecl) bool {
+	return !v.IsField() && v.Pos() >= fd.Pos() && v.Pos() <= fd.End()
+}
+
+// retentionTarget reports whether assigning to lhs makes the value outlive
+// the call: a field selector (x.f), an index into a non-local container,
+// or a package-level variable.
+func retentionTarget(info *types.Info, fd *ast.FuncDecl, lhs ast.Expr) bool {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		return true
+	case *ast.IndexExpr:
+		// c[i] = ... writes an element; retention only if the container c
+		// outlives the call — a package-level var or a caller-owned
+		// parameter ([][]float64-style). Locals are conservatively fine.
+		if base, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+			if v, ok := info.Uses[base].(*types.Var); ok {
+				if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+					return true
+				}
+				return isParamVar(info, fd, v)
+			}
+		}
+		// c.f[i] = ... — container reached through a selector.
+		_, isSel := ast.Unparen(l.X).(*ast.SelectorExpr)
+		return isSel
+	case *ast.Ident:
+		v, ok := info.Uses[id(l)].(*types.Var)
+		if !ok {
+			return false
+		}
+		// Package-level variable.
+		return v.Parent() != nil && v.Parent().Parent() == types.Universe
+	case *ast.StarExpr:
+		// *out = ... writes through a pointer the caller provided; the
+		// pointee outlives the call.
+		return true
+	}
+	return false
+}
+
+func id(e *ast.Ident) *ast.Ident { return e }
+
+// isParamVar reports whether v is one of fd's parameters.
+func isParamVar(info *types.Info, fd *ast.FuncDecl, v *types.Var) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, pn := range field.Names {
+			if info.Defs[pn] == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// aliasOfScratch reports whether expr evaluates to an alias of a scratch
+// buffer: the parameter itself or a reslice of it. Element reads (p[i])
+// are not aliases.
+func aliasOfScratch(info *types.Info, scratch map[*types.Var]bool, expr ast.Expr) *types.Var {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok && scratch[v] {
+			return v
+		}
+	case *ast.SliceExpr:
+		return aliasOfScratch(info, scratch, e.X)
+	}
+	return nil
+}
+
+// retainedScratch reports the scratch variable retained by expr in a sink
+// position: a direct alias, or an alias embedded in a composite literal
+// (Obs{Temps: p}) or unary &-expression.
+func retainedScratch(info *types.Info, scratch map[*types.Var]bool, expr ast.Expr) *types.Var {
+	if v := aliasOfScratch(info, scratch, expr); v != nil {
+		return v
+	}
+	var found *types.Var
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			// p[i] reads an element — not retention. Skip the whole
+			// subtree so the ident inside doesn't trip the alias check.
+			if aliasOfScratch(info, scratch, n.X) != nil {
+				return false
+			}
+		case *ast.CallExpr:
+			// Calls make their own judgment (the callee is itself subject
+			// to scratchalias if hot); append(dst, p...) copies.
+			return false
+		case *ast.Ident:
+			if v, ok := info.Uses[n].(*types.Var); ok && scratch[v] {
+				found = v
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,34 @@
+// Package pool exercises allocfree's request-path scope: per-request
+// fmt.Sprint* key construction in internal/{client,pool,daemon,worker}.
+package pool
+
+import "fmt"
+
+type Key struct{ id int }
+
+func ClaimKey(shard int) string {
+	return fmt.Sprintf("claim-%d", shard) // want "per-request fmt.Sprintf key construction"
+}
+
+func JoinKeys(a, b int) string {
+	return fmt.Sprint(a, b) // want "per-request fmt.Sprint key construction"
+}
+
+// String methods exist to format; exempt.
+func (k Key) String() string {
+	return fmt.Sprintf("key-%d", k.id)
+}
+
+// Error methods exist to format; exempt.
+func (k Key) Error() string {
+	return fmt.Sprintf("bad key %d", k.id)
+}
+
+// Errorf is not a key constructor; not flagged by this rule.
+func Fail(op string) error {
+	return fmt.Errorf("pool: %s failed", op)
+}
+
+func JustifiedKey(n int) string {
+	return fmt.Sprintf("cold-%d", n) //lint:tecfan-ignore allocfree -- admin endpoint, not on the claim path
+}

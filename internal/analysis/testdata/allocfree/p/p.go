@@ -1,0 +1,110 @@
+// Package p exercises allocfree's hot-path rules. Hot functions are
+// marked with the //tecfan:hotpath annotation; unmarked twins prove the
+// rules do not leak outside the hot set.
+package p
+
+import "fmt"
+
+type Scratch struct {
+	buf  []float64
+	name string
+}
+
+func sink(v any)       { _ = v }
+func release()         {}
+func fill(xs []float64) {}
+
+//tecfan:hotpath
+func HotMake(xs []float64) float64 {
+	b := make([]float64, len(xs)) // want "make allocates in hot-path function HotMake"
+	copy(b, xs)
+	return b[0]
+}
+
+//tecfan:hotpath
+func HotNew() *Scratch {
+	return new(Scratch) // want "new allocates in hot-path function HotNew"
+}
+
+//tecfan:hotpath
+func HotLiterals() {
+	v := []float64{1, 2} // want "composite literal allocates in hot-path function HotLiterals"
+	m := map[int]int{}   // want "composite literal allocates in hot-path function HotLiterals"
+	_ = v
+	_ = m
+}
+
+//tecfan:hotpath
+func HotAddrLiteral() *Scratch {
+	return &Scratch{} // want "escaping composite literal in hot-path function HotAddrLiteral"
+}
+
+//tecfan:hotpath
+func HotValueLiteral() float64 {
+	s := Scratch{name: "x"} // value struct literal: stack, no finding
+	_ = s
+	return 0
+}
+
+//tecfan:hotpath
+func (s *Scratch) HotAppend(xs []float64) {
+	s.buf = append(s.buf, xs...) // want "append outside the x = append"
+}
+
+//tecfan:hotpath
+func (s *Scratch) HotAppendReuse(xs []float64) {
+	s.buf = append(s.buf[:0], xs...) // reuse idiom: no finding
+}
+
+//tecfan:hotpath
+func (s *Scratch) HotConcat() string {
+	const ab = "a" + "b" // constant-folded: no finding
+	n := s.name + ab     // want `string concatenation allocates in hot-path function \(\*Scratch\)\.HotConcat`
+	return n
+}
+
+//tecfan:hotpath
+func HotFmt(x float64) string {
+	return fmt.Sprint(x) // want "fmt.Sprint allocates in hot-path function HotFmt"
+}
+
+//tecfan:hotpath
+func HotClosure(xs []float64) func() float64 {
+	f := func() float64 { return xs[0] } // want "func literal in hot-path function HotClosure captures"
+	g := func(a, b float64) float64 { return a + b } // non-capturing: no finding
+	_ = g
+	return f
+}
+
+//tecfan:hotpath
+func HotDeferLoop(xs []float64) {
+	defer release() // defer outside a loop: no finding
+	for i := 0; i < len(xs); i++ {
+		defer release() // want "defer inside a loop in hot-path function HotDeferLoop"
+	}
+}
+
+//tecfan:hotpath
+func HotBoxing(xs []float64) {
+	sink(42)  // want "argument boxes a int into an interface in hot-path function HotBoxing"
+	sink(xs)  // slice argument: no boxing finding
+	sink(nil) // untyped nil: no finding
+}
+
+//tecfan:hotpath
+func HotJustified() *Scratch {
+	return new(Scratch) //lint:tecfan-ignore allocfree -- construction path, runs once per run
+}
+
+// ColdTwin exercises every construct outside the hot set: no findings.
+func ColdTwin(xs []float64) string {
+	b := make([]float64, len(xs))
+	fill(b)
+	s := new(Scratch)
+	s.buf = append(s.buf, xs...)
+	for range xs {
+		defer release()
+	}
+	sink(42)
+	return fmt.Sprint(len(b)) + "!"
+}

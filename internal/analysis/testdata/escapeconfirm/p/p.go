@@ -1,0 +1,24 @@
+// Package p exercises allocfree's escape-confirmation pass: both
+// functions carry a syntactic make candidate, but the compiler proves
+// Cleared's buffer stack-allocatable (constant size, never escapes) and
+// confirms Confirmed's allocation (retained by a global).
+package p
+
+var sink []float64
+
+//tecfan:hotpath
+func Cleared() float64 {
+	buf := make([]float64, 8)
+	s := 0.0
+	for i := range buf {
+		buf[i] = float64(i)
+		s += buf[i]
+	}
+	return s
+}
+
+//tecfan:hotpath
+func Confirmed(n int) {
+	buf := make([]float64, n)
+	sink = buf
+}

@@ -1,0 +1,64 @@
+// Package p exercises hotcall: hot-path functions may only call other
+// hot-path functions, whitelisted leaves, builtins, and conversions.
+package p
+
+import "math"
+
+type Acc struct{ total float64 }
+
+type Sensor interface{ Read() float64 }
+
+func square(x float64) float64 { return x * x }
+
+func cold() {}
+
+func (a *Acc) Add(x float64) { a.total += x }
+
+//tecfan:hotpath
+func (a *Acc) Step() { a.total++ }
+
+//tecfan:hotpath
+func hotHelper(x float64) float64 { return x * 2 }
+
+//tecfan:hotpath
+func Step(xs []float64, n int) float64 {
+	s := float64(n)        // conversion: no finding
+	s += math.Sqrt(s)      // leaf package: no finding
+	for i := 0; i < len(xs); i++ { // builtin len: no finding
+		s += square(xs[i]) // want "hot-path function Step calls fixture/p.square"
+	}
+	return hotHelper(s) // hot callee: no finding
+}
+
+//tecfan:hotpath
+func CallsHotMethod(a *Acc) {
+	a.Step() // annotated method: no finding
+	a.Add(1) // want `hot-path function CallsHotMethod calls fixture/p\.\(\*Acc\)\.Add`
+}
+
+//tecfan:hotpath
+func ViaValue(f func() float64) float64 {
+	return f() // want "hot-path function ViaValue calls through a function value"
+}
+
+//tecfan:hotpath
+func ReadsIface(s Sensor) float64 {
+	return s.Read() // want `hot-path function ReadsIface calls fixture/p\.\(Sensor\)\.Read`
+}
+
+//tecfan:hotpath
+func Justified() {
+	cold() //lint:tecfan-ignore hotcall -- refusal path, executes at most once per run
+}
+
+//tecfan:hotpath
+func ClosureOwned() {
+	f := func() float64 { return square(3) } // closure body is allocfree's domain: no hotcall finding
+	_ = f
+}
+
+// ColdCaller is not hot: it may call anything. No findings.
+func ColdCaller(a *Acc) {
+	a.Add(square(2))
+	cold()
+}

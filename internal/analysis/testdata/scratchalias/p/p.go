@@ -1,0 +1,73 @@
+// Package p exercises scratchalias: hot-path functions are lent slice
+// scratch buffers and must not let them outlive the call.
+package p
+
+type Holder struct {
+	kept []float64
+}
+
+type Obs struct {
+	Temps []float64
+}
+
+var global []float64
+
+// SumInto uses its scratch legitimately: element writes, element reads,
+// and a copy out. No findings.
+//
+//tecfan:hotpath
+func SumInto(dst, scratch, xs []float64) float64 {
+	s := 0.0
+	for i := range xs {
+		scratch[i] = xs[i] * 2
+		s += scratch[i]
+	}
+	copy(dst, scratch)
+	return s + scratch[0]
+}
+
+//tecfan:hotpath
+func ReturnsScratch(scratch []float64) []float64 {
+	return scratch // want "hot-path function ReturnsScratch returns scratch buffer scratch"
+}
+
+//tecfan:hotpath
+func ReturnsReslice(scratch []float64) []float64 {
+	return scratch[:2] // want "hot-path function ReturnsReslice returns scratch buffer scratch"
+}
+
+//tecfan:hotpath
+func (h *Holder) Keeps(scratch []float64) {
+	h.kept = scratch // want "hot-path function \\(\\*Holder\\).Keeps stores scratch buffer scratch"
+}
+
+//tecfan:hotpath
+func KeepsGlobal(scratch []float64) {
+	global = scratch[1:] // want "hot-path function KeepsGlobal stores scratch buffer scratch"
+}
+
+//tecfan:hotpath
+func Launders(scratch []float64) []float64 {
+	q := scratch[:0]
+	return q // want "hot-path function Launders returns scratch buffer q"
+}
+
+//tecfan:hotpath
+func Embeds(scratch []float64) Obs {
+	return Obs{Temps: scratch} // want "hot-path function Embeds returns scratch buffer scratch"
+}
+
+//tecfan:hotpath
+func StoresIntoParam(out [][]float64, scratch []float64) {
+	out[0] = scratch // want "hot-path function StoresIntoParam stores scratch buffer scratch"
+}
+
+//tecfan:hotpath
+func Justified(scratch []float64) []float64 {
+	return scratch //lint:tecfan-ignore scratchalias -- documented handoff: caller transfers ownership here
+}
+
+// ColdReturns is not hot: returning a parameter is ordinary Go. No finding.
+func ColdReturns(buf []float64) []float64 {
+	return buf
+}

@@ -205,6 +205,7 @@ func NewIdempotencyKey() string {
 	if _, err := rand.Read(b[:]); err != nil {
 		// crypto/rand failing is a broken platform; fall back to time so the
 		// client still functions, at reduced collision resistance.
+		//lint:tecfan-ignore allocfree -- broken-platform fallback: unreachable unless crypto/rand fails
 		return fmt.Sprintf("key-%x", time.Now().UnixNano()) //lint:tecfan-ignore monotime -- package-level fallback with no clock in reach; collision resistance only, no timing decision
 	}
 	return "key-" + hex.EncodeToString(b[:])

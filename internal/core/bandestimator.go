@@ -26,6 +26,10 @@ type BandEstimator struct {
 	// boundary[core][i] lists couplings from local component i to nodes
 	// outside the core (global node index, conductance).
 	boundary [][][]coupling
+	// rhs is the per-core solve scratch, sized to the largest core so
+	// EvalCore stays allocation-free. Not safe for concurrent use — same
+	// contract as the Network the estimator wraps.
+	rhs []float64
 }
 
 type coupling struct {
@@ -78,6 +82,9 @@ func NewBandEstimator(nw *thermal.Network) (*BandEstimator, error) {
 		e.factors[core] = f
 		e.comps[core] = comps
 		e.boundary[core] = bounds
+		if m > len(e.rhs) {
+			e.rhs = make([]float64, m)
+		}
 	}
 	return e, nil
 }
@@ -89,9 +96,10 @@ func NewBandEstimator(nw *thermal.Network) (*BandEstimator, error) {
 func (e *BandEstimator) EvalCore(core int, power, sensorTemps, out []float64) ([]float64, error) {
 	comps := e.comps[core]
 	if len(out) != len(comps) {
-		return nil, fmt.Errorf("core: out length %d, want %d", len(out), len(comps))
+		//lint:tecfan-ignore allocfree -- caller-contract defect path: formats the diagnosis at most once per failed call
+		return nil, fmt.Errorf("core: out length %d, want %d", len(out), len(comps)) //lint:tecfan-ignore hotcall -- defect path: fmt runs at most once per failed call
 	}
-	rhs := make([]float64, len(comps))
+	rhs := e.rhs[:len(comps)]
 	for li, gi := range comps {
 		rhs[li] = power[gi]
 		for _, c := range e.boundary[core][li] {
@@ -101,6 +109,7 @@ func (e *BandEstimator) EvalCore(core int, power, sensorTemps, out []float64) ([
 	if _, err := e.factors[core].Solve(rhs, out); err != nil {
 		return nil, err
 	}
+	//lint:tecfan-ignore scratchalias -- documented contract: the returned slice aliases the caller's out argument
 	return out, nil
 }
 

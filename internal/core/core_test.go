@@ -149,21 +149,12 @@ func TestEstimateFanLevelEffect(t *testing.T) {
 	est := newEstimator(e)
 	c := baseCandidate(e, obs)
 	c.FanLevel = 0
-	fast := est.Estimate(obs, c)
+	fast := est.SteadyPeak(obs, c)
 	c.FanLevel = 4
-	slow := est.Estimate(obs, c)
+	slow := est.SteadyPeak(obs, c)
 	// Slower fan: hotter steady state, less fan power (but more leakage —
 	// the trade the higher level navigates).
-	sp := func(e0 Estimate) float64 {
-		p := math.Inf(-1)
-		for _, v := range e0.SteadyT[:len(e0.Temps)] {
-			if v > p {
-				p = v
-			}
-		}
-		return p
-	}
-	if sp(slow) <= sp(fast) {
+	if slow <= fast {
 		t.Fatal("slower fan must predict hotter steady state")
 	}
 }

@@ -32,7 +32,7 @@ func (c *Controller) levelIndex(amps float64) int {
 
 // tecMaxed reports whether device l has no headroom left (binary: on;
 // graded: at the top current level).
-func (c *Controller) tecMaxed(cand Candidate, l int) bool {
+func (c *Controller) tecMaxed(cand *Candidate, l int) bool {
 	if c.usingCurrents() {
 		return c.levelIndex(cand.TECAmps[l]) >= len(c.CurrentLevels)-1
 	}
@@ -40,7 +40,7 @@ func (c *Controller) tecMaxed(cand Candidate, l int) bool {
 }
 
 // tecActive reports whether device l is drawing any power.
-func (c *Controller) tecActive(cand Candidate, l int) bool {
+func (c *Controller) tecActive(cand *Candidate, l int) bool {
 	if c.usingCurrents() {
 		return cand.TECAmps[l] > 0
 	}

@@ -32,6 +32,15 @@ type Candidate struct {
 	FanLevel int
 }
 
+// copyFrom deep-copies src into c, reusing c's buffers and preserving
+// src's slice nil-ness (TECAmps vs TECOn selects the actuation mode).
+func (c *Candidate) copyFrom(src *Candidate) {
+	c.DVFS = copyInts(c.DVFS, src.DVFS)
+	c.TECOn = copyBools(c.TECOn, src.TECOn)
+	c.TECAmps = copyFloats(c.TECAmps, src.TECAmps)
+	c.FanLevel = src.FanLevel
+}
+
 // clone deep-copies the candidate.
 func (c Candidate) clone() Candidate {
 	return Candidate{
@@ -43,10 +52,10 @@ func (c Candidate) clone() Candidate {
 }
 
 // Estimate is the model-predicted outcome of applying a candidate for one
-// control period.
+// control period. Temps is empty (nil for a fresh Estimate) when the steady
+// solver refused the candidate — the infeasible marker ft.go keys on.
 type Estimate struct {
 	Temps     []float64 // predicted die temperatures at the end of the period
-	SteadyT   []float64 // predicted steady-state temperatures (all nodes)
 	PeakTemp  float64
 	PeakComp  int
 	ChipPower float64
@@ -72,6 +81,12 @@ type Estimator struct {
 	scratch struct {
 		pow, leak, steady []float64
 	}
+	// tecST is the reusable drive state tecState hands out: one State per
+	// estimator instead of one per evaluated candidate. Like the scratch
+	// buffers it makes the estimator not safe for concurrent use.
+	tecST *tec.State
+	// peakEst is SteadyPeak's reusable estimate buffer.
+	peakEst Estimate
 	// Evaluations counts Estimate calls — the complexity metric backing
 	// the O(NL + N²M) claim.
 	Evaluations int
@@ -110,12 +125,20 @@ func NewEstimator(nw *thermal.Network, table *power.DVFSTable, leak power.Leakag
 
 // tecState materializes a TEC state from a candidate's currents (preferred)
 // or on/off mask, with every driven device treated as engaged (20 µs ≪ the
-// 2 ms period).
+// 2 ms period). The returned state is owned by the estimator and is
+// overwritten by the next call.
+//
+//tecfan:hotpath
 func (e *Estimator) tecState(cand Candidate) *tec.State {
 	if cand.TECAmps == nil && cand.TECOn == nil {
 		return nil
 	}
-	st := tec.NewState(e.Placements)
+	if e.tecST == nil {
+		//lint:tecfan-ignore allocfree -- built once per estimator; every later candidate reuses it (cold, amortized)
+		e.tecST = tec.NewState(e.Placements) //lint:tecfan-ignore hotcall -- one-time construction of the reusable state
+	}
+	st := e.tecST
+	st.Reset()
 	if cand.TECAmps != nil {
 		for l, amps := range cand.TECAmps {
 			st.SetCurrent(l, amps)
@@ -127,9 +150,15 @@ func (e *Estimator) tecState(cand Candidate) *tec.State {
 	return st
 }
 
-// Estimate predicts the next control period under cand, given the
-// previous-interval measurements in obs.
-func (e *Estimator) Estimate(obs *sim.Observation, cand Candidate) Estimate {
+// EstimateInto predicts the next control period under cand, given the
+// previous-interval measurements in obs, writing the outcome into est. It
+// is the down-hill walk's per-candidate kernel: est's Temps buffer is
+// reused across calls (allocated only on first use), so a controller that
+// keeps its Estimate values alive evaluates candidates allocation-free. On
+// a solver failure est is marked infeasible with empty Temps.
+//
+//tecfan:hotpath
+func (e *Estimator) EstimateInto(est *Estimate, obs *sim.Observation, cand Candidate) {
 	e.Evaluations++
 	nw := e.Network
 	nDie := nw.NumDie()
@@ -154,14 +183,20 @@ func (e *Estimator) Estimate(obs *sim.Observation, cand Candidate) Estimate {
 	if err := nw.SteadyInto(e.scratch.steady, e.scratch.pow, cand.FanLevel, st); err != nil {
 		// A solver failure marks the candidate infeasible rather than
 		// crashing the control loop.
-		return Estimate{Feasible: false, PeakTemp: math.Inf(1), EPI: math.Inf(1)}
+		est.Temps = est.Temps[:0]
+		est.PeakComp, est.PeakTemp = -1, math.Inf(1)
+		est.ChipPower, est.ChipIPS = 0, 0
+		est.EPI = math.Inf(1)
+		est.Feasible = false
+		return
 	}
 
 	// Eq. (5): interpolate one period toward the steady state.
-	est := Estimate{
-		Temps:   make([]float64, nDie),
-		SteadyT: append([]float64(nil), e.scratch.steady...),
+	if cap(est.Temps) < nDie {
+		//lint:tecfan-ignore allocfree -- first-use growth of the caller's reusable buffer (cold, amortized)
+		est.Temps = make([]float64, nDie)
 	}
+	est.Temps = est.Temps[:nDie]
 	est.PeakComp, est.PeakTemp = -1, math.Inf(-1)
 	for i := 0; i < nDie; i++ {
 		t := thermal.RCInterp(e.scratch.steady[i], obs.Temps[i], e.taus[i], e.Period)
@@ -171,8 +206,9 @@ func (e *Estimator) Estimate(obs *sim.Observation, cand Candidate) Estimate {
 		}
 	}
 
-	// Eq. (8)+(9): chip power including TEC and fan.
-	chipPower += nw.TECPower(est.SteadyT, st)
+	// Eq. (8)+(9): chip power including TEC and fan. The steady field the
+	// TEC power is priced at still sits in e.scratch.steady.
+	chipPower += nw.TECPower(e.scratch.steady, st)
 	chipPower += e.Fan.Power(cand.FanLevel)
 	est.ChipPower = chipPower
 
@@ -184,18 +220,30 @@ func (e *Estimator) Estimate(obs *sim.Observation, cand Candidate) Estimate {
 	est.ChipIPS = ips
 	est.EPI = perf.EPI(chipPower, ips)
 	est.Feasible = est.PeakTemp <= obs.Threshold
+}
+
+// Estimate is the value-returning convenience form of EstimateInto; it
+// allocates a fresh Temps per call, so per-candidate loops should hold an
+// Estimate and use EstimateInto instead.
+func (e *Estimator) Estimate(obs *sim.Observation, cand Candidate) Estimate {
+	var est Estimate
+	e.EstimateInto(&est, obs, cand)
 	return est
 }
 
 // SteadyPeak predicts the eventual steady-state peak die temperature of a
 // candidate — what the higher-level fan loop cares about, since fan effects
-// outlive any single control period.
+// outlive any single control period. A candidate the steady solver refuses
+// reads as unboundedly hot.
 func (e *Estimator) SteadyPeak(obs *sim.Observation, cand Candidate) float64 {
-	est := e.Estimate(obs, cand)
+	e.EstimateInto(&e.peakEst, obs, cand)
+	if len(e.peakEst.Temps) == 0 {
+		return math.Inf(1)
+	}
 	peak := math.Inf(-1)
 	for i := 0; i < e.Network.NumDie(); i++ {
-		if est.SteadyT[i] > peak {
-			peak = est.SteadyT[i]
+		if v := e.scratch.steady[i]; v > peak {
+			peak = v
 		}
 	}
 	return peak

@@ -159,6 +159,14 @@ type FT struct {
 	// period's estimate under the decision actually issued.
 	pred      []float64
 	predValid bool
+	// predict's reusable scratch: the forecast candidate (with its slice
+	// backing), the projection observation's temperature buffer, and the
+	// estimate the RC model writes into.
+	predCand Candidate
+	ampsBuf  []float64
+	onBuf    []bool
+	ptemps   []float64
+	estBuf   Estimate
 	// unpad holds this period's die temperatures with substitutions but
 	// without the SubstMargin padding — the predictor's input, so the
 	// padding doesn't compound through the prediction chain.
@@ -725,33 +733,41 @@ func (f *FT) predict(s *sim.Observation, dec sim.Decision) {
 	if s.DynPower == nil || s.CoreIPS == nil {
 		return // fan-boundary observation: no power measurement to project
 	}
-	cand := Candidate{FanLevel: s.FanLevel}
+	cand := &f.predCand
+	cand.FanLevel = s.FanLevel
 	if dec.DVFS != nil {
-		cand.DVFS = append([]int(nil), dec.DVFS...)
+		cand.DVFS = append(cand.DVFS[:0], dec.DVFS...)
 	} else {
-		cand.DVFS = append([]int(nil), s.DVFS...)
+		cand.DVFS = append(cand.DVFS[:0], s.DVFS...)
 	}
 	switch {
 	case dec.TECAmps != nil:
-		cand.TECAmps = append([]float64(nil), dec.TECAmps...)
+		f.ampsBuf = append(f.ampsBuf[:0], dec.TECAmps...)
+		cand.TECAmps, cand.TECOn = f.ampsBuf, nil
 	case dec.TECOn != nil:
-		cand.TECOn = append([]bool(nil), dec.TECOn...)
+		f.onBuf = append(f.onBuf[:0], dec.TECOn...)
+		cand.TECOn, cand.TECAmps = f.onBuf, nil
 	case s.TECAmps != nil && f.Inner.usingCurrents():
-		cand.TECAmps = append([]float64(nil), s.TECAmps...)
+		f.ampsBuf = append(f.ampsBuf[:0], s.TECAmps...)
+		cand.TECAmps, cand.TECOn = f.ampsBuf, nil
 	case s.TECOn != nil:
-		cand.TECOn = append([]bool(nil), s.TECOn...)
+		f.onBuf = append(f.onBuf[:0], s.TECOn...)
+		cand.TECOn, cand.TECAmps = f.onBuf, nil
+	default:
+		cand.TECOn, cand.TECAmps = nil, nil
 	}
 	// Project from the unpadded temperatures: the SubstMargin padding is a
 	// control-side safety device, not a state estimate.
 	p := *s
-	p.Temps = append([]float64(nil), s.Temps...)
-	copy(p.Temps[:f.nDie], f.unpad)
-	est := f.Inner.Est.Estimate(&p, cand)
-	if est.Temps == nil {
+	f.ptemps = append(f.ptemps[:0], s.Temps...)
+	copy(f.ptemps[:f.nDie], f.unpad)
+	p.Temps = f.ptemps
+	f.Inner.Est.EstimateInto(&f.estBuf, &p, *cand)
+	if len(f.estBuf.Temps) == 0 {
 		f.predValid = false
 		return
 	}
-	copy(f.pred, est.Temps[:f.nDie])
+	copy(f.pred, f.estBuf.Temps[:f.nDie])
 	f.predValid = true
 }
 

@@ -30,7 +30,14 @@ type controllerState struct {
 }
 
 func (c *Controller) captureState() controllerState {
-	return controllerState{LastObs: c.lastObs, Disabled: c.Disabled, Margin: c.Margin}
+	st := controllerState{Disabled: c.Disabled, Margin: c.Margin}
+	if c.haveObs {
+		// The snapshot shares the live buffers; gob serializes them before
+		// the next Control call can overwrite anything.
+		o := c.lastObs
+		st.LastObs = &o
+	}
+	return st
 }
 
 func (c *Controller) restoreState(st controllerState) error {
@@ -38,7 +45,12 @@ func (c *Controller) restoreState(st controllerState) error {
 		return fmt.Errorf("core: state disables %d devices, controller has %d",
 			len(st.Disabled), len(c.Est.Placements))
 	}
-	c.lastObs = st.LastObs
+	if st.LastObs != nil {
+		cloneObsInto(&c.lastObs, st.LastObs)
+		c.haveObs = true
+	} else {
+		c.haveObs = false
+	}
 	if st.Disabled != nil {
 		c.Disabled = st.Disabled
 	}

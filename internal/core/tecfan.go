@@ -42,7 +42,19 @@ type Controller struct {
 	// that will never arrive.
 	Disabled []bool
 
-	lastObs *sim.Observation // cached lower-level observation for fan control
+	// lastObs is the controller-owned deep copy of the latest lower-level
+	// observation, reused across periods (sim reuses its boundary buffers,
+	// so retaining the argument itself would alias live state). haveObs
+	// distinguishes "no observation yet" from a zero-valued one.
+	lastObs sim.Observation
+	haveObs bool
+	// scratch holds the down-hill walk's reusable candidate and estimate
+	// buffers: one Control call evaluates O(N·L + N·M) candidates, and with
+	// these held across calls the walk is allocation-free after warm-up.
+	scratch struct {
+		cand, trial      Candidate
+		est, te, bestEst Estimate
+	}
 }
 
 // NewController builds a TECfan controller over an estimator.
@@ -60,31 +72,37 @@ func NewController(est *Estimator) *Controller {
 func (c *Controller) Name() string { return "TECfan" }
 
 // Reset implements sim.Controller.
-func (c *Controller) Reset() { c.lastObs = nil }
+func (c *Controller) Reset() { c.haveObs = false }
 
 // Control implements the lower level: one multi-step down-hill walk per
-// control period, returning the best feasible configuration visited.
+// control period, returning the best feasible configuration visited. The
+// decision's slices alias the controller's reusable candidate buffers and
+// are valid until the next Control call — the simulator applies them
+// immediately, per the sim.Decision contract.
 func (c *Controller) Control(obs *sim.Observation) sim.Decision {
-	c.lastObs = cloneObs(obs)
-	cand := Candidate{
-		DVFS:     append([]int(nil), obs.DVFS...),
-		FanLevel: obs.FanLevel,
-	}
+	cloneObsInto(&c.lastObs, obs)
+	c.haveObs = true
+	cand := &c.scratch.cand
+	cand.DVFS = append(cand.DVFS[:0], obs.DVFS...)
+	cand.FanLevel = obs.FanLevel
 	if c.usingCurrents() {
-		cand.TECAmps = append([]float64(nil), obs.TECAmps...)
+		cand.TECAmps = append(cand.TECAmps[:0], obs.TECAmps...)
+		cand.TECOn = nil
 	} else {
-		cand.TECOn = append([]bool(nil), obs.TECOn...)
+		cand.TECOn = append(cand.TECOn[:0], obs.TECOn...)
+		cand.TECAmps = nil
 	}
-	c.applyDisabled(&cand)
+	c.applyDisabled(cand)
 	// Tighten the threshold by the safety margin for all internal
 	// feasibility decisions.
 	mobs := *obs
 	mobs.Threshold = obs.Threshold - c.Margin
-	est := c.Est.Estimate(&mobs, cand)
+	est := &c.scratch.est
+	c.Est.EstimateInto(est, &mobs, *cand)
 	if !est.Feasible {
-		cand, _ = c.hotIteration(&mobs, cand, est)
+		c.hotIteration(&mobs, cand, est)
 	} else {
-		cand = c.coolIteration(&mobs, cand, est)
+		c.coolIteration(&mobs, cand, est)
 	}
 	return sim.Decision{DVFS: cand.DVFS, TECOn: cand.TECOn, TECAmps: cand.TECAmps}
 }
@@ -92,69 +110,69 @@ func (c *Controller) Control(obs *sim.Observation) sim.Decision {
 // hotIteration reduces the predicted peak below the threshold: first engage
 // the TEC above the hottest uncovered hot spot; once every hot spot's TECs
 // are on, lower DVFS levels, each step picking the core whose single-step
-// throttle yields the least per-instruction energy. Returns the final
-// candidate and its estimate.
-func (c *Controller) hotIteration(obs *sim.Observation, cand Candidate, est Estimate) (Candidate, Estimate) {
+// throttle yields the least per-instruction energy. cand and est are
+// updated in place (est may be left pointing at stale contents — callers
+// read cand only).
+func (c *Controller) hotIteration(obs *sim.Observation, cand *Candidate, est *Estimate) {
+	trial, te, bestEst := &c.scratch.trial, &c.scratch.te, &c.scratch.bestEst
 	for iter := 0; iter < c.MaxIterations; iter++ {
 		if est.Feasible {
-			return cand, est
+			return
 		}
 		if l := c.offTECOverHottestSpot(cand, est, obs.Threshold); l >= 0 {
-			c.raiseTEC(&cand, l)
-			est = c.Est.Estimate(obs, cand)
+			c.raiseTEC(cand, l)
+			c.Est.EstimateInto(est, obs, *cand)
 			continue
 		}
 		if c.NoDVFS {
-			return cand, est // throttling disabled: best effort with TECs
+			return // throttling disabled: best effort with TECs
 		}
 		// All TECs above hot spots are on: throttle. Choose the single-step
 		// DVFS reduction with the smallest estimated EPI (Fig. 2's "select
 		// the adjustment that has the smallest energy consumption"). In
 		// chip-level mode the only candidate lowers every core together.
 		if c.ChipLevelDVFS {
-			trial := cand.clone()
 			lowered := false
-			for core := range trial.DVFS {
-				if trial.DVFS[core] > 0 {
-					trial.DVFS[core]--
+			for core := range cand.DVFS {
+				if cand.DVFS[core] > 0 {
+					cand.DVFS[core]--
 					lowered = true
 				}
 			}
 			if !lowered {
-				return cand, est
+				return
 			}
-			cand = trial
-			est = c.Est.Estimate(obs, cand)
+			c.Est.EstimateInto(est, obs, *cand)
 			continue
 		}
 		bestCore := -1
-		var bestEst Estimate
 		bestEPI := math.Inf(1)
 		for core := range cand.DVFS {
 			if cand.DVFS[core] == 0 {
 				continue
 			}
-			trial := cand.clone()
+			trial.copyFrom(cand)
 			trial.DVFS[core]--
-			te := c.Est.Estimate(obs, trial)
+			c.Est.EstimateInto(te, obs, *trial)
 			if te.EPI < bestEPI {
-				bestEPI, bestCore, bestEst = te.EPI, core, te
+				bestEPI, bestCore = te.EPI, core
+				// Keep the winner, hand the loser's buffers to the next trial.
+				bestEst, te = te, bestEst
 			}
 		}
 		if bestCore < 0 {
-			return cand, est // every knob exhausted; apply best effort
+			return // every knob exhausted; apply best effort
 		}
 		cand.DVFS[bestCore]--
-		est = bestEst
+		est, bestEst = bestEst, est
 	}
-	return cand, est
 }
 
 // offTECOverHottestSpot returns the index of a TEC with cooling headroom
 // covering the hottest component whose predicted temperature violates the
 // threshold, or -1 when every violating component's TECs are maxed. Among a
 // component's devices, the one with the largest coverage engages first.
-func (c *Controller) offTECOverHottestSpot(cand Candidate, est Estimate, threshold float64) int {
+func (c *Controller) offTECOverHottestSpot(cand *Candidate, est *Estimate, threshold float64) int {
 	if c.NoTEC {
 		return -1
 	}
@@ -181,7 +199,9 @@ func (c *Controller) offTECOverHottestSpot(cand Candidate, est Estimate, thresho
 // coolIteration exploits headroom: raise DVFS toward maximum (choosing the
 // core whose step has the least EPI), then switch off the TEC above the
 // coolest covered spot, stopping one step before a predicted violation.
-func (c *Controller) coolIteration(obs *sim.Observation, cand Candidate, est Estimate) Candidate {
+// cand and est are updated in place, same contract as hotIteration.
+func (c *Controller) coolIteration(obs *sim.Observation, cand *Candidate, est *Estimate) {
+	trial, te, bestEst := &c.scratch.trial, &c.scratch.te, &c.scratch.bestEst
 	maxLevel := c.Est.DVFS.Max()
 	for iter := 0; iter < c.MaxIterations; iter++ {
 		allMax := true
@@ -197,40 +217,41 @@ func (c *Controller) coolIteration(obs *sim.Observation, cand Candidate, est Est
 		if !allMax {
 			if c.ChipLevelDVFS {
 				// Raise every core together, stopping before a violation.
-				trial := cand.clone()
+				trial.copyFrom(cand)
 				for core := range trial.DVFS {
 					if trial.DVFS[core] < maxLevel {
 						trial.DVFS[core]++
 					}
 				}
-				te := c.Est.Estimate(obs, trial)
+				c.Est.EstimateInto(te, obs, *trial)
 				if !te.Feasible {
-					return cand
+					return
 				}
-				cand = trial
-				est = te
+				cand.copyFrom(trial)
+				est, te = te, est
 				continue
 			}
 			// Raise the best core by one step.
 			bestCore := -1
 			bestEPI := math.Inf(1)
-			var bestEst Estimate
+			bestFeasible := false
 			for core := range cand.DVFS {
 				if cand.DVFS[core] >= maxLevel {
 					continue
 				}
-				trial := cand.clone()
+				trial.copyFrom(cand)
 				trial.DVFS[core]++
-				te := c.Est.Estimate(obs, trial)
+				c.Est.EstimateInto(te, obs, *trial)
 				if te.EPI < bestEPI {
-					bestEPI, bestCore, bestEst = te.EPI, core, te
+					bestEPI, bestCore, bestFeasible = te.EPI, core, te.Feasible
+					bestEst, te = te, bestEst
 				}
 			}
-			if bestCore < 0 || !bestEst.Feasible {
-				return cand // raising anything would violate: stop
+			if bestCore < 0 || !bestFeasible {
+				return // raising anything would violate: stop
 			}
 			cand.DVFS[bestCore]++
-			est = bestEst
+			est, bestEst = bestEst, est
 			continue
 		}
 		// All cores at max: shed TEC power from the coolest covered spot,
@@ -239,23 +260,22 @@ func (c *Controller) coolIteration(obs *sim.Observation, cand Candidate, est Est
 		// raise leakage via higher temperature).
 		l := c.onTECOverCoolestSpot(cand, est)
 		if l < 0 || c.NoTEC {
-			return cand
+			return
 		}
-		trial := cand.clone()
-		c.lowerTEC(&trial, l)
-		te := c.Est.Estimate(obs, trial)
+		trial.copyFrom(cand)
+		c.lowerTEC(trial, l)
+		c.Est.EstimateInto(te, obs, *trial)
 		if !te.Feasible || te.EPI > est.EPI {
-			return cand
+			return
 		}
-		cand = trial
-		est = te
+		cand.copyFrom(trial)
+		est, te = te, est
 	}
-	return cand
 }
 
 // onTECOverCoolestSpot returns the switched-on TEC whose covered components
 // are coolest (by their hottest covered component), or -1 if none are on.
-func (c *Controller) onTECOverCoolestSpot(cand Candidate, est Estimate) int {
+func (c *Controller) onTECOverCoolestSpot(cand *Candidate, est *Estimate) int {
 	best := -1
 	bestT := math.Inf(1)
 	for l, pl := range c.Est.Placements {
@@ -281,40 +301,43 @@ func (c *Controller) onTECOverCoolestSpot(cand Candidate, est Estimate) int {
 // as the power reading, like the paper's "average power of the last
 // interval".
 func (c *Controller) FanControl(obs *sim.Observation) int {
-	if c.lastObs == nil {
+	if !c.haveObs {
 		return obs.FanLevel
 	}
+	// Shallow copy: freshest temperatures and configuration from obs,
+	// last-interval power from the cached observation. The aliases live
+	// only for the duration of this call, and the cached copy itself stays
+	// untouched (the historical pointer-write here silently corrupted it).
 	m := c.lastObs
-	m.Temps = obs.Temps // freshest temperatures, last-interval power
+	m.Temps = obs.Temps
 	m.DVFS = obs.DVFS
 	m.TECOn = obs.TECOn
-	cand := Candidate{
-		DVFS:     append([]int(nil), obs.DVFS...),
-		TECOn:    append([]bool(nil), obs.TECOn...),
-		TECAmps:  append([]float64(nil), obs.TECAmps...),
-		FanLevel: obs.FanLevel,
-	}
+	cand := &c.scratch.cand
+	cand.DVFS = append(cand.DVFS[:0], obs.DVFS...)
+	cand.FanLevel = obs.FanLevel
 	if c.usingCurrents() {
+		cand.TECAmps = append(cand.TECAmps[:0], obs.TECAmps...)
 		cand.TECOn = nil
 	} else {
+		cand.TECOn = append(cand.TECOn[:0], obs.TECOn...)
 		cand.TECAmps = nil
 	}
-	c.applyDisabled(&cand)
-	peak := c.Est.SteadyPeak(m, cand)
+	c.applyDisabled(cand)
+	peak := c.Est.SteadyPeak(&m, *cand)
 	if peak > obs.Threshold {
 		// Hot: speed up (lower index) until the prediction clears.
 		level := obs.FanLevel
 		for level > 0 && peak > obs.Threshold {
 			level--
 			cand.FanLevel = level
-			peak = c.Est.SteadyPeak(m, cand)
+			peak = c.Est.SteadyPeak(&m, *cand)
 		}
 		return level
 	}
 	// Cool: probe one level slower.
 	if obs.FanLevel+1 < c.Est.Fan.NumLevels() {
 		cand.FanLevel = obs.FanLevel + 1
-		if c.Est.SteadyPeak(m, cand) <= obs.Threshold-c.FanGuard {
+		if c.Est.SteadyPeak(&m, *cand) <= obs.Threshold-c.FanGuard {
 			return obs.FanLevel + 1
 		}
 	}
@@ -347,12 +370,46 @@ func (c *Controller) applyDisabled(cand *Candidate) {
 // cloneObs deep-copies the slices of an observation the controller retains
 // across periods.
 func cloneObs(obs *sim.Observation) *sim.Observation {
-	c := *obs
-	c.Temps = append([]float64(nil), obs.Temps...)
-	c.DynPower = append([]float64(nil), obs.DynPower...)
-	c.CoreIPS = append([]float64(nil), obs.CoreIPS...)
-	c.DVFS = append([]int(nil), obs.DVFS...)
-	c.TECOn = append([]bool(nil), obs.TECOn...)
-	c.TECAmps = append([]float64(nil), obs.TECAmps...)
-	return &c
+	c := &sim.Observation{}
+	cloneObsInto(c, obs)
+	return c
+}
+
+// cloneObsInto deep-copies obs into dst, reusing dst's buffers. Nil slices
+// stay nil (a fan-boundary observation is recognized by DynPower == nil).
+func cloneObsInto(dst, obs *sim.Observation) {
+	dst.Time = obs.Time
+	dst.Temps = copyFloats(dst.Temps, obs.Temps)
+	dst.DynPower = copyFloats(dst.DynPower, obs.DynPower)
+	dst.CoreIPS = copyFloats(dst.CoreIPS, obs.CoreIPS)
+	dst.DVFS = copyInts(dst.DVFS, obs.DVFS)
+	dst.TECOn = copyBools(dst.TECOn, obs.TECOn)
+	dst.TECAmps = copyFloats(dst.TECAmps, obs.TECAmps)
+	dst.FanLevel = obs.FanLevel
+	dst.Threshold = obs.Threshold
+}
+
+// copyFloats/copyInts/copyBools copy src into dst's storage, preserving
+// src's nil-ness: slice presence is meaningful throughout the control
+// surface (TECAmps vs TECOn selects the actuation mode, DynPower marks a
+// lower-level observation).
+func copyFloats(dst, src []float64) []float64 {
+	if src == nil {
+		return nil
+	}
+	return append(dst[:0], src...)
+}
+
+func copyInts(dst, src []int) []int {
+	if src == nil {
+		return nil
+	}
+	return append(dst[:0], src...)
+}
+
+func copyBools(dst, src []bool) []bool {
+	if src == nil {
+		return nil
+	}
+	return append(dst[:0], src...)
 }

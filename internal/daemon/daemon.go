@@ -18,6 +18,8 @@ package daemon
 
 import (
 	"context"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"log"
 	"math/rand"
@@ -528,7 +530,9 @@ func validateSpec(spec *JobSpec) error {
 func (s *Server) newID() string {
 	// Collision-proof within the map we hold the lock on.
 	for {
-		id := fmt.Sprintf("job-%08x", s.cfg.rng.Uint32())
+		var raw [4]byte
+		binary.BigEndian.PutUint32(raw[:], s.cfg.rng.Uint32())
+		id := "job-" + hex.EncodeToString(raw[:])
 		if _, ok := s.jobs[id]; !ok {
 			return id
 		}
@@ -672,6 +676,7 @@ func (s *Server) runSupervised(jobCtx context.Context, id string, j *job) {
 			s.finish(id, j, StateCanceled, err.Error())
 			return
 		case attempt >= s.cfg.MaxAttempts:
+			//lint:tecfan-ignore allocfree -- terminal-failure path: formats the failure note at most once per exhausted job
 			s.finish(id, j, StateFailed, fmt.Sprintf("attempt %d/%d: %v", attempt, s.cfg.MaxAttempts, err))
 			return
 		}

@@ -48,9 +48,15 @@ func SolveTridiag(lower, diag, upper, rhs, x []float64) error {
 // Factorization costs O(n·kl·ku); each solve costs O(n·(kl+ku)).
 type BandLU struct {
 	n, kl, ku int
+	w         int // band width kl+ku+1, the row stride of lu
 	// lu stores the factors in band layout: row i, band column j-i+kl.
 	lu []float64
 }
+
+// at reads factor element (i, j); (i, j) must be in band.
+//
+//tecfan:hotpath
+func (f *BandLU) at(i, j int) float64 { return f.lu[i*f.w+(j-i+f.kl)] }
 
 // NewBandLU factors the band matrix. It returns ErrSingular on a zero
 // pivot; callers with non-dominant systems should use the dense LU (which
@@ -58,7 +64,7 @@ type BandLU struct {
 func NewBandLU(b *Banded) (*BandLU, error) {
 	n, kl, ku := b.N, b.KL, b.KU
 	w := kl + ku + 1
-	f := &BandLU{n: n, kl: kl, ku: ku, lu: make([]float64, n*w)}
+	f := &BandLU{n: n, kl: kl, ku: ku, w: w, lu: make([]float64, n*w)}
 	copy(f.lu, b.Data)
 	at := func(i, j int) float64 { return f.lu[i*w+(j-i+kl)] }
 	set := func(i, j int, v float64) { f.lu[i*w+(j-i+kl)] = v }
@@ -98,8 +104,6 @@ func (f *BandLU) Solve(rhs, x []float64) error {
 	if len(rhs) != f.n || len(x) != f.n {
 		return ErrShape
 	}
-	w := f.kl + f.ku + 1
-	at := func(i, j int) float64 { return f.lu[i*w+(j-i+f.kl)] }
 	if &x[0] != &rhs[0] {
 		copy(x, rhs)
 	}
@@ -111,7 +115,7 @@ func (f *BandLU) Solve(rhs, x []float64) error {
 		}
 		s := x[i]
 		for j := lo; j < i; j++ {
-			s -= at(i, j) * x[j]
+			s -= f.at(i, j) * x[j]
 		}
 		x[i] = s
 	}
@@ -123,9 +127,9 @@ func (f *BandLU) Solve(rhs, x []float64) error {
 		}
 		s := x[i]
 		for j := i + 1; j <= hi; j++ {
-			s -= at(i, j) * x[j]
+			s -= f.at(i, j) * x[j]
 		}
-		d := at(i, i)
+		d := f.at(i, i)
 		if !finiteNonzero(d) {
 			return ErrSingular
 		}

@@ -9,6 +9,11 @@ import "math"
 type Cholesky struct {
 	n int
 	l *Dense
+	// ut holds Lᵀ so the back substitution reads rows instead of striding
+	// down columns: at the n≈300 of a per-die RC network the column walk
+	// touches a new cache line per element. Values are identical to l's,
+	// so the solve is bitwise-unchanged.
+	ut *Dense
 }
 
 // NewCholesky factors the SPD matrix a. It returns ErrNotSPD if a pivot is
@@ -46,7 +51,13 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 			l.Set(i, j, 0)
 		}
 	}
-	return &Cholesky{n: n, l: l}, nil
+	ut := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			ut.Set(j, i, l.At(i, j))
+		}
+	}
+	return &Cholesky{n: n, l: l, ut: ut}, nil
 }
 
 // Solve computes x such that A·x = b. b is not modified; x must have length n
@@ -68,13 +79,14 @@ func (c *Cholesky) Solve(b, x []float64) {
 		}
 		x[i] = s / row[i]
 	}
-	// Back substitution Lᵀ·x = y.
+	// Back substitution Lᵀ·x = y, reading rows of the stored transpose.
 	for i := c.n - 1; i >= 0; i-- {
 		s := x[i]
+		urow := c.ut.Row(i)
 		for k := i + 1; k < c.n; k++ {
-			s -= l.At(k, i) * x[k]
+			s -= urow[k] * x[k]
 		}
-		x[i] = s / l.At(i, i)
+		x[i] = s / urow[i]
 	}
 }
 
@@ -89,6 +101,10 @@ type LU struct {
 	lu   *Dense
 	piv  []int
 	sign int
+	// tmp is the permuted-rhs scratch for Solve, preallocated so per-step
+	// solves stay allocation-free. Solve is therefore not safe for
+	// concurrent use — same contract as the thermal.Network that owns it.
+	tmp []float64
 }
 
 // NewLU factors the square matrix a with partial pivoting.
@@ -97,7 +113,7 @@ func NewLU(a *Dense) (*LU, error) {
 		return nil, ErrShape
 	}
 	n := a.Rows
-	f := &LU{n: n, lu: a.Clone(), piv: make([]int, n), sign: 1}
+	f := &LU{n: n, lu: a.Clone(), piv: make([]int, n), sign: 1, tmp: make([]float64, n)}
 	lu := f.lu
 	for i := range f.piv {
 		f.piv[i] = i
@@ -139,12 +155,12 @@ func NewLU(a *Dense) (*LU, error) {
 }
 
 // Solve computes x such that A·x = b. x must have length n; b is untouched
-// unless x aliases it.
+// unless x aliases it. Not safe for concurrent use (shared scratch).
 func (f *LU) Solve(b, x []float64) {
 	if len(b) != f.n || len(x) != f.n {
 		panic(ErrShape)
 	}
-	tmp := make([]float64, f.n)
+	tmp := f.tmp
 	for i, p := range f.piv {
 		tmp[i] = b[p]
 	}

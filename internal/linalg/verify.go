@@ -66,6 +66,8 @@ func SafeFloat(v float64) string {
 // finiteNonzero is the single pivot acceptability check. The historical
 // `piv == 0 || math.IsNaN(piv)` spelling let ±Inf pivots through: Inf/Inf
 // in the elimination then mints NaNs two columns later, past the check.
+//
+//tecfan:hotpath
 func finiteNonzero(v float64) bool {
 	return v != 0 && floats.Finite(v)
 }
@@ -73,6 +75,8 @@ func finiteNonzero(v float64) bool {
 // finitePositive is the SPD-pivot variant: Cholesky needs d > 0 and finite
 // (a +Inf diagonal passes `d <= 0 || IsNaN(d)` but sqrt(+Inf) poisons the
 // factor).
+//
+//tecfan:hotpath
 func finitePositive(v float64) bool {
 	return v > 0 && floats.Finite(v)
 }
@@ -179,6 +183,7 @@ func (v *VerifiedCholesky) Solve(b, x []float64) (refined bool, err error) {
 	if res <= v.tol && floats.AllFinite(x) {
 		return true, nil
 	}
+	//lint:tecfan-ignore allocfree -- divergence refusal path: allocates a diagnosis at most once per rejected solve
 	return true, &NumError{Op: "cholesky", Residual: res, Tol: v.tol, Cond: v.cond, Refinements: 1, Err: ErrDiverged}
 }
 
@@ -254,6 +259,7 @@ func (v *VerifiedBandLU) N() int { return v.lu.N() }
 // if needed; see VerifiedCholesky.Solve for the contract.
 func (v *VerifiedBandLU) Solve(rhs, x []float64) (refined bool, err error) {
 	if err := v.lu.Solve(rhs, x); err != nil {
+		//lint:tecfan-ignore allocfree -- singular-pivot refusal path: allocates a diagnosis at most once per rejected solve
 		return false, &NumError{Op: "bandlu", Residual: math.Inf(1), Tol: v.tol, Cond: v.cond, Err: err}
 	}
 	res := v.residual(rhs, x)
@@ -261,6 +267,7 @@ func (v *VerifiedBandLU) Solve(rhs, x []float64) (refined bool, err error) {
 		return false, nil
 	}
 	if err := v.lu.Solve(v.r, v.d); err != nil {
+		//lint:tecfan-ignore allocfree -- refinement-failure refusal path: allocates a diagnosis at most once per rejected solve
 		return false, &NumError{Op: "bandlu", Residual: res, Tol: v.tol, Cond: v.cond, Err: err}
 	}
 	for i := range x {
@@ -270,6 +277,7 @@ func (v *VerifiedBandLU) Solve(rhs, x []float64) (refined bool, err error) {
 	if res <= v.tol && floats.AllFinite(x) {
 		return true, nil
 	}
+	//lint:tecfan-ignore allocfree -- divergence refusal path: allocates a diagnosis at most once per rejected solve
 	return true, &NumError{Op: "bandlu", Residual: res, Tol: v.tol, Cond: v.cond, Refinements: 1, Err: ErrDiverged}
 }
 

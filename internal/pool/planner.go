@@ -2,6 +2,7 @@ package pool
 
 import (
 	"fmt"
+	"strconv"
 
 	"tecfan/internal/exp"
 	"tecfan/internal/fault"
@@ -112,7 +113,7 @@ func Plan(s SweepSpec) ([]ShardSpec, error) {
 					end = len(scens)
 				}
 				sh := base
-				sh.ID = fmt.Sprintf("chaos/%s/%d", p, n)
+				sh.ID = "chaos/" + p + "/" + strconv.Itoa(n)
 				sh.Policy = p
 				sh.Scenarios = append([]string(nil), scens[i:end]...)
 				out = append(out, sh)
@@ -128,7 +129,7 @@ func Plan(s SweepSpec) ([]ShardSpec, error) {
 				end = n
 			}
 			sh := base
-			sh.ID = fmt.Sprintf("%s/%d", s.Kind, c)
+			sh.ID = s.Kind + "/" + strconv.Itoa(c)
 			for j := i; j < end; j++ {
 				sh.Indices = append(sh.Indices, j)
 			}

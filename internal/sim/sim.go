@@ -67,7 +67,10 @@ type Controller interface {
 // SensorModel transforms each Observation before a controller sees it — the
 // fault-injection seam for stuck, noisy, dropped-out, or biased sensors. The
 // observation's slices are private copies of the live state, so a model may
-// mutate them freely without corrupting the simulation.
+// mutate them freely without corrupting the simulation. The copies live in
+// buffers the runner reuses across boundaries, though: an Observation is
+// valid only for the duration of the call it is handed to, and a model (or
+// controller) that retains measurements across periods must deep-copy them.
 type SensorModel interface {
 	Observe(obs *Observation)
 	// Reset clears internal state (stuck-value memory, noise streams)
@@ -547,446 +550,530 @@ func (r *Runner) initialTemps() ([]float64, error) {
 // state. ws and prevPeak are the warm-start loop position, recorded into any
 // snapshot taken so a resumed run rejoins the loop where it left off.
 func (r *Runner) runOnce(ctx context.Context, init []float64, initDVFS []int, initAmps []float64, ws int, prevPeak float64, snap *Snapshot, guard *numguard.Auditor) (*Result, error) {
-	cfg := &r.cfg
-	chip := cfg.Chip
-	nComp := len(chip.Components)
-	nCores := chip.NumCores()
-	bench := cfg.Bench
+	s, err := r.newStepLoop(init, initDVFS, initAmps, ws, prevPeak, snap, guard)
+	if err != nil {
+		return nil, err
+	}
+	for !s.done() && s.now < s.maxTime {
+		if err := s.step(); err != nil {
+			return s.partial(), err
+		}
+		if res, err := s.boundaries(ctx); err != nil {
+			return res, err
+		}
+	}
+	res := s.partial()
+	res.Completed = s.done()
+	if !res.Completed {
+		return res, &TimeCapError{Time: s.now, Retired: s.totalDone, Budget: s.bench.TotalInst}
+	}
+	return res, nil
+}
 
-	var temps []float64
-	dvfs := make([]int, nCores)
-	var ts *tec.State
-	fanLevel := cfg.FanLevel
+// stepLoop is the complete mutable state of one benchmark execution,
+// extracted from runOnce so the per-step kernel is a named hot function the
+// allocation analyzers police (DESIGN.md §18): step and stepAttempt are on
+// the hot set — their fault-free steady-state path performs zero
+// allocations — while the control/fan boundaries, snapshots, and refusal
+// paths are cold methods over the same state.
+type stepLoop struct {
+	r     *Runner
+	cfg   *Config
+	guard *numguard.Auditor
+	bench *workload.Benchmark
+
+	// Warm-start loop position, recorded into snapshots.
+	ws       int
+	prevPeak float64
+
+	nComp, nCores int
+
+	temps, prevTemps []float64
+	dvfs             []int
+	ts               *tec.State
+	fanLevel         int
+	tr               *thermal.Transient
 
 	// Completion follows the paper's Eq. (12)/(13) semantics: execution
 	// time is inversely proportional to the aggregate chip IPS, i.e. the
 	// run ends when the total retired instructions reach the budget (work
 	// redistributes across threads), not when the slowest thread crosses a
 	// barrier. Per-core progress still drives each core's activity phase.
-	progress := make([]float64, nCores) // fraction of per-core budget retired
-	instDone := make([]float64, nCores)
-	instPerCore := bench.InstPerCore()
-	var totalDone float64
+	progress    []float64 // fraction of per-core budget retired
+	instDone    []float64
+	instPerCore float64
+	totalDone   float64
 
-	var acc perf.Accumulator
-	var trace []TracePoint
-	now := 0.0
-	stepIdx := 0
+	acc     perf.Accumulator
+	trace   []TracePoint
+	now     float64
+	stepIdx int
+
+	dyn, leak, total []float64
+	// Per-control-period accumulators for the observation. Snapshots are
+	// taken only at control boundaries, right after these are zeroed, so a
+	// resumed run correctly starts them empty.
+	obsDyn, obsIPS, coreIPS []float64
+
+	stepsPerCtl, stepsPerFan int
+	maxTime                  float64
+	chipPower                float64 // last step's value, for the boundary trace point
+
+	// The reusable boundary observation and its backing buffers; see
+	// fillObs for the lifetime contract.
+	obs        Observation
+	obsTemps   []float64
+	obsDVFS    []int
+	obsTECOn   []bool
+	obsTECAmps []float64
+}
+
+// newStepLoop builds the loop state for one execution, either fresh from
+// the given initial conditions or restored mid-run from a snapshot.
+func (r *Runner) newStepLoop(init []float64, initDVFS []int, initAmps []float64, ws int, prevPeak float64, snap *Snapshot, guard *numguard.Auditor) (*stepLoop, error) {
+	cfg := &r.cfg
+	chip := cfg.Chip
+	s := &stepLoop{
+		r: r, cfg: cfg, guard: guard, bench: cfg.Bench,
+		ws: ws, prevPeak: prevPeak,
+		nComp: len(chip.Components), nCores: chip.NumCores(),
+		fanLevel: cfg.FanLevel,
+	}
+	s.dvfs = make([]int, s.nCores)
+	s.progress = make([]float64, s.nCores)
+	s.instDone = make([]float64, s.nCores)
+	s.instPerCore = s.bench.InstPerCore()
 
 	if snap != nil {
-		temps = append([]float64(nil), snap.Temps...)
-		copy(dvfs, snap.DVFS)
+		s.temps = append([]float64(nil), snap.Temps...)
+		copy(s.dvfs, snap.DVFS)
 		if cfg.TECs != nil {
-			ts = tec.NewState(cfg.TECs)
-			if err := ts.RestoreSnapshot(*snap.TEC); err != nil {
+			s.ts = tec.NewState(cfg.TECs)
+			if err := s.ts.RestoreSnapshot(*snap.TEC); err != nil {
 				return nil, err
 			}
 		}
-		fanLevel = snap.FanLevel
-		copy(instDone, snap.InstDone)
-		totalDone = snap.TotalDone
-		for core := range progress {
-			progress[core] = instDone[core] / instPerCore
-			if progress[core] > 1 {
-				progress[core] = 1
+		s.fanLevel = snap.FanLevel
+		copy(s.instDone, snap.InstDone)
+		s.totalDone = snap.TotalDone
+		for core := range s.progress {
+			s.progress[core] = s.instDone[core] / s.instPerCore
+			if s.progress[core] > 1 {
+				s.progress[core] = 1
 			}
 		}
-		acc.SetState(snap.Acc)
+		s.acc.SetState(snap.Acc)
 		if snap.Numeric != nil {
 			guard.SetState(*snap.Numeric)
 		} else {
 			// Pre-numguard checkpoint: align the energy tripwire with the
 			// history it did not witness.
 			guard.SetState(numguard.State{})
-			guard.SeedEnergy(acc.Energy)
+			guard.SeedEnergy(s.acc.Energy)
 		}
-		trace = append(trace, snap.Trace...)
-		now, stepIdx = snap.SimTime, snap.StepIdx
+		s.trace = append(s.trace, snap.Trace...)
+		s.now, s.stepIdx = snap.SimTime, snap.StepIdx
 	} else {
 		guard.BeginIteration()
-		temps = append([]float64(nil), init...)
-		for i := range dvfs {
-			dvfs[i] = cfg.InitDVFS
+		s.temps = append([]float64(nil), init...)
+		for i := range s.dvfs {
+			s.dvfs[i] = cfg.InitDVFS
 		}
 		if initDVFS != nil {
-			copy(dvfs, initDVFS)
+			copy(s.dvfs, initDVFS)
 		}
 		if cfg.TECs != nil {
-			ts = tec.NewState(cfg.TECs)
+			s.ts = tec.NewState(cfg.TECs)
 			// Carried-over devices re-engage within the first 20 µs step.
 			for l, amps := range initAmps {
-				ts.SetCurrent(l, amps)
+				s.ts.SetCurrent(l, amps)
 			}
 		}
 		if cfg.Actuators != nil {
 			// Persistent actuator faults (a stuck fan, a device failed on)
 			// apply from the very first step, not the first control boundary.
-			fanLevel = cfg.Fan.Clamp(cfg.Actuators.FilterFan(0, fanLevel))
+			s.fanLevel = cfg.Fan.Clamp(cfg.Actuators.FilterFan(0, s.fanLevel))
 			dec := Decision{}
-			cfg.Actuators.FilterDecision(0, r.actuatorState(dvfs, ts, fanLevel), &dec)
-			if err := r.applyDecision(dec, dvfs, ts); err != nil {
+			cfg.Actuators.FilterDecision(0, r.actuatorState(s.dvfs, s.ts, s.fanLevel), &dec)
+			if err := r.applyDecision(dec, s.dvfs, s.ts); err != nil {
 				return nil, err
 			}
 		}
 	}
-	tr, err := cfg.Network.NewTransient(fanLevel, cfg.Step)
-	if err != nil {
+	var err error
+	if s.tr, err = cfg.Network.NewTransient(s.fanLevel, cfg.Step); err != nil {
 		return nil, err
 	}
 
-	dyn := make([]float64, nComp)
-	leak := make([]float64, nComp)
-	total := make([]float64, nComp)
-	prevTemps := make([]float64, len(temps))
-	// Per-control-period accumulators for the observation. Snapshots are
-	// taken only at control boundaries, right after these are zeroed, so a
-	// resumed run correctly starts them empty.
-	obsDyn := make([]float64, nComp)
-	obsIPS := make([]float64, nCores)
-	coreIPS := make([]float64, nCores)
+	s.dyn = make([]float64, s.nComp)
+	s.leak = make([]float64, s.nComp)
+	s.total = make([]float64, s.nComp)
+	s.prevTemps = make([]float64, len(s.temps))
+	s.obsDyn = make([]float64, s.nComp)
+	s.obsIPS = make([]float64, s.nCores)
+	s.coreIPS = make([]float64, s.nCores)
 
 	// Cap generously: the base time stretched by the worst-case frequency
 	// ratio, times the safety factor.
-	maxTime := cfg.MaxTimeFactor * (bench.TargetTimeMS / 1000) / cfg.DVFS.FreqRatio(cfg.DVFS.Max(), 0)
+	s.maxTime = cfg.MaxTimeFactor * (s.bench.TargetTimeMS / 1000) / cfg.DVFS.FreqRatio(cfg.DVFS.Max(), 0)
 
-	stepsPerCtl := int(math.Round(cfg.ControlPeriod / cfg.Step))
-	if stepsPerCtl < 1 {
-		stepsPerCtl = 1
+	s.stepsPerCtl = int(math.Round(cfg.ControlPeriod / cfg.Step))
+	if s.stepsPerCtl < 1 {
+		s.stepsPerCtl = 1
 	}
-	stepsPerFan := int(math.Round(cfg.FanPeriod / cfg.Step))
+	s.stepsPerFan = int(math.Round(cfg.FanPeriod / cfg.Step))
+	return s, nil
+}
 
-	done := func() bool { return totalDone >= bench.TotalInst }
+// done reports whether the chip-wide instruction budget is retired.
+func (s *stepLoop) done() bool { return s.totalDone >= s.bench.TotalInst }
 
-	// snapshot captures the complete loop state at the current (control
-	// boundary) position.
-	snapshot := func() (*Snapshot, error) {
-		s := &Snapshot{
-			SimTime:   now,
-			StepIdx:   stepIdx,
-			WarmStart: ws,
-			PrevPeak:  prevPeak,
-			Temps:     append([]float64(nil), temps...),
-			DVFS:      append([]int(nil), dvfs...),
-			FanLevel:  fanLevel,
-			InstDone:  append([]float64(nil), instDone...),
-			TotalDone: totalDone,
-			Acc:       acc.State(),
-			Trace:     append([]TracePoint(nil), trace...),
-		}
-		ns := guard.State()
-		s.Numeric = &ns
-		if ts != nil {
-			tsnap := ts.Snapshot()
-			s.TEC = &tsnap
-		}
-		var err error
-		if s.Controller, err = marshalCodec("controller", r.ctl); err != nil {
-			return nil, err
-		}
-		if s.Sensors, err = marshalCodec("sensors", cfg.Sensors); err != nil {
-			return nil, err
-		}
-		if s.Actuators, err = marshalCodec("actuators", cfg.Actuators); err != nil {
-			return nil, err
-		}
-		return s, nil
+// snapshot captures the complete loop state at the current (control
+// boundary) position.
+func (s *stepLoop) snapshot() (*Snapshot, error) {
+	snap := &Snapshot{
+		SimTime:   s.now,
+		StepIdx:   s.stepIdx,
+		WarmStart: s.ws,
+		PrevPeak:  s.prevPeak,
+		Temps:     append([]float64(nil), s.temps...),
+		DVFS:      append([]int(nil), s.dvfs...),
+		FanLevel:  s.fanLevel,
+		InstDone:  append([]float64(nil), s.instDone...),
+		TotalDone: s.totalDone,
+		Acc:       s.acc.State(),
+		Trace:     append([]TracePoint(nil), s.trace...),
 	}
-
-	// partial builds the result carrying whatever finite metrics accumulated
-	// so far plus the numeric health block — used on cancellation, on a
-	// refused divergence, and (with Completed filled in) at the end.
-	partial := func() *Result {
-		res := &Result{
-			Metrics:    acc.Snapshot(),
-			Trace:      trace,
-			FinalTemps: temps,
-			Completed:  false,
-			Numeric:    guard.Health(),
-			finalDVFS:  append([]int(nil), dvfs...),
-		}
-		if ts != nil {
-			res.finalAmps = ts.Currents()
-		}
-		return res
+	ns := s.guard.State()
+	snap.Numeric = &ns
+	if s.ts != nil {
+		tsnap := s.ts.Snapshot()
+		snap.TEC = &tsnap
 	}
-
-	// confirm records a confirmed divergence with the actuator configuration
-	// filled in, then either escalates it into the controller's sticky
-	// fail-safe (NumericEscalator) or returns the refusal error for
-	// controllers that cannot absorb it.
-	confirm := func(v *numguard.Violation) error {
-		v.FanLevel = fanLevel
-		if ts != nil {
-			v.TECsOn = ts.CountOn()
-		}
-		guard.Confirm(v)
-		if esc, ok := r.ctl.(NumericEscalator); ok {
-			if !guard.State().FailSafe {
-				guard.SetFailSafe()
-				esc.EscalateNumeric(*v)
-			}
-			return nil
-		}
-		return &DivergenceError{V: *v}
+	var err error
+	if snap.Controller, err = marshalCodec("controller", s.r.ctl); err != nil {
+		return nil, err
 	}
+	if snap.Sensors, err = marshalCodec("sensors", s.cfg.Sensors); err != nil {
+		return nil, err
+	}
+	if snap.Actuators, err = marshalCodec("actuators", s.cfg.Actuators); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
 
-	// stepAttempt integrates one thermal step from prevTemps and audits the
-	// outcome. tr.Step writes temps only on success, and a retry re-runs with
-	// bit-identical inputs, so a transient upset recovers byte-identically to
-	// the fault-free execution.
-	stepAttempt := func(retry bool) *numguard.Violation {
-		copy(temps, prevTemps)
-		if stepErr := tr.Step(temps, total, ts); stepErr != nil {
-			return &numguard.Violation{
-				Kind: numguard.KindSolverResidual, Step: stepIdx, Time: now,
-				Node: -1, Detail: stepErr.Error(),
-			}
+// partial builds the result carrying whatever finite metrics accumulated
+// so far plus the numeric health block — used on cancellation, on a
+// refused divergence, and (with Completed filled in) at the end.
+func (s *stepLoop) partial() *Result {
+	res := &Result{
+		Metrics:    s.acc.Snapshot(),
+		Trace:      s.trace,
+		FinalTemps: s.temps,
+		Completed:  false,
+		Numeric:    s.guard.Health(),
+		finalDVFS:  append([]int(nil), s.dvfs...),
+	}
+	if s.ts != nil {
+		res.finalAmps = s.ts.Currents()
+	}
+	return res
+}
+
+// confirm records a confirmed divergence with the actuator configuration
+// filled in, then either escalates it into the controller's sticky
+// fail-safe (NumericEscalator) or returns the refusal error for
+// controllers that cannot absorb it.
+func (s *stepLoop) confirm(v *numguard.Violation) error {
+	v.FanLevel = s.fanLevel
+	if s.ts != nil {
+		v.TECsOn = s.ts.CountOn()
+	}
+	s.guard.Confirm(v)
+	if esc, ok := s.r.ctl.(NumericEscalator); ok {
+		if !s.guard.State().FailSafe {
+			s.guard.SetFailSafe()
+			esc.EscalateNumeric(*v)
+		}
+		return nil
+	}
+	return &DivergenceError{V: *v}
+}
+
+// stepAttempt integrates one thermal step from prevTemps and audits the
+// outcome. tr.Step writes temps only on success, and a retry re-runs with
+// bit-identical inputs, so a transient upset recovers byte-identically to
+// the fault-free execution.
+func (s *stepLoop) stepAttempt(retry bool) *numguard.Violation {
+	copy(s.temps, s.prevTemps)
+	if stepErr := s.tr.Step(s.temps, s.total, s.ts); stepErr != nil {
+		//lint:tecfan-ignore allocfree -- solver-refusal path: builds the violation at most once per refused step
+		return &numguard.Violation{Kind: numguard.KindSolverResidual, Step: s.stepIdx, Time: s.now, Node: -1, Detail: stepErr.Error()} //lint:tecfan-ignore hotcall -- refusal path: stringifies the solver error once
+	}
+	if s.cfg.NumFaults != nil {
+		s.cfg.NumFaults.CorruptTemps(s.stepIdx, retry, s.temps)
+	}
+	return s.guard.CheckTemps(s.stepIdx, s.now, s.temps)
+}
+
+// step advances the simulation one thermal step: power evaluation, the
+// audited integration, instruction progress, metrics, and observation
+// accumulation. It is the control loop's per-step kernel — the fault-free
+// steady-state path performs zero allocations (TestStepZeroAllocs proves
+// it; the analyzers and the bench gate keep it true).
+func (s *stepLoop) step() error {
+	cfg := s.cfg
+	// Power evaluation at the current state.
+	for i := range s.dyn {
+		s.dyn[i] = 0
+	}
+	for core := 0; core < s.nCores; core++ {
+		scale := cfg.DVFS.ScaleFromMax(s.dvfs[core])
+		s.bench.AddDynPower(cfg.Chip, core, s.progress[core], scale, s.dyn)
+	}
+	cfg.Leak.PerComponent(cfg.Chip, s.temps, power.ModelQuad, s.leak)
+	for i := range s.total {
+		s.total[i] = s.dyn[i] + s.leak[i]
+	}
+	if cfg.NumFaults != nil {
+		cfg.NumFaults.CorruptPower(s.stepIdx, false, s.total)
+	}
+	if v := s.guard.CheckPowerVec(s.stepIdx, s.now, s.total); v != nil {
+		// Step fallback: rebuild the vector from its inputs. A transient
+		// upset vanishes; a persistent fault re-fires and is a confirmed
+		// divergence — the run then continues on the clean rebuild.
+		for i := range s.total {
+			s.total[i] = s.dyn[i] + s.leak[i]
 		}
 		if cfg.NumFaults != nil {
-			cfg.NumFaults.CorruptTemps(stepIdx, retry, temps)
+			cfg.NumFaults.CorruptPower(s.stepIdx, true, s.total)
 		}
-		return guard.CheckTemps(stepIdx, now, temps)
+		if v2 := s.guard.CheckPowerVec(s.stepIdx, s.now, s.total); v2 != nil {
+			for i := range s.total {
+				s.total[i] = s.dyn[i] + s.leak[i]
+			}
+			s.guard.NoteHeld()
+			if err := s.confirm(v2); err != nil { //lint:tecfan-ignore hotcall -- confirmed-divergence path: runs at most once per confirmed fault
+				return err
+			}
+		} else {
+			s.guard.NoteRecovered()
+		}
 	}
 
-	for !done() && now < maxTime {
-		// Power evaluation at the current state.
-		for i := range dyn {
-			dyn[i] = 0
-		}
-		for core := 0; core < nCores; core++ {
-			scale := cfg.DVFS.ScaleFromMax(dvfs[core])
-			bench.AddDynPower(chip, core, progress[core], scale, dyn)
-		}
-		cfg.Leak.PerComponent(chip, temps, power.ModelQuad, leak)
-		for i := range total {
-			total[i] = dyn[i] + leak[i]
-		}
-		if cfg.NumFaults != nil {
-			cfg.NumFaults.CorruptPower(stepIdx, false, total)
-		}
-		if v := guard.CheckPowerVec(stepIdx, now, total); v != nil {
-			// Step fallback: rebuild the vector from its inputs. A transient
-			// upset vanishes; a persistent fault re-fires and is a confirmed
-			// divergence — the run then continues on the clean rebuild.
-			for i := range total {
-				total[i] = dyn[i] + leak[i]
+	// Thermal step, audited: a violation (solver refusal, non-finite or
+	// out-of-envelope temperature) is retried once with identical inputs;
+	// a second violation holds the last good temperature state and
+	// confirms the divergence.
+	if s.ts != nil {
+		s.ts.Advance(s.now)
+	}
+	copy(s.prevTemps, s.temps)
+	if v := s.stepAttempt(false); v != nil {
+		if v2 := s.stepAttempt(true); v2 != nil {
+			copy(s.temps, s.prevTemps)
+			s.guard.NoteHeld()
+			if err := s.confirm(v2); err != nil { //lint:tecfan-ignore hotcall -- confirmed-divergence path: runs at most once per confirmed fault
+				return err
 			}
-			if cfg.NumFaults != nil {
-				cfg.NumFaults.CorruptPower(stepIdx, true, total)
-			}
-			if v2 := guard.CheckPowerVec(stepIdx, now, total); v2 != nil {
-				for i := range total {
-					total[i] = dyn[i] + leak[i]
-				}
-				guard.NoteHeld()
-				if err := confirm(v2); err != nil {
-					return partial(), err
-				}
-			} else {
-				guard.NoteRecovered()
-			}
+		} else {
+			s.guard.NoteRecovered()
 		}
+	}
+	s.guard.AddRefinements(s.tr.TakeRefinements())
 
-		// Thermal step, audited: a violation (solver refusal, non-finite or
-		// out-of-envelope temperature) is retried once with identical inputs;
-		// a second violation holds the last good temperature state and
-		// confirms the divergence.
-		if ts != nil {
-			ts.Advance(now)
+	// Instruction progress at the current frequencies. Every active
+	// core retires work until the chip-wide budget completes.
+	for _, core := range s.bench.ActiveCores {
+		fr := cfg.DVFS.FreqRatio(cfg.DVFS.Max(), s.dvfs[core])
+		ips := s.bench.IPS(core, s.progress[core]) * fr
+		s.coreIPS[core] = ips
+		s.instDone[core] += ips * cfg.Step
+		s.totalDone += ips * cfg.Step
+		s.progress[core] = s.instDone[core] / s.instPerCore
+		if s.progress[core] > 1 {
+			s.progress[core] = 1
 		}
-		copy(prevTemps, temps)
-		if v := stepAttempt(false); v != nil {
-			if v2 := stepAttempt(true); v2 != nil {
-				copy(temps, prevTemps)
-				guard.NoteHeld()
-				if err := confirm(v2); err != nil {
-					return partial(), err
-				}
-			} else {
-				guard.NoteRecovered()
-			}
-		}
-		guard.AddRefinements(tr.TakeRefinements())
+	}
 
-		// Instruction progress at the current frequencies. Every active
-		// core retires work until the chip-wide budget completes.
-		for _, core := range bench.ActiveCores {
-			fr := cfg.DVFS.FreqRatio(cfg.DVFS.Max(), dvfs[core])
-			ips := bench.IPS(core, progress[core]) * fr
-			coreIPS[core] = ips
-			instDone[core] += ips * cfg.Step
-			totalDone += ips * cfg.Step
-			progress[core] = instDone[core] / instPerCore
-			if progress[core] > 1 {
-				progress[core] = 1
-			}
+	// Metrics.
+	var dynSum, ipsSum float64
+	for _, v := range s.total {
+		dynSum += v
+	}
+	for _, v := range s.coreIPS {
+		ipsSum += v
+	}
+	tecPower := cfg.Network.TECPower(s.temps, s.ts)
+	chipPower := dynSum + tecPower + cfg.Fan.Power(s.fanLevel)
+	_, peak := cfg.Network.PeakDie(s.temps)
+	// The temperature audit above guarantees a finite field, so a
+	// non-finite peak would mean the auditor itself is broken: refuse
+	// loudly rather than feed it to perf.Metrics.
+	if !floats.Finite(peak) {
+		//lint:tecfan-ignore allocfree -- auditor-breach refusal: formats the diagnosis at most once per run
+		return fmt.Errorf("sim: non-finite peak temperature %s out of the integrator at t=%.4gs", linalg.SafeFloat(peak), s.now) //lint:tecfan-ignore hotcall -- refusal path: fmt and SafeFloat run at most once per run
+	}
+	if v := s.guard.CheckChipPower(s.stepIdx, s.now, chipPower); v != nil {
+		// Chip power is an output-side aggregate with no second
+		// computation path to retry: hold zero for this step so the
+		// accumulator stays finite, and confirm.
+		s.guard.NoteHeld()
+		if err := s.confirm(v); err != nil { //lint:tecfan-ignore hotcall -- confirmed-divergence path: runs at most once per confirmed fault
+			return err
 		}
+		chipPower = 0
+	}
+	s.acc.Add(cfg.Step, chipPower, ipsSum, peak, cfg.Threshold)
+	s.guard.AddEnergy(cfg.Step, chipPower)
+	s.chipPower = chipPower
 
-		// Metrics.
-		var dynSum, ipsSum float64
-		for _, v := range total {
-			dynSum += v
-		}
-		for _, v := range coreIPS {
-			ipsSum += v
-		}
-		tecPower := cfg.Network.TECPower(temps, ts)
-		chipPower := dynSum + tecPower + cfg.Fan.Power(fanLevel)
-		_, peak := cfg.Network.PeakDie(temps)
-		// The temperature audit above guarantees a finite field, so a
-		// non-finite peak would mean the auditor itself is broken: refuse
-		// loudly rather than feed it to perf.Metrics.
-		if !floats.Finite(peak) {
-			return partial(), fmt.Errorf("sim: non-finite peak temperature %s out of the integrator at t=%.4gs", linalg.SafeFloat(peak), now)
-		}
-		if v := guard.CheckChipPower(stepIdx, now, chipPower); v != nil {
-			// Chip power is an output-side aggregate with no second
-			// computation path to retry: hold zero for this step so the
-			// accumulator stays finite, and confirm.
-			guard.NoteHeld()
-			if err := confirm(v); err != nil {
-				return partial(), err
-			}
-			chipPower = 0
-		}
-		acc.Add(cfg.Step, chipPower, ipsSum, peak, cfg.Threshold)
-		guard.AddEnergy(cfg.Step, chipPower)
+	// Observation accumulation.
+	for i := range s.obsDyn {
+		s.obsDyn[i] += s.dyn[i] / float64(s.stepsPerCtl)
+	}
+	for i := range s.obsIPS {
+		s.obsIPS[i] += s.coreIPS[i] / float64(s.stepsPerCtl)
+	}
 
-		// Observation accumulation.
-		for i := range obsDyn {
-			obsDyn[i] += dyn[i] / float64(stepsPerCtl)
-		}
-		for i := range obsIPS {
-			obsIPS[i] += coreIPS[i] / float64(stepsPerCtl)
-		}
+	s.now += cfg.Step
+	s.stepIdx++
+	return nil
+}
 
-		now += cfg.Step
-		stepIdx++
+// fillObs populates the reusable boundary observation from the live state.
+// The slices are copies (a sensor model may corrupt them freely without
+// touching the simulation), but the backing buffers are REUSED across
+// boundaries: an Observation is valid only for the duration of the
+// controller call it is handed to, and controllers that retain
+// measurements across periods must deep-copy them (core.Controller does).
+// withPower selects the lower-level form carrying the per-period power and
+// IPS accumulators; the fan-boundary form leaves DynPower/CoreIPS nil,
+// which is how consumers tell the two apart.
+func (s *stepLoop) fillObs(withPower bool) *Observation {
+	o := &s.obs
+	s.obsTemps = append(s.obsTemps[:0], s.temps...)
+	s.obsDVFS = append(s.obsDVFS[:0], s.dvfs...)
+	o.Time = s.now
+	o.Temps = s.obsTemps
+	o.DVFS = s.obsDVFS
+	o.FanLevel = s.fanLevel
+	o.Threshold = s.cfg.Threshold
+	o.DynPower, o.CoreIPS = nil, nil
+	if withPower {
+		o.DynPower, o.CoreIPS = s.obsDyn, s.obsIPS
+	}
+	o.TECOn, o.TECAmps = nil, nil
+	if s.ts != nil {
+		s.obsTECOn = s.ts.OnMaskInto(s.obsTECOn)
+		s.obsTECAmps = s.ts.CurrentsInto(s.obsTECAmps)
+		o.TECOn, o.TECAmps = s.obsTECOn, s.obsTECAmps
+	}
+	return o
+}
 
-		// Lower-level control boundary.
-		if stepIdx%stepsPerCtl == 0 {
-			// Controllers get copies of the live state: a buggy or
-			// adversarial controller must not be able to corrupt the
-			// simulation by writing through the observation.
-			obs := &Observation{
-				Time:      now,
-				Temps:     append([]float64(nil), temps...),
-				DynPower:  obsDyn,
-				CoreIPS:   obsIPS,
-				DVFS:      append([]int(nil), dvfs...),
-				FanLevel:  fanLevel,
-				Threshold: cfg.Threshold,
+// boundaries runs the control, fan, and checkpoint work due after the step
+// that just completed. A non-nil error aborts the run; the accompanying
+// result — nil for plumbing failures, a partial result for refusals — is
+// exactly what runOnce should hand back.
+func (s *stepLoop) boundaries(ctx context.Context) (*Result, error) {
+	cfg, r := s.cfg, s.r
+
+	// Lower-level control boundary.
+	if s.stepIdx%s.stepsPerCtl == 0 {
+		obs := s.fillObs(true)
+		if cfg.Sensors != nil {
+			cfg.Sensors.Observe(obs)
+		}
+		dec := r.ctl.Control(obs)
+		if cfg.Actuators != nil {
+			cfg.Actuators.FilterDecision(s.now, r.actuatorState(s.dvfs, s.ts, s.fanLevel), &dec)
+		}
+		if err := r.applyDecision(dec, s.dvfs, s.ts); err != nil {
+			return nil, err
+		}
+		// Boundary audits: the metrics energy against the independent
+		// ∫power·dt integral, and the applied actuator configuration
+		// against its hardware ranges.
+		if v := s.guard.CheckEnergy(s.stepIdx, s.now, s.acc.Energy); v != nil {
+			if err := s.confirm(v); err != nil {
+				return s.partial(), err
 			}
-			if ts != nil {
-				obs.TECOn = ts.OnMask()
-				obs.TECAmps = ts.Currents()
+		}
+		if v := s.guard.CheckActuators(s.stepIdx, s.now, s.fanLevel, cfg.Fan.NumLevels()-1, s.dvfs, cfg.DVFS.Max()); v != nil {
+			if err := s.confirm(v); err != nil {
+				return s.partial(), err
 			}
-			if cfg.Sensors != nil {
-				cfg.Sensors.Observe(obs)
+		}
+		if cfg.RecordTrace {
+			pc, pt := cfg.Network.PeakDie(s.temps)
+			var md float64
+			for _, l := range s.dvfs {
+				md += float64(l)
 			}
-			dec := r.ctl.Control(obs)
-			if cfg.Actuators != nil {
-				cfg.Actuators.FilterDecision(now, r.actuatorState(dvfs, ts, fanLevel), &dec)
+			nOn := 0
+			if s.ts != nil {
+				nOn = s.ts.CountOn()
 			}
-			if err := r.applyDecision(dec, dvfs, ts); err != nil {
+			s.trace = append(s.trace, TracePoint{
+				Time: s.now, PeakTemp: pt, PeakComp: pc, ChipPower: s.chipPower,
+				FanLevel: s.fanLevel, TECsOn: nOn, MeanDVFS: md / float64(s.nCores),
+			})
+		}
+		for i := range s.obsDyn {
+			s.obsDyn[i] = 0
+		}
+		for i := range s.obsIPS {
+			s.obsIPS[i] = 0
+		}
+	}
+
+	// Higher-level fan boundary.
+	if fc, ok := r.ctl.(FanController); ok && s.stepsPerFan > 0 && s.stepIdx%s.stepsPerFan == 0 {
+		obs := s.fillObs(false)
+		if cfg.Sensors != nil {
+			cfg.Sensors.Observe(obs)
+		}
+		req := fc.FanControl(obs)
+		if cfg.Actuators != nil {
+			req = cfg.Actuators.FilterFan(s.now, req)
+		}
+		if nl := cfg.Fan.Clamp(req); nl != s.fanLevel {
+			s.fanLevel = nl
+			var err error
+			if s.tr, err = cfg.Network.NewTransient(s.fanLevel, cfg.Step); err != nil {
 				return nil, err
 			}
-			// Boundary audits: the metrics energy against the independent
-			// ∫power·dt integral, and the applied actuator configuration
-			// against its hardware ranges.
-			if v := guard.CheckEnergy(stepIdx, now, acc.Energy); v != nil {
-				if err := confirm(v); err != nil {
-					return partial(), err
-				}
-			}
-			if v := guard.CheckActuators(stepIdx, now, fanLevel, cfg.Fan.NumLevels()-1, dvfs, cfg.DVFS.Max()); v != nil {
-				if err := confirm(v); err != nil {
-					return partial(), err
-				}
-			}
-			if cfg.RecordTrace {
-				pc, pt := cfg.Network.PeakDie(temps)
-				var md float64
-				for _, l := range dvfs {
-					md += float64(l)
-				}
-				nOn := 0
-				if ts != nil {
-					nOn = ts.CountOn()
-				}
-				trace = append(trace, TracePoint{
-					Time: now, PeakTemp: pt, PeakComp: pc, ChipPower: chipPower,
-					FanLevel: fanLevel, TECsOn: nOn, MeanDVFS: md / float64(nCores),
-				})
-			}
-			for i := range obsDyn {
-				obsDyn[i] = 0
-			}
-			for i := range obsIPS {
-				obsIPS[i] = 0
-			}
-		}
-
-		// Higher-level fan boundary.
-		if fc, ok := r.ctl.(FanController); ok && stepsPerFan > 0 && stepIdx%stepsPerFan == 0 {
-			obs := &Observation{
-				Time:     now,
-				Temps:    append([]float64(nil), temps...),
-				DVFS:     append([]int(nil), dvfs...),
-				FanLevel: fanLevel, Threshold: cfg.Threshold,
-			}
-			if ts != nil {
-				obs.TECOn = ts.OnMask()
-				obs.TECAmps = ts.Currents()
-			}
-			if cfg.Sensors != nil {
-				cfg.Sensors.Observe(obs)
-			}
-			req := fc.FanControl(obs)
-			if cfg.Actuators != nil {
-				req = cfg.Actuators.FilterFan(now, req)
-			}
-			if nl := cfg.Fan.Clamp(req); nl != fanLevel {
-				fanLevel = nl
-				if tr, err = cfg.Network.NewTransient(fanLevel, cfg.Step); err != nil {
-					return nil, err
-				}
-			}
-		}
-
-		// Cancellation and checkpointing, at control boundaries only: this
-		// bounds the response to a cancel at one control period, and places
-		// every snapshot right after the observation accumulators were
-		// zeroed, so a resumed run restarts them empty — bitwise-identical
-		// to the uninterrupted execution.
-		if stepIdx%stepsPerCtl == 0 {
-			if err := ctx.Err(); err != nil {
-				if cfg.OnCheckpoint != nil {
-					if s, serr := snapshot(); serr == nil {
-						_ = cfg.OnCheckpoint(s) // best effort on the way out
-					}
-				}
-				return partial(), fmt.Errorf("sim: canceled at t=%.4gs: %w", now, err)
-			}
-			if cfg.CheckpointEvery > 0 && cfg.OnCheckpoint != nil &&
-				(stepIdx/stepsPerCtl)%cfg.CheckpointEvery == 0 {
-				s, err := snapshot()
-				if err != nil {
-					return nil, err
-				}
-				if err := cfg.OnCheckpoint(s); err != nil {
-					return nil, fmt.Errorf("sim: checkpoint at t=%.4gs: %w", now, err)
-				}
-			}
 		}
 	}
 
-	res := partial()
-	res.Completed = done()
-	if !res.Completed {
-		return res, &TimeCapError{Time: now, Retired: totalDone, Budget: bench.TotalInst}
+	// Cancellation and checkpointing, at control boundaries only: this
+	// bounds the response to a cancel at one control period, and places
+	// every snapshot right after the observation accumulators were
+	// zeroed, so a resumed run restarts them empty — bitwise-identical
+	// to the uninterrupted execution.
+	if s.stepIdx%s.stepsPerCtl == 0 {
+		if err := ctx.Err(); err != nil {
+			if cfg.OnCheckpoint != nil {
+				if snap, serr := s.snapshot(); serr == nil {
+					_ = cfg.OnCheckpoint(snap) // best effort on the way out
+				}
+			}
+			return s.partial(), fmt.Errorf("sim: canceled at t=%.4gs: %w", s.now, err)
+		}
+		if cfg.CheckpointEvery > 0 && cfg.OnCheckpoint != nil &&
+			(s.stepIdx/s.stepsPerCtl)%cfg.CheckpointEvery == 0 {
+			snap, err := s.snapshot()
+			if err != nil {
+				return nil, err
+			}
+			if err := cfg.OnCheckpoint(snap); err != nil {
+				return nil, fmt.Errorf("sim: checkpoint at t=%.4gs: %w", s.now, err)
+			}
+		}
 	}
-	return res, nil
+	return nil, nil
 }
 
 // actuatorState snapshots the currently applied actuator configuration for

@@ -269,6 +269,17 @@ func (s *State) SetCurrent(l int, amps float64) {
 	s.current[l] = amps
 }
 
+// Reset returns every device to off with a cleared engagement clock — the
+// reuse hook that lets a per-candidate evaluation loop keep one State alive
+// instead of allocating a fresh one per estimate.
+func (s *State) Reset() {
+	for i := range s.current {
+		s.current[i] = 0
+		s.engageAt[i] = 0
+	}
+	s.now = 0
+}
+
 // Current returns device l's drive current (A), 0 when off.
 func (s *State) Current(l int) float64 { return s.current[l] }
 
@@ -312,6 +323,20 @@ func (s *State) OnMask() []bool {
 	return out
 }
 
+// OnMaskInto writes the on/off vector into dst, growing it only when dst is
+// too small, and returns the filled slice — the reusable-buffer counterpart
+// of OnMask.
+func (s *State) OnMaskInto(dst []bool) []bool {
+	if cap(dst) < len(s.current) {
+		dst = make([]bool, len(s.current))
+	}
+	dst = dst[:len(s.current)]
+	for i, v := range s.current {
+		dst[i] = v > 0
+	}
+	return dst
+}
+
 // SetMask applies a full on/off vector (used by exhaustive-search policies).
 func (s *State) SetMask(mask []bool) {
 	if len(mask) != len(s.current) {
@@ -325,6 +350,17 @@ func (s *State) SetMask(mask []bool) {
 // Currents returns a copy of the per-device current vector.
 func (s *State) Currents() []float64 {
 	return append([]float64(nil), s.current...)
+}
+
+// CurrentsInto writes the per-device current vector into dst, growing it
+// only when dst is too small, and returns the filled slice.
+func (s *State) CurrentsInto(dst []float64) []float64 {
+	if cap(dst) < len(s.current) {
+		dst = make([]float64, len(s.current))
+	}
+	dst = dst[:len(s.current)]
+	copy(dst, s.current)
+	return dst
 }
 
 // Clone returns an independent copy of the state.

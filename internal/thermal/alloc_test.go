@@ -1,0 +1,73 @@
+package thermal
+
+import (
+	"testing"
+
+	"tecfan/internal/tec"
+)
+
+// Dynamic proofs of the hot-path allocation discipline (DESIGN.md §18) for
+// the thermal substrate: the solvers the 2 ms loop leans on must be
+// allocation-free once their factor caches and scratch are warm.
+
+func TestTransientStepZeroAllocs(t *testing.T) {
+	nw, p := benchNetwork16()
+	tr, err := nw.NewTransient(0, 100e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps := make([]float64, nw.NumNodes())
+	for i := range temps {
+		temps[i] = 70
+	}
+	for i := 0; i < 5; i++ {
+		if err := tr.Step(temps, p, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stepErr error
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := tr.Step(temps, p, nil); err != nil {
+			stepErr = err
+		}
+	})
+	if stepErr != nil {
+		t.Fatal(stepErr)
+	}
+	if allocs != 0 {
+		t.Fatalf("Transient.Step allocates %.1f per call; the simulation inner loop must be allocation-free", allocs)
+	}
+}
+
+func TestSteadyIntoZeroAllocs(t *testing.T) {
+	nw, p := benchNetwork16()
+	ts := tec.NewState(tec.Array(nw.Chip, tec.DefaultDevice()))
+	for _, l := range ts.CoreDevices(5) {
+		ts.Set(l, true)
+	}
+	ts.Advance(1)
+	temps := make([]float64, nw.NumNodes())
+	for i := range temps {
+		temps[i] = 75
+	}
+	// Warm both factor-cache entries the alternation below touches.
+	for i := 0; i < 4; i++ {
+		if err := nw.SteadyInto(temps, p, i%2, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var solveErr error
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := nw.SteadyInto(temps, p, i%2, ts); err != nil {
+			solveErr = err
+		}
+		i++
+	})
+	if solveErr != nil {
+		t.Fatal(solveErr)
+	}
+	if allocs != 0 {
+		t.Fatalf("SteadyInto allocates %.1f per call with a warm factor cache; candidate evaluation must be allocation-free", allocs)
+	}
+}

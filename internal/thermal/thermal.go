@@ -106,6 +106,13 @@ type Network struct {
 	// typed linalg.NumError rather than returning garbage temperatures.
 	steadyCache    map[int]*linalg.VerifiedCholesky
 	transientCache map[transientKey]*linalg.VerifiedCholesky
+
+	// Fixed-point scratch for SteadyInto, preallocated so per-candidate
+	// steady solves stay allocation-free. The Network is already not safe
+	// for concurrent use (shared factor caches); the scratch keeps that
+	// contract rather than tightening it.
+	steadyRHS  []float64
+	steadyNext []float64
 }
 
 type transientKey struct {
@@ -128,6 +135,8 @@ func NewNetwork(chip *floorplan.Chip, fm *fan.Model, p Params) *Network {
 		capn:           make([]float64, nc+cores+1),
 		steadyCache:    map[int]*linalg.VerifiedCholesky{},
 		transientCache: map[transientKey]*linalg.VerifiedCholesky{},
+		steadyRHS:      make([]float64, nc+cores+1),
+		steadyNext:     make([]float64, nc+cores+1),
 	}
 	nw.assemble()
 	return nw
@@ -277,7 +286,8 @@ func (nw *Network) peltierRHS(rhs, t []float64, ts *tec.State) {
 // run instead of a crashed process.
 func (nw *Network) baseRHS(rhs, power []float64, fanLevel int) error {
 	if len(power) != nw.NumDie() {
-		return fmt.Errorf("thermal: power vector length %d, want %d", len(power), nw.NumDie())
+		//lint:tecfan-ignore allocfree -- model-construction defect path: formats the diagnosis at most once per failed run
+		return fmt.Errorf("thermal: power vector length %d, want %d", len(power), nw.NumDie()) //lint:tecfan-ignore hotcall -- defect path: fmt runs at most once per failed run
 	}
 	linalg.Fill(rhs, 0)
 	copy(rhs, power)
@@ -309,15 +319,15 @@ func (nw *Network) SteadyInto(t, power []float64, fanLevel int, ts *tec.State) e
 	if err != nil {
 		return err
 	}
-	rhs := make([]float64, nw.n)
-	next := make([]float64, nw.n)
+	rhs, next := nw.steadyRHS, nw.steadyNext
 	for iter := 0; iter < 50; iter++ {
 		if err := nw.baseRHS(rhs, power, fanLevel); err != nil {
 			return err
 		}
 		nw.peltierRHS(rhs, t, ts)
 		if _, err := f.Solve(rhs, next); err != nil {
-			return fmt.Errorf("thermal: steady solve (fan=%d): %w", fanLevel, err)
+			//lint:tecfan-ignore allocfree -- solver refusal path: formats the diagnosis at most once per rejected solve
+			return fmt.Errorf("thermal: steady solve (fan=%d): %w", fanLevel, err) //lint:tecfan-ignore hotcall -- refusal path: fmt runs at most once per rejected solve
 		}
 		var delta float64
 		for i := range t {
@@ -330,7 +340,8 @@ func (nw *Network) SteadyInto(t, power []float64, fanLevel int, ts *tec.State) e
 			return nil
 		}
 	}
-	return fmt.Errorf("thermal: Peltier fixed point did not converge")
+	//lint:tecfan-ignore allocfree -- non-convergence refusal path: formats the diagnosis at most once per failed solve
+	return fmt.Errorf("thermal: Peltier fixed point did not converge") //lint:tecfan-ignore hotcall -- refusal path: fmt runs at most once per failed solve
 }
 
 // Transient is a backward-Euler integrator with a fixed fan level and step.
